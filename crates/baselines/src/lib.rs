@@ -1,0 +1,27 @@
+//! # mitos-baselines
+//!
+//! The comparison systems of the paper's evaluation, rebuilt on the same
+//! simulated cluster and the same `Value`/file-system substrate so results
+//! are directly comparable:
+//!
+//! * [`spark`] — a driver-loop engine (imperative control flow in the
+//!   driver, one dataflow job per action, no cross-iteration optimization);
+//! * [`flink`] — native iterations (superstep barriers + hoisting, via the
+//!   Mitos machinery in non-pipelined mode with Flink's per-step overhead)
+//!   and the separate-jobs fallback, plus the expressiveness checker that
+//!   decides which mode a program needs;
+//! * [`naiad`] — a timely-dataflow loop with distributed progress tracking
+//!   (Fig. 7);
+//! * [`tensorflow`] — a switch/merge dynamic-graph while-loop (Fig. 7).
+
+#![warn(missing_docs)]
+
+pub mod flink;
+pub mod naiad;
+pub mod spark;
+pub mod tensorflow;
+
+pub use flink::{flink_driver_config, flink_mode, flink_step_overhead_ns, run_flink_native, run_flink_native_with, run_flink_separate_jobs, FlinkMode};
+pub use naiad::{run_naiad_loop, NaiadConfig};
+pub use spark::{run_driver_loop, DriverConfig, DriverResult};
+pub use tensorflow::{run_tf_loop, TfConfig};

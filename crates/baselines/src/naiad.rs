@@ -1,0 +1,191 @@
+//! A miniature Naiad (timely dataflow) loop, for the Fig. 7 per-step
+//! overhead microbenchmark.
+//!
+//! Naiad executes iterations inside a single dataflow with **logical
+//! timestamps** and a distributed **progress-tracking protocol**: each
+//! worker broadcasts pointstamp occurrence-count deltas; a worker knows the
+//! frontier has advanced past timestamp `t` when the deltas from every
+//! worker show no outstanding work at `t`. This module reproduces that
+//! choreography for a single-loop dataflow: per step, every worker
+//! processes its capability, then broadcasts a progress update; the next
+//! step starts when updates from all workers arrived. There is no central
+//! coordinator and no per-step job launch — which is exactly why Naiad sits
+//! with the native-iteration systems at the bottom of Fig. 7.
+
+use mitos_sim::{ActorId, Sim, SimConfig, SimCtx, SimReport, World};
+use std::collections::HashMap;
+
+/// Naiad microbenchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiadConfig {
+    /// Loop iterations.
+    pub steps: u32,
+    /// CPU ns for the loop body work per worker per step.
+    pub body_cost_ns: u64,
+    /// CPU ns to integrate one progress update.
+    pub progress_update_ns: u64,
+}
+
+impl Default for NaiadConfig {
+    fn default() -> Self {
+        NaiadConfig {
+            steps: 100,
+            body_cost_ns: 200_000,
+            progress_update_ns: 5_000,
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Msg {
+    Start,
+    /// Pointstamp delta: a worker retired its capability at `t`.
+    Progress { t: u32 },
+}
+
+struct NaiadWorker {
+    machine: u16,
+    t: u32,
+    /// Progress updates received per timestamp (including our own).
+    received: HashMap<u32, u16>,
+    config: NaiadConfig,
+    done: bool,
+}
+
+struct NaiadWorld {
+    workers: Vec<NaiadWorker>,
+}
+
+impl NaiadWorker {
+    /// Processes the capability at the current timestamp and broadcasts the
+    /// pointstamp delta.
+    fn work_step(&mut self, ctx: &mut SimCtx<Msg>) {
+        ctx.charge(self.config.body_cost_ns);
+        let t = self.t;
+        for m in 0..ctx.machines() {
+            if m != self.machine {
+                ctx.send(ActorId::new(m, 0), Msg::Progress { t }, 24);
+            }
+        }
+        // Count our own retirement locally.
+        *self.received.entry(t).or_insert(0) += 1;
+        self.try_advance(ctx);
+    }
+
+    fn on_progress(&mut self, t: u32, ctx: &mut SimCtx<Msg>) {
+        ctx.charge(self.config.progress_update_ns);
+        *self.received.entry(t).or_insert(0) += 1;
+        self.try_advance(ctx);
+    }
+
+    fn try_advance(&mut self, ctx: &mut SimCtx<Msg>) {
+        while !self.done {
+            let got = self.received.get(&self.t).copied().unwrap_or(0);
+            if got < ctx.machines() {
+                return;
+            }
+            // Frontier moved past t: the feedback edge carries the record
+            // into t + 1 (or the loop exits).
+            self.received.remove(&self.t);
+            self.t += 1;
+            if self.t >= self.config.steps {
+                self.done = true;
+                return;
+            }
+            self.work_step(ctx);
+        }
+    }
+}
+
+impl World for NaiadWorld {
+    type Msg = Msg;
+    fn handle(&mut self, dest: ActorId, msg: Msg, ctx: &mut SimCtx<Msg>) {
+        let w = &mut self.workers[dest.machine as usize];
+        match msg {
+            Msg::Start => w.work_step(ctx),
+            Msg::Progress { t, .. } => w.on_progress(t, ctx),
+        }
+    }
+}
+
+/// Runs the Naiad loop microbenchmark; returns the simulator report
+/// (virtual makespan = `report.end_time`).
+pub fn run_naiad_loop(config: NaiadConfig, cluster: SimConfig) -> SimReport {
+    let workers = (0..cluster.machines)
+        .map(|machine| NaiadWorker {
+            machine,
+            t: 0,
+            received: HashMap::new(),
+            config,
+            done: false,
+        })
+        .collect();
+    let mut sim = Sim::new(cluster, NaiadWorld { workers });
+    for m in 0..cluster.machines {
+        sim.inject(ActorId::new(m, 0), Msg::Start);
+    }
+    let report = sim.run();
+    for w in &sim.world().workers {
+        assert!(w.done, "worker {} incomplete at t={}", w.machine, w.t);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_all_steps_on_any_cluster() {
+        for machines in [1u16, 2, 5] {
+            let report = run_naiad_loop(
+                NaiadConfig {
+                    steps: 20,
+                    ..NaiadConfig::default()
+                },
+                SimConfig::with_machines(machines),
+            );
+            assert!(report.end_time > 0);
+        }
+    }
+
+    #[test]
+    fn per_step_cost_is_roughly_flat_in_machines() {
+        let steps = 50;
+        let time = |machines: u16| {
+            run_naiad_loop(
+                NaiadConfig {
+                    steps,
+                    ..NaiadConfig::default()
+                },
+                SimConfig::with_machines(machines),
+            )
+            .end_time as f64
+                / steps as f64
+        };
+        let t2 = time(2);
+        let t16 = time(16);
+        assert!(
+            t16 < t2 * 4.0,
+            "per-step time should not explode with machines: {t2} vs {t16}"
+        );
+    }
+
+    #[test]
+    fn time_scales_linearly_with_steps() {
+        let time = |steps: u32| {
+            run_naiad_loop(
+                NaiadConfig {
+                    steps,
+                    ..NaiadConfig::default()
+                },
+                SimConfig::with_machines(4),
+            )
+            .end_time as f64
+        };
+        let t100 = time(100);
+        let t200 = time(200);
+        let ratio = t200 / t100;
+        assert!((1.6..=2.4).contains(&ratio), "ratio {ratio}");
+    }
+}

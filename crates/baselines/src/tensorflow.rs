@@ -1,0 +1,288 @@
+//! A miniature TensorFlow-style control-flow executor, for the Fig. 7
+//! per-step overhead microbenchmark.
+//!
+//! TensorFlow (following Arvind's dataflow architectures) expresses loops
+//! with the **switch/merge/enter/nextIteration/exit** primitives executing
+//! in tagged iteration *frames*. This module implements that dynamic-graph
+//! mechanism for the canonical counter loop:
+//!
+//! ```text
+//! i0 -> Enter -> Merge <- NextIteration
+//!                  |   \
+//!                Less(K) \
+//!                  |      \
+//!               Switch ----+--(true)--> AddOne --> NextIteration
+//!                  |
+//!               (false) --> Exit
+//! ```
+//!
+//! Each operator firing is one simulator message on the hosting machine, so
+//! the per-step cost is a handful of op dispatches plus local latencies —
+//! flat in the cluster size, like the paper's Fig. 7 measurements.
+
+use mitos_lang::Value;
+use mitos_sim::{ActorId, Sim, SimConfig, SimCtx, SimReport, World};
+
+/// Node ids of the hand-built while-loop graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Node {
+    Enter,
+    Merge,
+    Less,
+    Switch,
+    AddOne,
+    NextIteration,
+    Exit,
+}
+
+/// A tagged tensor: the value plus its iteration tag (simplified frame).
+#[derive(Clone, Debug)]
+struct Tagged {
+    iter: u32,
+    value: Value,
+}
+
+#[derive(Clone)]
+enum Msg {
+    /// Fire `node` with one ready input.
+    Fire(Node, Tagged),
+    /// Second input of `Switch` (the predicate).
+    Pred(Tagged),
+}
+
+/// TensorFlow microbenchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TfConfig {
+    /// Loop iterations (the `Less` bound).
+    pub steps: u32,
+    /// CPU ns per operator firing (kernel dispatch).
+    pub op_cost_ns: u64,
+    /// CPU ns of the loop body (the `AddOne` kernel).
+    pub body_cost_ns: u64,
+}
+
+impl Default for TfConfig {
+    fn default() -> Self {
+        TfConfig {
+            steps: 100,
+            op_cost_ns: 20_000,
+            body_cost_ns: 200_000,
+        }
+    }
+}
+
+struct TfWorld {
+    config: TfConfig,
+    /// Pending data input of Switch awaiting its predicate (per iteration).
+    switch_data: Option<Tagged>,
+    switch_pred: Option<Tagged>,
+    result: Option<Value>,
+    fired: u64,
+}
+
+impl TfWorld {
+    fn emit(&self, ctx: &mut SimCtx<Msg>, node: Node, t: Tagged) {
+        // All loop-state ops are placed on machine 0 (TF places loop state
+        // on one device); firings hop through the local executor queue.
+        ctx.send(ActorId::new(0, 0), Msg::Fire(node, t), 16);
+    }
+
+    fn fire(&mut self, node: Node, input: Tagged, ctx: &mut SimCtx<Msg>) {
+        self.fired += 1;
+        ctx.charge(self.config.op_cost_ns);
+        match node {
+            Node::Enter => {
+                // Entering the loop frame: iteration tag 0.
+                self.emit(
+                    ctx,
+                    Node::Merge,
+                    Tagged {
+                        iter: 0,
+                        value: input.value,
+                    },
+                );
+            }
+            Node::Merge => {
+                // Merge forwards whichever input arrives (Enter first, then
+                // NextIteration values).
+                self.emit(ctx, Node::Less, input.clone());
+                self.emit(ctx, Node::Switch, input);
+            }
+            Node::Less => {
+                let i = input.value.as_i64().expect("counter");
+                let pred = Value::Bool((i as u32) < self.config.steps);
+                ctx.send(
+                    ActorId::new(0, 0),
+                    Msg::Pred(Tagged {
+                        iter: input.iter,
+                        value: pred,
+                    }),
+                    16,
+                );
+            }
+            Node::Switch => {
+                self.switch_data = Some(input);
+                self.try_switch(ctx);
+            }
+            Node::AddOne => {
+                ctx.charge(self.config.body_cost_ns);
+                let i = input.value.as_i64().expect("counter");
+                self.emit(
+                    ctx,
+                    Node::NextIteration,
+                    Tagged {
+                        iter: input.iter,
+                        value: Value::I64(i + 1),
+                    },
+                );
+            }
+            Node::NextIteration => {
+                // Increment the iteration tag and feed Merge again.
+                self.emit(
+                    ctx,
+                    Node::Merge,
+                    Tagged {
+                        iter: input.iter + 1,
+                        value: input.value,
+                    },
+                );
+            }
+            Node::Exit => {
+                self.result = Some(input.value);
+            }
+        }
+    }
+
+    fn try_switch(&mut self, ctx: &mut SimCtx<Msg>) {
+        let (Some(data), Some(pred)) = (&self.switch_data, &self.switch_pred) else {
+            return;
+        };
+        assert_eq!(data.iter, pred.iter, "switch inputs from the same frame");
+        let taken = pred.value.as_bool().expect("predicate");
+        let data = self.switch_data.take().expect("data");
+        self.switch_pred = None;
+        if taken {
+            self.emit(ctx, Node::AddOne, data);
+        } else {
+            self.emit(ctx, Node::Exit, data);
+        }
+    }
+}
+
+impl World for TfWorld {
+    type Msg = Msg;
+    fn handle(&mut self, _dest: ActorId, msg: Msg, ctx: &mut SimCtx<Msg>) {
+        match msg {
+            Msg::Fire(node, t) => self.fire(node, t, ctx),
+            Msg::Pred(t) => {
+                self.switch_pred = Some(t);
+                self.try_switch(ctx);
+            }
+        }
+    }
+}
+
+/// Runs the TensorFlow while-loop microbenchmark; returns the simulator
+/// report and the final counter value.
+pub fn run_tf_loop(config: TfConfig, cluster: SimConfig) -> (SimReport, Value) {
+    let mut sim = Sim::new(
+        cluster,
+        TfWorld {
+            config,
+            switch_data: None,
+            switch_pred: None,
+            result: None,
+            fired: 0,
+        },
+    );
+    sim.inject(
+        ActorId::new(0, 0),
+        Msg::Fire(
+            Node::Enter,
+            Tagged {
+                iter: 0,
+                value: Value::I64(0),
+            },
+        ),
+    );
+    let report = sim.run();
+    let result = sim
+        .world()
+        .result
+        .clone()
+        .expect("loop must exit");
+    (report, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_counts_to_steps() {
+        let (_, result) = run_tf_loop(
+            TfConfig {
+                steps: 17,
+                ..TfConfig::default()
+            },
+            SimConfig::with_machines(1),
+        );
+        assert_eq!(result, Value::I64(17));
+    }
+
+    #[test]
+    fn per_step_cost_flat_in_machines() {
+        let steps = 40;
+        let time = |machines: u16| {
+            run_tf_loop(
+                TfConfig {
+                    steps,
+                    ..TfConfig::default()
+                },
+                SimConfig::with_machines(machines),
+            )
+            .0
+            .end_time as f64
+                / steps as f64
+        };
+        let t1 = time(1);
+        let t16 = time(16);
+        assert!((t16 - t1).abs() / t1 < 0.01, "{t1} vs {t16}");
+    }
+
+    #[test]
+    fn op_firings_scale_with_steps() {
+        let run = |steps: u32| {
+            let mut sim = Sim::new(
+                SimConfig::with_machines(1),
+                TfWorld {
+                    config: TfConfig {
+                        steps,
+                        ..TfConfig::default()
+                    },
+                    switch_data: None,
+                    switch_pred: None,
+                    result: None,
+                    fired: 0,
+                },
+            );
+            sim.inject(
+                ActorId::new(0, 0),
+                Msg::Fire(
+                    Node::Enter,
+                    Tagged {
+                        iter: 0,
+                        value: Value::I64(0),
+                    },
+                ),
+            );
+            sim.run();
+            sim.world().fired
+        };
+        let f10 = run(10);
+        let f20 = run(20);
+        assert!(f20 > f10);
+        // Roughly 6 firings per iteration.
+        assert!((f20 - f10) as f64 / 10.0 >= 5.0);
+    }
+}

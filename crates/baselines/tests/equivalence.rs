@@ -1,0 +1,188 @@
+//! Every baseline engine must produce exactly the reference interpreter's
+//! results — performance differs, semantics must not.
+
+use mitos_baselines::{flink_mode, run_driver_loop, run_flink_native, DriverConfig, FlinkMode};
+use mitos_fs::InMemoryFs;
+use mitos_ir::{interpret, InterpConfig};
+use mitos_lang::Value;
+use mitos_sim::SimConfig;
+use mitos_workloads::{generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec};
+
+fn reference(src: &str, setup: &dyn Fn(&InMemoryFs)) -> (mitos_ir::RunResult, InMemoryFs) {
+    let fs = InMemoryFs::new();
+    setup(&fs);
+    let func = mitos_ir::compile_str(src).unwrap();
+    let r = interpret(&func, &fs, InterpConfig::default()).unwrap();
+    (r, fs)
+}
+
+fn check_spark(src: &str, machines: u16, setup: &dyn Fn(&InMemoryFs)) {
+    let (reference, ref_fs) = reference(src, setup);
+    let fs = InMemoryFs::new();
+    setup(&fs);
+    let func = mitos_ir::compile_str(src).unwrap();
+    let r = run_driver_loop(&func, &fs, DriverConfig::default(), SimConfig::with_machines(machines))
+        .unwrap();
+    assert_eq!(r.path, reference.path, "driver path");
+    assert_eq!(r.outputs, reference.canonical_outputs(), "outputs");
+    assert_eq!(fs.snapshot(), ref_fs.snapshot(), "file effects");
+}
+
+#[test]
+fn spark_straight_line() {
+    check_spark(
+        "b = bag(1, 2, 3).map(x => x * 10).filter(x => x > 15); output(b, \"b\");",
+        3,
+        &|_| {},
+    );
+}
+
+#[test]
+fn spark_scalar_loop() {
+    check_spark(
+        "s = 0; for i = 1 to 6 { s = s + i * i; } output(s, \"s\");",
+        2,
+        &|_| {},
+    );
+}
+
+#[test]
+fn spark_visit_count() {
+    let spec = VisitCountSpec {
+        days: 4,
+        visits_per_day: 60,
+        pages: 12,
+        seed: 11,
+    };
+    check_spark(&visit_count_program(4, false), 3, &|fs| {
+        generate_visit_logs(fs, &spec)
+    });
+}
+
+#[test]
+fn spark_visit_count_with_page_types() {
+    let spec = VisitCountSpec {
+        days: 3,
+        visits_per_day: 40,
+        pages: 10,
+        seed: 5,
+    };
+    check_spark(&visit_count_program(3, true), 2, &|fs| {
+        generate_visit_logs(fs, &spec);
+        generate_page_types(fs, 10, 2, 3);
+    });
+}
+
+#[test]
+fn spark_launches_jobs_per_iteration() {
+    let spec = VisitCountSpec {
+        days: 5,
+        visits_per_day: 20,
+        pages: 5,
+        seed: 2,
+    };
+    let fs = InMemoryFs::new();
+    generate_visit_logs(&fs, &spec);
+    let func = mitos_ir::compile_str(&visit_count_program(5, false)).unwrap();
+    let r = run_driver_loop(
+        &func,
+        &fs,
+        DriverConfig::default(),
+        SimConfig::with_machines(2),
+    )
+    .unwrap();
+    // One writeFile job per day 2..=5: at least 4 jobs.
+    assert!(r.jobs >= 4, "jobs = {}", r.jobs);
+}
+
+#[test]
+fn flink_native_matches_reference_on_supported_programs() {
+    let src = "s = 0; i = 0; while (i < 8) { s = s + i; i = i + 1; } output(s, \"s\");";
+    let func = mitos_ir::compile_str(src).unwrap();
+    assert_eq!(flink_mode(&func), FlinkMode::Native);
+    let (reference, _) = reference(src, &|_| {});
+    let fs = InMemoryFs::new();
+    let r = run_flink_native(&func, &fs, SimConfig::with_machines(4)).unwrap();
+    assert_eq!(r.outputs, reference.canonical_outputs());
+    assert_eq!(r.path, reference.path);
+}
+
+#[test]
+fn visit_count_needs_separate_jobs_on_flink() {
+    // The paper's Sec. 2 point: file reads + the if statement make Visit
+    // Count inexpressible in Flink's native iterations.
+    let func = mitos_ir::compile_str(&visit_count_program(3, false)).unwrap();
+    assert_eq!(flink_mode(&func), FlinkMode::SeparateJobs);
+}
+
+#[test]
+fn spark_cross_and_distinct() {
+    check_spark(
+        r#"
+        a = bag(1, 2, 2, 3).distinct();
+        b = bag(10, 20);
+        c = a cross b;
+        output(c.count(), "n");
+        "#,
+        3,
+        &|_| {},
+    );
+}
+
+#[test]
+fn spark_union_and_flatmap() {
+    check_spark(
+        r#"
+        a = bag(1, 2);
+        b = bag(3).flatMap(x => [x, x + 1]);
+        c = a union b;
+        output(c, "c");
+        "#,
+        2,
+        &|_| {},
+    );
+}
+
+#[test]
+fn spark_writes_files_inside_branches() {
+    check_spark(
+        r#"
+        for d = 1 to 4 {
+            data = bag((d, 1), (d, 2));
+            if (d % 2 == 0) {
+                writeFile(data, "even" + d);
+            } else {
+                writeFile(data.filter(t => t[1] > 1), "odd" + d);
+            }
+        }
+        "#,
+        2,
+        &|_| {},
+    );
+}
+
+#[test]
+fn spark_deterministic_under_jitter() {
+    let src = "t = 0; for d = 1 to 3 { t = t + readFile(\"f\" + d).count(); } output(t, \"t\");";
+    let setup = |fs: &InMemoryFs| {
+        for d in 1..=3 {
+            fs.put(
+                format!("f{d}"),
+                (0..25).map(|i| Value::I64(i * d)).collect(),
+            );
+        }
+    };
+    let func = mitos_ir::compile_str(src).unwrap();
+    let mut outs = Vec::new();
+    for seed in [3u64, 9] {
+        let fs = InMemoryFs::new();
+        setup(&fs);
+        let mut cfg = SimConfig::with_machines(3);
+        cfg.seed = seed;
+        cfg.jitter_pct = 30;
+        let r = run_driver_loop(&func, &fs, DriverConfig::default(), cfg).unwrap();
+        outs.push(r.outputs);
+    }
+    assert_eq!(outs[0], outs[1]);
+    assert_eq!(outs[0]["t"], vec![Value::I64(75)]);
+}

@@ -1,0 +1,41 @@
+//! **Figure 5**: strong scaling of Visit Count. The paper reports Mitos
+//! scaling gracefully while Spark and Flink *increase* with machine count
+//! (their per-step overhead grows with the cluster); at 25 machines Mitos
+//! is ~10x faster than Spark and ~3x faster than Flink.
+
+use mitos_bench::{fmt_ms, full_scale, visit_cost, System, Table};
+use mitos_fs::InMemoryFs;
+use mitos_sim::SimConfig;
+use mitos_workloads::{generate_visit_logs, visit_count_program, VisitCountSpec};
+
+fn main() {
+    let (days, visits) = if full_scale() { (120, 20_000) } else { (40, 5_000) };
+    let spec = VisitCountSpec {
+        days,
+        visits_per_day: visits,
+        pages: 2_000,
+        seed: 5,
+    };
+    let func = mitos_ir::compile_str(&visit_count_program(days, false)).unwrap();
+    let systems = [System::Spark, System::FlinkNative, System::Mitos];
+
+    println!("\n=== Figure 5: strong scaling (Visit Count) ===");
+    println!("{days} days x {visits} visits/day\n");
+    let mut table = Table::new(&["machines", "Spark", "Flink", "Mitos", "Mitos speedup vs Spark"]);
+    for machines in [2u16, 4, 8, 16, 25] {
+        let mut cells = vec![machines.to_string()];
+        let mut times = Vec::new();
+        for system in systems {
+            let fs = InMemoryFs::new();
+            generate_visit_logs(&fs, &spec);
+            let ms = system.run_with(&func, &fs, SimConfig::with_machines(machines), visit_cost());
+            times.push(ms);
+            cells.push(fmt_ms(ms));
+        }
+        cells.push(format!("{:.1}x", times[0] / times[2]));
+        table.row(cells);
+    }
+    table.print();
+    println!("\npaper: Spark and Flink grow with machines (per-step overhead),");
+    println!("Mitos scales down; Mitos ~10x vs Spark, ~3x vs Flink at 25.");
+}

@@ -1,0 +1,66 @@
+//! **Figure 8**: the loop-invariant hoisting experiment — Visit Count with
+//! the pageTypes join, sweeping the size of the loop-invariant pageTypes
+//! dataset while the rest of the input stays fixed. The paper reports
+//! Spark (no hoisting) growing linearly, up to 45x slower than Mitos;
+//! Mitos-without-hoisting also linear, up to 11x slower than Mitos; Mitos
+//! and Flink flat (they build the join hash table once).
+
+use mitos_bench::{fmt_factor, fmt_ms, full_scale, invariant_cost, System, Table};
+use mitos_fs::InMemoryFs;
+use mitos_sim::SimConfig;
+use mitos_workloads::{generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec};
+
+fn main() {
+    let days = if full_scale() { 60 } else { 30 };
+    let machines = 8;
+    let visits = if full_scale() { 2_000 } else { 1_000 };
+    let page_sizes: &[u64] = if full_scale() {
+        &[5_000, 40_000, 160_000, 640_000]
+    } else {
+        &[2_000, 20_000, 120_000]
+    };
+    let systems = [
+        System::Spark,
+        System::MitosNoHoisting,
+        System::FlinkNative,
+        System::Mitos,
+    ];
+
+    println!("\n=== Figure 8: loop-invariant dataset size sweep ===");
+    println!("{days} days x {visits} visits/day (fixed), {machines} machines\n");
+    let mut table = Table::new(&[
+        "pageTypes rows",
+        "Spark",
+        "Mitos (wo. hoisting)",
+        "Flink",
+        "Mitos",
+        "Spark/Mitos",
+        "NoHoist/Mitos",
+    ]);
+    for &pages in page_sizes {
+        let spec = VisitCountSpec {
+            days,
+            visits_per_day: visits,
+            pages,
+            seed: 8,
+        };
+        let func = mitos_ir::compile_str(&visit_count_program(days, true)).unwrap();
+        let mut cells = vec![pages.to_string()];
+        let mut times = Vec::new();
+        for system in systems {
+            let fs = InMemoryFs::new();
+            generate_visit_logs(&fs, &spec);
+            generate_page_types(&fs, pages, 4, 3);
+            let ms = system.run_with(&func, &fs, SimConfig::with_machines(machines), invariant_cost());
+            times.push(ms);
+            cells.push(fmt_ms(ms));
+        }
+        cells.push(fmt_factor(times[0] / times[3]));
+        cells.push(fmt_factor(times[1] / times[3]));
+        table.row(cells);
+    }
+    table.print();
+    println!("\npaper: Spark and Mitos-without-hoisting grow linearly with the");
+    println!("invariant dataset (hash table rebuilt per step; up to 45x and");
+    println!("11x slower); Mitos and Flink stay flat (built once, probed).");
+}

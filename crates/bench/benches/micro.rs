@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks of the runtime's hot paths: execution-path
+//! queries, conditional-send decisions, routing, the compilation pipeline,
+//! and the bag kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mitos_core::graph::stable_hash;
+use mitos_core::{ExecutionPath, LogicalGraph, PathRules};
+use mitos_ir::kernel;
+use mitos_lang::expr::{BinOp, Expr};
+use mitos_lang::Value;
+use std::hint::black_box;
+
+fn bench_path_queries(c: &mut Criterion) {
+    // A long loop path: 0 (1 2 3)* — like a 1000-step Visit Count.
+    let mut path = ExecutionPath::new();
+    path.append(0);
+    for _ in 0..1000 {
+        for b in [1u32, 2, 3] {
+            path.append(b);
+        }
+    }
+    c.bench_function("path/last_occurrence_hit", |b| {
+        b.iter(|| black_box(path.last_occurrence_before(black_box(2), black_box(2800))))
+    });
+    c.bench_function("path/last_occurrence_miss", |b| {
+        b.iter(|| black_box(path.last_occurrence_before(black_box(9), black_box(3001))))
+    });
+}
+
+fn bench_selection_rules(c: &mut Criterion) {
+    let func = mitos_ir::compile_str(
+        "yesterday = empty; day = 1; do { counts = bag((day, 1)); j = counts join yesterday; \
+         s = j.count(); yesterday = counts; day = day + 1; } while (day <= 3); output(day, \"d\");",
+    )
+    .unwrap();
+    let graph = LogicalGraph::build(&func).unwrap();
+    let rules = PathRules::build(&graph);
+    let body = graph.nodes.iter().find(|n| n.block != 0).unwrap().block;
+    let mut path = ExecutionPath::new();
+    path.append(0);
+    for _ in 0..500 {
+        path.append(body);
+    }
+    let edge = (graph.edges.len() - 1) as u32;
+    c.bench_function("rules/select_input_len", |b| {
+        b.iter(|| black_box(rules.select_input_len(black_box(edge), &path, black_box(400))))
+    });
+    c.bench_function("rules/decide_send", |b| {
+        b.iter(|| black_box(rules.decide_send(black_box(edge), &path, black_box(200), 200)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let values: Vec<Value> = (0..1024)
+        .map(|i| Value::tuple([Value::I64(i), Value::I64(i * 7)]))
+        .collect();
+    c.bench_function("routing/stable_hash_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in &values {
+                acc ^= stable_hash(v.key());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let pairs: Vec<Value> = (0..2048)
+        .map(|i| Value::tuple([Value::I64(i % 64), Value::I64(i)]))
+        .collect();
+    let add = Expr::bin(BinOp::Add, Expr::Param(0), Expr::Param(1));
+    c.bench_function("kernel/reduce_by_key_2048", |b| {
+        b.iter(|| black_box(kernel::reduce_by_key(&add, &[], &pairs).unwrap()))
+    });
+    c.bench_function("kernel/join_2048x2048", |b| {
+        b.iter(|| black_box(kernel::join(&pairs, &pairs).len()))
+    });
+    let double = Expr::bin(BinOp::Mul, Expr::Param(0), Expr::lit(2i64));
+    let ints: Vec<Value> = (0..2048).map(Value::I64).collect();
+    c.bench_function("kernel/map_2048", |b| {
+        b.iter(|| black_box(kernel::map(&double, &[], &ints).unwrap()))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let src = mitos_workloads::visit_count_program(365, true);
+    c.bench_function("compile/visit_count_365", |b| {
+        b.iter_batched(
+            || src.clone(),
+            |s| black_box(mitos_ir::compile_str(&s).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_end_to_end_small(c: &mut Criterion) {
+    use mitos_core::rt::EngineConfig;
+    use mitos_fs::InMemoryFs;
+    use mitos_sim::SimConfig;
+    let func = mitos_ir::compile_str(&mitos_bench::trivial_loop_program(10)).unwrap();
+    c.bench_function("engine/trivial_loop_10_steps_4_machines", |b| {
+        b.iter(|| {
+            let fs = InMemoryFs::new();
+            black_box(
+                mitos_core::run_sim(
+                    &func,
+                    &fs,
+                    EngineConfig::default(),
+                    SimConfig::with_machines(4),
+                )
+                .unwrap()
+                .sim
+                .end_time,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_path_queries, bench_selection_rules, bench_routing, bench_kernels, bench_compile, bench_end_to_end_small
+}
+criterion_main!(benches);

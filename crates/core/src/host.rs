@@ -1,0 +1,1361 @@
+//! The **bag operator host** (Sec. 5): wraps one physical operator instance
+//! and implements the coordination logic from the operator's side —
+//! output-bag scheduling, input-bag selection, element buffering and
+//! separation by bag identifier, conditional-output sending, input-bag
+//! garbage collection, loop pipelining, and loop-invariant hoisting.
+//!
+//! A host is a pure state machine: the worker feeds it path appends and
+//! data/punctuation messages; it emits messages through [`HostOut`]. This
+//! keeps it driver-agnostic (simulator or threads) and unit-testable.
+
+use crate::graph::{EdgeId, NodeKind, OpId};
+use crate::path::{ExecutionPath, SendDecision};
+use crate::rt::{batch_bytes, EngineShared, Msg, Net, RuntimeError, OUTPUT_PREFIX};
+use mitos_ir::kernel::join_row;
+use mitos_ir::BlockId;
+use mitos_lang::expr::eval;
+use mitos_lang::Value;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Sink for everything a host emits during one poke.
+pub struct HostOut<'a> {
+    /// Message transport (also the CPU-charge sink).
+    pub net: &'a mut dyn Net,
+    /// Control-flow decisions made by condition nodes (the worker applies
+    /// them locally and broadcasts them).
+    pub decisions: &'a mut Vec<(u32, BlockId)>,
+    /// Path positions whose bag this host finished (non-pipelined mode).
+    pub computed: &'a mut Vec<u32>,
+}
+
+/// One buffered input bag: elements received so far plus completion
+/// tracking. Completion is robust to data/punctuation reordering: the bag is
+/// complete when every sender's end-of-bag arrived *and* all announced
+/// elements are here.
+#[derive(Default)]
+struct InBuf {
+    elems: Vec<Value>,
+    done_senders: u16,
+    announced_total: u64,
+}
+
+impl InBuf {
+    fn complete(&self, expected_senders: u16) -> bool {
+        self.done_senders == expected_senders && self.elems.len() as u64 == self.announced_total
+    }
+}
+
+/// Per-logical-input state: buffered bags keyed by bag-identifier length.
+struct InputState {
+    bufs: HashMap<u32, InBuf>,
+    expected_senders: u16,
+}
+
+/// Operator-specific state for the active output bag.
+enum OpState {
+    Simple,
+    Build(HashMap<Value, Vec<Value>>),
+    CrossRight(Vec<Value>),
+    Agg(HashMap<Value, Value>),
+    Fold(Option<Value>),
+    Distinct(HashSet<Value>),
+}
+
+/// State kept across output bags for loop-invariant hoisting (Sec. 5.3).
+enum Kept {
+    Join {
+        bag_len: u32,
+        table: HashMap<Value, Vec<Value>>,
+    },
+    Cross {
+        bag_len: u32,
+        right: Vec<Value>,
+    },
+}
+
+/// Send state of one produced bag on one outgoing logical edge.
+enum EdgeSend {
+    /// Decided (or immediate): elements flow as produced; counts per
+    /// destination instance accumulate for the end-of-bag punctuation.
+    Streaming { counts: Vec<u32>, done_sent: bool },
+    /// Waiting for the path to prove the consumer will run (5.2.4).
+    Undecided { cursor: u32, buffer: Vec<Value> },
+    /// The consumer will never select this bag.
+    Dropped,
+}
+
+/// A produced (possibly still in-flight) output bag.
+struct OutBag {
+    edges: Vec<EdgeSend>,
+    finalized: bool,
+}
+
+impl OutBag {
+    fn retired(&self) -> bool {
+        self.finalized
+            && self.edges.iter().all(|e| match e {
+                EdgeSend::Streaming { done_sent, .. } => *done_sent,
+                EdgeSend::Dropped => true,
+                EdgeSend::Undecided { .. } => false,
+            })
+    }
+}
+
+/// The output bag currently being computed.
+struct Active {
+    pos: u32,
+    len: u32,
+    /// Selected input bag length per logical input (`None` = unused Φ input).
+    sel: Vec<Option<u32>>,
+    /// Elements of each input already processed.
+    consumed: Vec<usize>,
+    /// Gating inputs not yet fully collected.
+    gates_left: usize,
+    /// Whether each gating input has been gate-processed.
+    gate_done: Vec<bool>,
+    /// Collected captured scalar values (indexed by captured slot).
+    captured: Vec<Value>,
+    state: OpState,
+    write_name: Option<String>,
+    /// Whether a source-like operator (Singleton/LiteralBag) has emitted.
+    sources_emitted: bool,
+}
+
+/// A bag operator host: one physical instance of one logical operator.
+pub struct Host {
+    shared: Arc<EngineShared>,
+    op: OpId,
+    inst: u16,
+    n_inst: u16,
+    block: BlockId,
+    kind: NodeKind,
+    name: Arc<str>,
+    condition: Option<crate::graph::CondInfo>,
+    /// Edge ids feeding this node, ordered by input index.
+    in_edges: Vec<EdgeId>,
+    /// Outgoing edge ids.
+    out_edge_ids: Vec<EdgeId>,
+    /// Gating (collect-before-stream) flags per input.
+    gating: Vec<bool>,
+    /// Number of data inputs (captured scalars come after).
+    data_arity: usize,
+    pending_outputs: VecDeque<u32>,
+    current: Option<Active>,
+    inputs: Vec<InputState>,
+    kept: Option<Kept>,
+    outbags: HashMap<u32, OutBag>,
+    /// Barrier watermark: positions `<= frontier` may start (non-pipelined).
+    released_frontier: u32,
+    /// Elements read from disk, waiting for the simulated I/O delay.
+    pending_io: Option<Vec<Value>>,
+    /// Statistics: total elements this instance emitted.
+    pub emitted_elements: u64,
+    /// Statistics: hoisting reuse hits.
+    pub hoist_hits: u64,
+}
+
+impl Host {
+    /// Creates the host for instance `inst` of `op`.
+    pub fn new(shared: Arc<EngineShared>, op: OpId, inst: u16) -> Host {
+        let node = &shared.graph.nodes[op as usize];
+        let n_inst = shared.graph.instances(op, shared.machines);
+        let mut in_edges = vec![u32::MAX; node.inputs.len()];
+        for (i, e) in shared.graph.edges.iter().enumerate() {
+            if e.dst == op {
+                in_edges[e.dst_input] = i as EdgeId;
+            }
+        }
+        debug_assert!(in_edges.iter().all(|&e| e != u32::MAX));
+        let out_edge_ids = shared.graph.out_edges[op as usize].clone();
+        let gating = gating_flags(&node.kind, node.inputs.len());
+        // The host's notion of arity: inputs below it are handled by
+        // operator-specific gate/stream logic, the rest are captured
+        // scalars. ReadFile's name is operator-specific even though it has
+        // no data input in the planner's sense.
+        let data_arity = match node.kind {
+            NodeKind::Phi => node.inputs.len(),
+            NodeKind::Singleton { .. } | NodeKind::LiteralBag { .. } => 0,
+            NodeKind::ReadFile => 1,
+            _ => node.kind.data_arity().min(node.inputs.len()),
+        };
+        let inputs = in_edges
+            .iter()
+            .map(|&e| InputState {
+                bufs: HashMap::new(),
+                expected_senders: shared.graph.senders_per_dst(e, shared.machines),
+            })
+            .collect();
+        let released_frontier = if shared.config.pipelined { u32::MAX } else { 0 };
+        Host {
+            block: node.block,
+            kind: node.kind.clone(),
+            name: node.name.clone(),
+            condition: node.condition,
+            shared,
+            op,
+            inst,
+            n_inst,
+            in_edges,
+            out_edge_ids,
+            gating,
+            data_arity,
+            pending_outputs: VecDeque::new(),
+            current: None,
+            inputs,
+            kept: None,
+            outbags: HashMap::new(),
+            released_frontier,
+            pending_io: None,
+            emitted_elements: 0,
+            hoist_hits: 0,
+        }
+    }
+
+    /// The logical operator this host runs.
+    pub fn op(&self) -> OpId {
+        self.op
+    }
+
+    /// The path gained block `block` at position `pos`.
+    pub fn on_path_append(
+        &mut self,
+        pos: u32,
+        block: BlockId,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        if block == self.block {
+            self.pending_outputs.push_back(pos);
+        }
+        self.advance_watchers(path, out)?;
+        self.progress(path, out)
+    }
+
+    /// The path will never be extended again.
+    pub fn on_exit(
+        &mut self,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        self.advance_watchers(path, out)?;
+        self.progress(path, out)
+    }
+
+    /// The barrier released positions up to `pos` (non-pipelined mode).
+    pub fn on_release(
+        &mut self,
+        pos: u32,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        self.released_frontier = self.released_frontier.max(pos);
+        self.progress(path, out)
+    }
+
+    /// Data arrived on an input edge.
+    pub fn on_data(
+        &mut self,
+        edge: EdgeId,
+        bag_len: u32,
+        elems: Vec<Value>,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        let input = self.shared.graph.edges[edge as usize].dst_input;
+        if std::env::var_os("MITOS_DEBUG").is_some() {
+            eprintln!(
+                "[data] op={} `{}` inst={} input={} bag_len={} n={}",
+                self.op, self.name, self.inst, input, bag_len, elems.len()
+            );
+        }
+        let buf = self.inputs[input].bufs.entry(bag_len).or_default();
+        buf.elems.extend(elems);
+        self.poke(path, out)
+    }
+
+    /// End-of-bag punctuation arrived on an input edge.
+    pub fn on_done(
+        &mut self,
+        edge: EdgeId,
+        bag_len: u32,
+        count: u32,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        let input = self.shared.graph.edges[edge as usize].dst_input;
+        let expected = self.inputs[input].expected_senders;
+        let buf = self.inputs[input].bufs.entry(bag_len).or_default();
+        buf.done_senders += 1;
+        buf.announced_total += count as u64;
+        if buf.done_senders > expected {
+            let got = buf.done_senders;
+            return Err(RuntimeError::new(format!(
+                "input {input} of `{}` got {got} end-of-bag punctuations for \
+                 bag len {bag_len}, expected {expected}",
+                self.name
+            )));
+        }
+        self.poke(path, out)
+    }
+
+    /// The simulated disk finished a read for this host.
+    pub fn on_io_done(
+        &mut self,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        let elems = self
+            .pending_io
+            .take()
+            .ok_or_else(|| RuntimeError::new("IoDone without a pending read".to_string()))?;
+        {
+            let active = self
+                .current
+                .as_mut()
+                .ok_or_else(|| RuntimeError::new("IoDone without an active bag".to_string()))?;
+            active.gate_done[0] = true;
+            active.gates_left -= 1;
+        }
+        self.emit_all(elems, out)?;
+        self.poke(path, out)
+    }
+
+    /// Whether this host has nothing scheduled and nothing in flight
+    /// (termination detection for the threaded driver).
+    pub fn idle(&self) -> bool {
+        self.current.is_none() && self.pending_outputs.is_empty() && self.outbags.is_empty()
+    }
+
+    fn poke(&mut self, path: &ExecutionPath, out: &mut HostOut) -> Result<(), RuntimeError> {
+        self.progress(path, out)
+    }
+
+    // --- Scheduling -------------------------------------------------------
+
+    /// Works through pending output bags as far as data allows.
+    fn progress(&mut self, path: &ExecutionPath, out: &mut HostOut) -> Result<(), RuntimeError> {
+        loop {
+            if self.current.is_none() {
+                let Some(&pos) = self.pending_outputs.front() else {
+                    return Ok(());
+                };
+                if !self.shared.config.pipelined && pos > self.released_frontier {
+                    return Ok(()); // superstep barrier
+                }
+                self.pending_outputs.pop_front();
+                self.start_bag(pos, path, out)?;
+                // The path may already extend past this occurrence
+                // (pipelining): resolve what can be resolved right away.
+                self.advance_watchers(path, out)?;
+            }
+            // Feed the active bag from whatever is buffered: first satisfy
+            // gates, then emit sources, then drain streams.
+            let n = self.inputs.len();
+            for i in 0..n {
+                self.try_gate(i, out)?;
+            }
+            if self.active_ready_to_stream() {
+                if !self.current.as_ref().expect("active").sources_emitted {
+                    self.current.as_mut().expect("active").sources_emitted = true;
+                    self.emit_sources(out)?;
+                }
+                for i in 0..n {
+                    if !self.gating[i] {
+                        self.drain_stream(i, out)?;
+                    }
+                }
+            }
+            if !self.try_finalize(path, out)? {
+                return Ok(());
+            }
+        }
+    }
+
+    fn active_ready_to_stream(&self) -> bool {
+        self.current.as_ref().is_some_and(|a| a.gates_left == 0)
+    }
+
+    /// Starts the output bag for the occurrence at `pos`: selects input
+    /// bags (5.2.3), garbage-collects superseded buffers, consults the
+    /// hoisting cache, and initializes operator state.
+    fn start_bag(
+        &mut self,
+        pos: u32,
+        path: &ExecutionPath,
+        _out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        if std::env::var_os("MITOS_DEBUG").is_some() {
+            eprintln!(
+                "[start] op={} `{}` inst={} pos={}",
+                self.op, self.name, self.inst, pos
+            );
+        }
+        let len = pos + 1;
+        let is_phi = matches!(self.kind, NodeKind::Phi);
+        let n_inputs = self.in_edges.len();
+        let mut sel: Vec<Option<u32>> = Vec::with_capacity(n_inputs);
+        if is_phi {
+            // Φ choice: the input whose producing block occurred latest.
+            let mut best: Option<(u32, usize)> = None;
+            let mut candidates = Vec::with_capacity(n_inputs);
+            for (i, &e) in self.in_edges.iter().enumerate() {
+                let c = self.shared.rules.select_input_len(e, path, pos);
+                if let Some(l) = c {
+                    match best {
+                        Some((bl, _)) if bl >= l => {}
+                        _ => best = Some((l, i)),
+                    }
+                }
+                candidates.push(c);
+            }
+            let (win_len, win_idx) = best.ok_or_else(|| {
+                RuntimeError::new(format!(
+                    "phi `{}` has no available input at path position {pos}",
+                    self.name
+                ))
+            })?;
+            for (i, c) in candidates.iter().enumerate() {
+                sel.push(if i == win_idx { *c } else { None });
+            }
+            // GC: buffered bags older than the winner can never be selected
+            // again (candidate prefixes grow monotonically).
+            for state in &mut self.inputs {
+                state.bufs.retain(|&l, _| l >= win_len);
+            }
+        } else {
+            for (i, &e) in self.in_edges.iter().enumerate() {
+                let l = self
+                    .shared
+                    .rules
+                    .select_input_len(e, path, pos)
+                    .ok_or_else(|| {
+                        RuntimeError::new(format!(
+                            "input {i} of `{}` has no producer occurrence before \
+                             path position {pos} (invalid SSA?)",
+                            self.name
+                        ))
+                    })?;
+                sel.push(Some(l));
+            }
+            for (i, state) in self.inputs.iter_mut().enumerate() {
+                if let Some(keep) = sel[i] {
+                    state.bufs.retain(|&l, _| l >= keep);
+                }
+            }
+        }
+
+        // Loop-invariant hoisting: reuse kept build state if the hoisted
+        // input's selected bag is unchanged (Sec. 5.3).
+        let mut state = init_state(&self.kind);
+        let mut reused = false;
+        if self.shared.config.hoisting {
+            match (&self.kind, &self.kept) {
+                (NodeKind::Join, Some(Kept::Join { bag_len, .. })) if sel[0] == Some(*bag_len) => {
+                    if let Some(Kept::Join { table, .. }) = self.kept.take() {
+                        state = OpState::Build(table);
+                        reused = true;
+                    }
+                }
+                (NodeKind::Cross, Some(Kept::Cross { bag_len, .. }))
+                    if sel[1] == Some(*bag_len) =>
+                {
+                    if let Some(Kept::Cross { right, .. }) = self.kept.take() {
+                        state = OpState::CrossRight(right);
+                        reused = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if reused {
+            self.hoist_hits += 1;
+        } else if matches!(self.kind, NodeKind::Join | NodeKind::Cross) {
+            self.kept = None;
+        }
+
+        // Gating bookkeeping; a reused hoisted input's gate is pre-satisfied.
+        let hoist_input = match self.kind {
+            NodeKind::Join => Some(0),
+            NodeKind::Cross => Some(1),
+            _ => None,
+        };
+        let mut gates_left = 0;
+        let mut gate_done = vec![false; n_inputs];
+        for (i, &g) in self.gating.iter().enumerate() {
+            if !g || sel[i].is_none() || (reused && hoist_input == Some(i)) {
+                gate_done[i] = true;
+            } else {
+                gates_left += 1;
+            }
+        }
+
+        let n_captured = n_inputs.saturating_sub(self.data_arity);
+        self.current = Some(Active {
+            pos,
+            len,
+            sel,
+            consumed: vec![0; n_inputs],
+            gates_left,
+            gate_done,
+            captured: vec![Value::Unit; n_captured],
+            state,
+            write_name: None,
+            sources_emitted: false,
+        });
+
+        // Register the out-bag with per-edge send decisions.
+        let mut edges = Vec::with_capacity(self.out_edge_ids.len());
+        for &e in &self.out_edge_ids {
+            if self.shared.rules.edges[e as usize].immediate {
+                let dst = self.shared.graph.edges[e as usize].dst;
+                let dst_n = self.shared.graph.instances(dst, self.shared.machines);
+                edges.push(EdgeSend::Streaming {
+                    counts: vec![0; dst_n as usize],
+                    done_sent: false,
+                });
+            } else {
+                edges.push(EdgeSend::Undecided {
+                    cursor: len,
+                    buffer: Vec::new(),
+                });
+            }
+        }
+        self.outbags.insert(
+            len,
+            OutBag {
+                edges,
+                finalized: false,
+            },
+        );
+        Ok(())
+    }
+
+    // --- Input consumption ------------------------------------------------
+
+    /// Gate-processes input `i` if it is a still-pending gate whose selected
+    /// bag is complete.
+    fn try_gate(&mut self, input: usize, out: &mut HostOut) -> Result<(), RuntimeError> {
+        let Some(active) = &self.current else {
+            return Ok(());
+        };
+        if !self.gating[input] || active.gate_done[input] {
+            return Ok(());
+        }
+        let Some(sel_len) = active.sel[input] else {
+            return Ok(());
+        };
+        let expected = self.inputs[input].expected_senders;
+        let complete = self.inputs[input]
+            .bufs
+            .get(&sel_len)
+            .is_some_and(|b| b.complete(expected));
+        if !complete {
+            return Ok(());
+        }
+        if self.pending_io.is_some() {
+            return Ok(()); // disk read already in flight for this gate
+        }
+        self.process_gate(input, sel_len, out)
+    }
+
+    /// Consumes a completed gating input.
+    fn process_gate(
+        &mut self,
+        input: usize,
+        sel_len: u32,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        let cost = self.shared.config.cost;
+        // Pull out what we need from the buffer without holding borrows.
+        let (single, count) = {
+            let buf = self.inputs[input].bufs.get(&sel_len).expect("gate buffer");
+            (buf.elems.first().cloned(), buf.elems.len())
+        };
+        if input >= self.data_arity {
+            // Captured scalar: exactly one element.
+            if count != 1 {
+                return Err(RuntimeError::new(format!(
+                    "captured scalar input {input} of `{}` holds {count} elements",
+                    self.name
+                )));
+            }
+            let slot = input - self.data_arity;
+            let active = self.current.as_mut().expect("active");
+            active.captured[slot] = single.expect("one element");
+            active.gate_done[input] = true;
+            active.gates_left -= 1;
+            return Ok(());
+        }
+        match (&self.kind, input) {
+            (NodeKind::ReadFile, 0) => {
+                if count != 1 {
+                    return Err(RuntimeError::new(format!(
+                        "file name bag for `{}` holds {count} elements",
+                        self.name
+                    )));
+                }
+                let v = single.expect("one element");
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| {
+                        RuntimeError::new(format!(
+                            "file name for `{}` must be a string, got {v:?}",
+                            self.name
+                        ))
+                    })?
+                    .to_string();
+                let (part, parts) = (self.inst as usize, self.n_inst as usize);
+                let elems = self
+                    .shared
+                    .fs
+                    .read_partition(&name, part, parts)
+                    .map_err(|e| RuntimeError::new(e.to_string()))?;
+                let bytes = self.shared.fs.partition_bytes(&name, part, parts).unwrap_or(0);
+                // Disk I/O proceeds asynchronously: the CPU pays only a
+                // deserialization share now; the data arrives after the
+                // disk delay (loop pipelining overlaps this with compute
+                // from other iteration steps).
+                out.net.charge(cost.elem_cost(elems.len()) / 4);
+                let delay = cost.io_cost(bytes);
+                debug_assert!(self.pending_io.is_none(), "one read at a time");
+                self.pending_io = Some(elems);
+                let machine = self.shared.graph.placement(self.op, self.inst);
+                out.net.schedule(delay, machine, Msg::IoDone { op: self.op });
+                return Ok(());
+            }
+            (NodeKind::WriteFile, 1) => {
+                if count != 1 {
+                    return Err(RuntimeError::new(format!(
+                        "file name bag for `{}` holds {count} elements",
+                        self.name
+                    )));
+                }
+                let v = single.expect("one element");
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| {
+                        RuntimeError::new(format!(
+                            "file name for `{}` must be a string, got {v:?}",
+                            self.name
+                        ))
+                    })?
+                    .to_string();
+                out.net.charge(cost.io.open_latency_ns);
+                let active = self.current.as_mut().expect("active");
+                active.write_name = Some(name);
+            }
+            (NodeKind::Join, 0) => {
+                let elems = {
+                    let buf = self.inputs[input].bufs.get(&sel_len).expect("gate buffer");
+                    buf.elems.clone()
+                };
+                out.net.charge(cost.insert_cost(elems.len()));
+                let mut table: HashMap<Value, Vec<Value>> = HashMap::with_capacity(elems.len());
+                for v in elems {
+                    table.entry(v.key().clone()).or_default().push(v);
+                }
+                let active = self.current.as_mut().expect("active");
+                active.state = OpState::Build(table);
+            }
+            (NodeKind::Cross, 1) => {
+                let elems = {
+                    let buf = self.inputs[input].bufs.get(&sel_len).expect("gate buffer");
+                    buf.elems.clone()
+                };
+                out.net.charge(cost.elem_cost(elems.len()));
+                let active = self.current.as_mut().expect("active");
+                active.state = OpState::CrossRight(elems);
+            }
+            (kind, input) => {
+                return Err(RuntimeError::new(format!(
+                    "unexpected gating input {input} for {}",
+                    kind.mnemonic()
+                )))
+            }
+        }
+        let active = self.current.as_mut().expect("active");
+        active.gate_done[input] = true;
+        active.gates_left -= 1;
+        Ok(())
+    }
+
+    /// Emits the output of source-like operators (Singleton, LiteralBag)
+    /// once all captured values are in; announces condition decisions.
+    fn emit_sources(&mut self, out: &mut HostOut) -> Result<(), RuntimeError> {
+        let cost = self.shared.config.cost;
+        match self.kind.clone() {
+            NodeKind::Singleton { expr } => {
+                let (captured, len) = {
+                    let a = self.current.as_ref().expect("active");
+                    (a.captured.clone(), a.len)
+                };
+                out.net.charge(cost.eval_cost(expr.node_count(), 1));
+                let v = eval(&expr, &captured).map_err(|e| RuntimeError::new(e.message))?;
+                if let Some(ci) = self.condition {
+                    let b = v.as_bool().ok_or_else(|| {
+                        RuntimeError::new(format!(
+                            "condition `{}` evaluated to non-bool {v:?}",
+                            self.name
+                        ))
+                    })?;
+                    let target = if b { ci.then_blk } else { ci.else_blk };
+                    out.decisions.push((len, target));
+                }
+                self.emit_all(vec![v], out)?;
+            }
+            NodeKind::LiteralBag { elems } => {
+                let captured = self.current.as_ref().expect("active").captured.clone();
+                let mut vals = Vec::with_capacity(elems.len());
+                for e in &elems {
+                    out.net.charge(cost.eval_cost(e.node_count(), 1));
+                    vals.push(eval(e, &captured).map_err(|e| RuntimeError::new(e.message))?);
+                }
+                self.emit_all(vals, out)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Processes all unconsumed elements of a stream input.
+    fn drain_stream(&mut self, input: usize, out: &mut HostOut) -> Result<(), RuntimeError> {
+        let (sel_len, start) = {
+            let active = self.current.as_ref().expect("active");
+            let Some(sel_len) = active.sel[input] else {
+                return Ok(());
+            };
+            (sel_len, active.consumed[input])
+        };
+        let elems: Vec<Value> = {
+            let Some(buf) = self.inputs[input].bufs.get(&sel_len) else {
+                return Ok(());
+            };
+            if start >= buf.elems.len() {
+                return Ok(());
+            }
+            buf.elems[start..].to_vec()
+        };
+        self.current.as_mut().expect("active").consumed[input] = start + elems.len();
+        self.process_stream(input, elems, out)
+    }
+
+    fn process_stream(
+        &mut self,
+        input: usize,
+        elems: Vec<Value>,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        let kind = self.kind.clone();
+        let cost = self.shared.config.cost;
+        let captured = self.current.as_ref().expect("active").captured.clone();
+        match &kind {
+            NodeKind::Map { expr } => {
+                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                let mut params = Vec::with_capacity(1 + captured.len());
+                params.push(Value::Unit);
+                params.extend(captured);
+                let mut outv = Vec::with_capacity(elems.len());
+                for v in elems {
+                    params[0] = v;
+                    outv.push(eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?);
+                }
+                self.emit_all(outv, out)?;
+            }
+            NodeKind::FlatMap { expr } => {
+                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                let mut params = Vec::with_capacity(1 + captured.len());
+                params.push(Value::Unit);
+                params.extend(captured);
+                let mut outv = Vec::new();
+                for v in elems {
+                    params[0] = v;
+                    let r = eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?;
+                    match r.as_list() {
+                        Some(list) => outv.extend_from_slice(list),
+                        None => {
+                            return Err(RuntimeError::new(format!(
+                                "flatMap lambda must return a list, got {r:?}"
+                            )))
+                        }
+                    }
+                }
+                self.emit_all(outv, out)?;
+            }
+            NodeKind::Filter { expr } => {
+                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                let mut params = Vec::with_capacity(1 + captured.len());
+                params.push(Value::Unit);
+                params.extend(captured);
+                let mut outv = Vec::new();
+                for v in elems {
+                    params[0] = v.clone();
+                    match eval(expr, &params).map_err(|e| RuntimeError::new(e.message))? {
+                        Value::Bool(true) => outv.push(v),
+                        Value::Bool(false) => {}
+                        other => {
+                            return Err(RuntimeError::new(format!(
+                                "filter predicate returned non-bool {other:?}"
+                            )))
+                        }
+                    }
+                }
+                self.emit_all(outv, out)?;
+            }
+            NodeKind::Join => {
+                debug_assert_eq!(input, 1, "probe side streams");
+                out.net.charge(cost.probe_cost(elems.len()));
+                let mut outv = Vec::new();
+                {
+                    let active = self.current.as_ref().expect("active");
+                    let OpState::Build(table) = &active.state else {
+                        return Err(RuntimeError::new("join probing before build".to_string()));
+                    };
+                    for r in &elems {
+                        if let Some(matches) = table.get(r.key()) {
+                            for l in matches {
+                                outv.push(join_row(r.key(), l, r));
+                            }
+                        }
+                    }
+                }
+                self.emit_all(outv, out)?;
+            }
+            NodeKind::Cross => {
+                debug_assert_eq!(input, 0, "left side streams");
+                let mut outv = Vec::new();
+                {
+                    let active = self.current.as_ref().expect("active");
+                    let OpState::CrossRight(right) = &active.state else {
+                        return Err(RuntimeError::new("cross streaming before collect".to_string()));
+                    };
+                    out.net
+                        .charge(cost.elem_cost(elems.len() * right.len().max(1)));
+                    for l in &elems {
+                        for r in right {
+                            outv.push(Value::tuple([l.clone(), r.clone()]));
+                        }
+                    }
+                }
+                self.emit_all(outv, out)?;
+            }
+            NodeKind::Union | NodeKind::Alias | NodeKind::Phi => {
+                out.net.charge(cost.elem_cost(elems.len()));
+                self.emit_all(elems, out)?;
+            }
+            NodeKind::ReduceByKey { expr } | NodeKind::ReduceByKeyLocal { expr } => {
+                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                let active = self.current.as_mut().expect("active");
+                let OpState::Agg(map) = &mut active.state else {
+                    return Err(RuntimeError::new("reduceByKey state mismatch".to_string()));
+                };
+                let mut params = Vec::with_capacity(2 + captured.len());
+                params.push(Value::Unit);
+                params.push(Value::Unit);
+                params.extend(captured);
+                for v in elems {
+                    let fields = v.as_tuple().ok_or_else(|| {
+                        RuntimeError::new(format!("reduceByKey expects (k, v) tuples, got {v:?}"))
+                    })?;
+                    if fields.len() != 2 {
+                        return Err(RuntimeError::new(format!(
+                            "reduceByKey expects 2-field tuples, got {v:?}"
+                        )));
+                    }
+                    match map.entry(fields[0].clone()) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(fields[1].clone());
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            params[0] = e.get().clone();
+                            params[1] = fields[1].clone();
+                            *e.get_mut() =
+                                eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?;
+                        }
+                    }
+                }
+            }
+            NodeKind::Reduce { expr, .. } => {
+                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                let active = self.current.as_mut().expect("active");
+                let OpState::Fold(acc) = &mut active.state else {
+                    return Err(RuntimeError::new("reduce state mismatch".to_string()));
+                };
+                let mut params = Vec::with_capacity(2 + captured.len());
+                params.push(Value::Unit);
+                params.push(Value::Unit);
+                params.extend(captured);
+                for v in elems {
+                    match acc.take() {
+                        None => *acc = Some(v),
+                        Some(a) => {
+                            params[0] = a;
+                            params[1] = v;
+                            *acc = Some(
+                                eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?,
+                            );
+                        }
+                    }
+                }
+            }
+            NodeKind::Distinct => {
+                out.net.charge(cost.insert_cost(elems.len()));
+                let mut outv = Vec::new();
+                {
+                    let active = self.current.as_mut().expect("active");
+                    let OpState::Distinct(seen) = &mut active.state else {
+                        return Err(RuntimeError::new("distinct state mismatch".to_string()));
+                    };
+                    for v in elems {
+                        if seen.insert(v.clone()) {
+                            outv.push(v);
+                        }
+                    }
+                }
+                self.emit_all(outv, out)?;
+            }
+            NodeKind::OutputSink { tag } => {
+                out.net.charge(cost.elem_cost(elems.len()));
+                self.shared
+                    .fs
+                    .append(&format!("{OUTPUT_PREFIX}{tag}"), &elems);
+            }
+            NodeKind::WriteFile => {
+                debug_assert_eq!(input, 0, "data side streams");
+                let name = self
+                    .current
+                    .as_ref()
+                    .expect("active")
+                    .write_name
+                    .clone()
+                    .ok_or_else(|| RuntimeError::new("writeFile data before name".to_string()))?;
+                let bytes: u64 = elems.iter().map(Value::estimated_bytes).sum();
+                out.net.charge(cost.io_stream_cost(bytes));
+                self.shared.fs.append(&name, &elems);
+            }
+            NodeKind::ReadFile | NodeKind::Singleton { .. } | NodeKind::LiteralBag { .. } => {
+                return Err(RuntimeError::new(format!(
+                    "source operator {} received stream data",
+                    kind.mnemonic()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    // --- Finalization -----------------------------------------------------
+
+    /// Finalizes the active bag if every used input is complete and
+    /// consumed. Returns whether finalization happened.
+    fn try_finalize(
+        &mut self,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<bool, RuntimeError> {
+        {
+            let Some(active) = &self.current else {
+                return Ok(false);
+            };
+            if active.gates_left > 0 {
+                return Ok(false);
+            }
+            for (i, sel) in active.sel.iter().enumerate() {
+                let Some(sel_len) = sel else { continue };
+                if self.gating[i] {
+                    continue; // gates already satisfied
+                }
+                let expected = self.inputs[i].expected_senders;
+                match self.inputs[i].bufs.get(sel_len) {
+                    Some(buf)
+                        if buf.complete(expected) && active.consumed[i] == buf.elems.len() => {}
+                    _ => return Ok(false),
+                }
+            }
+        }
+        // Final emissions of blocking aggregations.
+        let final_emit: Option<Vec<Value>> = {
+            let active = self.current.as_mut().expect("active");
+            match &self.kind {
+                NodeKind::ReduceByKey { .. } | NodeKind::ReduceByKeyLocal { .. } => {
+                    let OpState::Agg(map) = std::mem::replace(&mut active.state, OpState::Simple)
+                    else {
+                        return Err(RuntimeError::new("reduceByKey state mismatch".to_string()));
+                    };
+                    let mut pairs: Vec<(Value, Value)> = map.into_iter().collect();
+                    pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    Some(
+                        pairs
+                            .into_iter()
+                            .map(|(k, v)| Value::tuple([k, v]))
+                            .collect(),
+                    )
+                }
+                NodeKind::Reduce { init, .. } => {
+                    let OpState::Fold(acc) = std::mem::replace(&mut active.state, OpState::Simple)
+                    else {
+                        return Err(RuntimeError::new("reduce state mismatch".to_string()));
+                    };
+                    match (acc, init) {
+                        (Some(a), _) => Some(vec![a]),
+                        (None, Some(i)) => Some(vec![i.clone()]),
+                        (None, None) => {
+                            return Err(RuntimeError::new(format!(
+                                "reduce `{}` on an empty bag with no initial value",
+                                self.name
+                            )))
+                        }
+                    }
+                }
+                _ => None,
+            }
+        };
+        if let Some(vs) = final_emit {
+            self.emit_all(vs, out)?;
+        }
+        // Sinks create their target even for empty bags, matching the
+        // sequential semantics (an empty written file still exists).
+        match &self.kind {
+            NodeKind::OutputSink { tag } => {
+                self.shared.fs.append(&format!("{OUTPUT_PREFIX}{tag}"), &[]);
+            }
+            NodeKind::WriteFile => {
+                if let Some(name) = &self.current.as_ref().expect("active").write_name {
+                    self.shared.fs.append(name, &[]);
+                }
+            }
+            _ => {}
+        }
+
+        let active = self.current.take().expect("active");
+        // Keep hoistable build state for the next output bag (Sec. 5.3).
+        if self.shared.config.hoisting {
+            match (&self.kind, active.state) {
+                (NodeKind::Join, OpState::Build(table)) => {
+                    self.kept = Some(Kept::Join {
+                        bag_len: active.sel[0].expect("join build selected"),
+                        table,
+                    });
+                }
+                (NodeKind::Cross, OpState::CrossRight(right)) => {
+                    self.kept = Some(Kept::Cross {
+                        bag_len: active.sel[1].expect("cross right selected"),
+                        right,
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        // Mark the out-bag finalized and punctuate decided edges.
+        if let Some(outbag) = self.outbags.get_mut(&active.len) {
+            outbag.finalized = true;
+        }
+        self.emit_done_where_possible(active.len, out);
+        self.outbags.retain(|_, b| !b.retired());
+
+        if !self.shared.config.pipelined {
+            out.computed.push(active.pos);
+        }
+        let _ = path;
+        Ok(true)
+    }
+
+    // --- Emission & conditional sends --------------------------------------
+
+    /// Emits produced elements of the active bag onto every outgoing edge.
+    fn emit_all(&mut self, elems: Vec<Value>, out: &mut HostOut) -> Result<(), RuntimeError> {
+        if elems.is_empty() {
+            return Ok(());
+        }
+        if std::env::var_os("MITOS_DEBUG").is_some() {
+            eprintln!(
+                "[emit] op={} `{}` inst={} bag_len={} n={}",
+                self.op,
+                self.name,
+                self.inst,
+                self.current.as_ref().map(|a| a.len).unwrap_or(0),
+                elems.len()
+            );
+        }
+        self.emitted_elements += elems.len() as u64;
+        let bag_len = self.current.as_ref().expect("active").len;
+        let cost = self.shared.config.cost;
+        let n_edges = self.out_edge_ids.len();
+        if n_edges == 0 {
+            return Ok(());
+        }
+        out.net.charge(cost.ser_cost(elems.len() * n_edges));
+        for ei in 0..n_edges {
+            let edge = self.out_edge_ids[ei];
+            // Route first (immutable), then update state.
+            enum Action {
+                Skip,
+                Buffer,
+                Ship,
+            }
+            let action = match &self.outbags.get(&bag_len).expect("outbag").edges[ei] {
+                EdgeSend::Dropped => Action::Skip,
+                EdgeSend::Undecided { .. } => Action::Buffer,
+                EdgeSend::Streaming { .. } => Action::Ship,
+            };
+            match action {
+                Action::Skip => {}
+                Action::Buffer => {
+                    if let EdgeSend::Undecided { buffer, .. } =
+                        &mut self.outbags.get_mut(&bag_len).expect("outbag").edges[ei]
+                    {
+                        buffer.extend(elems.iter().cloned());
+                    }
+                }
+                Action::Ship => {
+                    let routed = self.route_elems(edge, &elems);
+                    if let EdgeSend::Streaming { counts, .. } =
+                        &mut self.outbags.get_mut(&bag_len).expect("outbag").edges[ei]
+                    {
+                        for (d, vs) in &routed {
+                            counts[*d as usize] += vs.len() as u32;
+                        }
+                    }
+                    for (d, vs) in routed {
+                        self.send_batches(edge, d, bag_len, vs, out);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Partitions elements over the edge's destination instances.
+    fn route_elems(&self, edge: EdgeId, elems: &[Value]) -> Vec<(u16, Vec<Value>)> {
+        let mut routed: Vec<(u16, Vec<Value>)> = Vec::new();
+        for v in elems {
+            for d in self
+                .shared
+                .graph
+                .route(edge, self.inst, Some(v.key()), self.shared.machines)
+            {
+                match routed.iter_mut().find(|(dd, _)| *dd == d) {
+                    Some((_, vs)) => vs.push(v.clone()),
+                    None => routed.push((d, vec![v.clone()])),
+                }
+            }
+        }
+        routed
+    }
+
+    fn send_batches(
+        &self,
+        edge: EdgeId,
+        dst_inst: u16,
+        bag_len: u32,
+        elems: Vec<Value>,
+        out: &mut HostOut,
+    ) {
+        let dst = self.shared.graph.edges[edge as usize].dst;
+        let machine = self.shared.graph.placement(dst, dst_inst);
+        let batch = self.shared.config.cost.batch_elems.max(1);
+        for chunk in elems.chunks(batch) {
+            let bytes = self.shared.config.cost.wire_bytes(batch_bytes(chunk));
+            out.net.send(
+                machine,
+                Msg::Data {
+                    edge,
+                    dst_inst,
+                    bag_len,
+                    elems: chunk.to_vec(),
+                },
+                bytes,
+            );
+        }
+    }
+
+    /// Advances conditional-send watchers for every in-flight out-bag.
+    fn advance_watchers(
+        &mut self,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
+        let mut to_flush: Vec<(u32, usize, Vec<Value>)> = Vec::new();
+        let mut resolved_any = false;
+        let lens: Vec<u32> = self.outbags.keys().copied().collect();
+        for bag_len in lens {
+            let n_edges = self.out_edge_ids.len();
+            for ei in 0..n_edges {
+                let edge = self.out_edge_ids[ei];
+                let (decision, next, buffered) = {
+                    let outbag = self.outbags.get_mut(&bag_len).expect("outbag");
+                    let EdgeSend::Undecided { cursor, buffer } = &mut outbag.edges[ei] else {
+                        continue;
+                    };
+                    let (d, next) = self.shared.rules.decide_send(edge, path, bag_len, *cursor);
+                    let buffered = if d == SendDecision::Send {
+                        std::mem::take(buffer)
+                    } else {
+                        Vec::new()
+                    };
+                    (d, next, buffered)
+                };
+                let outbag = self.outbags.get_mut(&bag_len).expect("outbag");
+                match decision {
+                    SendDecision::Undecided => {
+                        if let EdgeSend::Undecided { cursor, .. } = &mut outbag.edges[ei] {
+                            *cursor = next;
+                        }
+                    }
+                    SendDecision::Drop => {
+                        outbag.edges[ei] = EdgeSend::Dropped;
+                        resolved_any = true;
+                    }
+                    SendDecision::Send => {
+                        let dst = self.shared.graph.edges[edge as usize].dst;
+                        let dst_n = self.shared.graph.instances(dst, self.shared.machines);
+                        outbag.edges[ei] = EdgeSend::Streaming {
+                            counts: vec![0; dst_n as usize],
+                            done_sent: false,
+                        };
+                        to_flush.push((bag_len, ei, buffered));
+                        resolved_any = true;
+                    }
+                }
+            }
+        }
+        for (bag_len, ei, buffered) in to_flush {
+            let edge = self.out_edge_ids[ei];
+            out.net
+                .charge(self.shared.config.cost.ser_cost(buffered.len()));
+            let routed = self.route_elems(edge, &buffered);
+            if let EdgeSend::Streaming { counts, .. } =
+                &mut self.outbags.get_mut(&bag_len).expect("outbag").edges[ei]
+            {
+                for (d, vs) in &routed {
+                    counts[*d as usize] += vs.len() as u32;
+                }
+            }
+            for (d, vs) in routed {
+                self.send_batches(edge, d, bag_len, vs, out);
+            }
+        }
+        if resolved_any {
+            let lens: Vec<u32> = self
+                .outbags
+                .iter()
+                .filter(|(_, b)| b.finalized)
+                .map(|(&l, _)| l)
+                .collect();
+            for l in lens {
+                self.emit_done_where_possible(l, out);
+            }
+            self.outbags.retain(|_, b| !b.retired());
+        }
+        Ok(())
+    }
+
+    /// Sends end-of-bag punctuation on every decided edge of a finalized
+    /// bag that hasn't sent it yet.
+    fn emit_done_where_possible(&mut self, bag_len: u32, out: &mut HostOut) {
+        let n_edges = self.out_edge_ids.len();
+        for ei in 0..n_edges {
+            let edge = self.out_edge_ids[ei];
+            let counts: Vec<u32> = {
+                let Some(outbag) = self.outbags.get_mut(&bag_len) else {
+                    return;
+                };
+                if !outbag.finalized {
+                    return;
+                }
+                match &mut outbag.edges[ei] {
+                    EdgeSend::Streaming { counts, done_sent } if !*done_sent => {
+                        *done_sent = true;
+                        counts.clone()
+                    }
+                    _ => continue,
+                }
+            };
+            let e = &self.shared.graph.edges[edge as usize];
+            let dst = e.dst;
+            // A Forward sender only ever feeds its own peer instance; all
+            // other partitionings may have sent anywhere, so they punctuate
+            // every destination (receivers expect exactly
+            // `senders_per_dst` punctuations).
+            let targets: Vec<u16> = match e.partitioning {
+                crate::graph::Partitioning::Forward => {
+                    let dst_n = counts.len() as u16;
+                    vec![self.inst.min(dst_n - 1)]
+                }
+                _ => (0..counts.len() as u16).collect(),
+            };
+            for d in targets {
+                let machine = self.shared.graph.placement(dst, d);
+                out.net.send(
+                    machine,
+                    Msg::BagDone {
+                        edge,
+                        dst_inst: d,
+                        bag_len,
+                        count: counts[d as usize],
+                    },
+                    24,
+                );
+            }
+        }
+    }
+}
+
+/// Which inputs must be fully collected before streaming can begin.
+fn gating_flags(kind: &NodeKind, n_inputs: usize) -> Vec<bool> {
+    let mut flags = vec![false; n_inputs];
+    match kind {
+        NodeKind::ReadFile => {
+            flags[0] = true;
+        }
+        NodeKind::WriteFile => {
+            if n_inputs > 1 {
+                flags[1] = true;
+            }
+        }
+        NodeKind::Map { .. }
+        | NodeKind::FlatMap { .. }
+        | NodeKind::Filter { .. }
+        | NodeKind::ReduceByKey { .. }
+        | NodeKind::ReduceByKeyLocal { .. }
+        | NodeKind::Reduce { .. } => {
+            for f in flags.iter_mut().skip(1) {
+                *f = true; // captured scalars
+            }
+        }
+        NodeKind::Join => {
+            flags[0] = true; // build side
+        }
+        NodeKind::Cross => {
+            if n_inputs > 1 {
+                flags[1] = true; // collected side
+            }
+        }
+        NodeKind::Singleton { .. } | NodeKind::LiteralBag { .. } => {
+            for f in flags.iter_mut() {
+                *f = true;
+            }
+        }
+        NodeKind::Union
+        | NodeKind::Distinct
+        | NodeKind::Alias
+        | NodeKind::Phi
+        | NodeKind::OutputSink { .. } => {}
+    }
+    flags
+}
+
+fn init_state(kind: &NodeKind) -> OpState {
+    match kind {
+        NodeKind::Join => OpState::Build(HashMap::new()),
+        NodeKind::Cross => OpState::CrossRight(Vec::new()),
+        NodeKind::ReduceByKey { .. } | NodeKind::ReduceByKeyLocal { .. } => {
+            OpState::Agg(HashMap::new())
+        }
+        // The fold is seeded with the empty-bag value when one exists
+        // (sum/count); `.reduce(..)` starts from the first element.
+        NodeKind::Reduce { init, .. } => OpState::Fold(init.clone()),
+        NodeKind::Distinct => OpState::Distinct(HashSet::new()),
+        _ => OpState::Simple,
+    }
+}

@@ -1,0 +1,37 @@
+//! # mitos-core
+//!
+//! The paper's primary contribution: building a **single cyclic dataflow
+//! job** from a program with arbitrary imperative control flow (Sec. 4.3)
+//! and coordinating its distributed execution with path-carrying bag
+//! identifiers (Sec. 5), including the **loop pipelining** and
+//! **loop-invariant hoisting** optimizations.
+//!
+//! Main entry points:
+//!
+//! * [`graph::LogicalGraph::build`] — SSA → dataflow job + physical plan.
+//! * [`engine::run_sim`] / [`engine::run_source_sim`] — execute on the
+//!   simulated cluster.
+//!
+//! A thread-based driver for the same worker state machines is added in
+//! [`thread_driver`].
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dot;
+pub mod engine;
+pub mod graph;
+pub mod host;
+pub mod path;
+pub mod rt;
+pub mod thread_driver;
+pub mod worker;
+
+pub use cost::CostModel;
+pub use dot::to_dot;
+pub use engine::{extract_outputs, run_sim, run_source_sim, EngineResult};
+pub use graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
+pub use path::{BagId, ExecutionPath, PathRules, SendDecision};
+pub use rt::{EngineConfig, Msg, RuntimeError};
+pub use thread_driver::run_threads;
+pub use worker::Worker;

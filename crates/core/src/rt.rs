@@ -1,0 +1,165 @@
+//! Shared runtime types: messages, configuration, and the transport
+//! abstraction that lets the same worker state machines run on the
+//! discrete-event simulator and on real threads.
+
+use crate::cost::CostModel;
+use crate::graph::{EdgeId, LogicalGraph};
+use crate::path::PathRules;
+use mitos_fs::InMemoryFs;
+use mitos_ir::BlockId;
+use mitos_lang::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Engine feature switches and cost model.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Loop pipelining (Sec. 5.2): operators start an iteration's bags as
+    /// soon as the path reaches their block. With `false`, a per-position
+    /// barrier emulates superstep execution (Flink-style, Fig. 9's
+    /// "Mitos (not pipelined)").
+    pub pipelined: bool,
+    /// Loop-invariant hoisting (Sec. 5.3): binary operators keep the state
+    /// built for an input whose bag is unchanged between output bags.
+    pub hoisting: bool,
+    /// Cost model for CPU/IO charging.
+    pub cost: CostModel,
+    /// Extra virtual ns charged by the barrier per released position —
+    /// models Flink's per-superstep overhead (FLINK-3322) when this engine
+    /// emulates Flink's native iterations. Zero for Mitos.
+    pub extra_step_overhead_ns: u64,
+    /// Abort with an error once the execution path exceeds this many basic
+    /// blocks (a runaway/non-terminating loop guard).
+    pub max_path_len: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pipelined: true,
+            hoisting: true,
+            cost: CostModel::default(),
+            extra_step_overhead_ns: 0,
+            max_path_len: 10_000_000,
+        }
+    }
+}
+
+/// Immutable state shared by all workers of one job.
+pub struct EngineShared {
+    /// The dataflow job.
+    pub graph: LogicalGraph,
+    /// Precomputed coordination rules.
+    pub rules: PathRules,
+    /// Feature switches and costs.
+    pub config: EngineConfig,
+    /// The distributed file system.
+    pub fs: InMemoryFs,
+    /// Cluster size.
+    pub machines: u16,
+}
+
+/// Messages exchanged between workers (one worker actor per machine).
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Bootstraps a worker: initializes the path with the entry block.
+    Start,
+    /// A control-flow decision: `path[index] = block` (Sec. 5.2.1),
+    /// broadcast by the deciding condition node's control-flow manager.
+    Decision {
+        /// Path position being decided.
+        index: u32,
+        /// The chosen basic block.
+        block: BlockId,
+    },
+    /// A batch of bag elements on a physical edge.
+    Data {
+        /// Logical edge.
+        edge: EdgeId,
+        /// Destination instance.
+        dst_inst: u16,
+        /// Bag identifier length (the producer is implied by the edge).
+        bag_len: u32,
+        /// The elements.
+        elems: Vec<Value>,
+    },
+    /// End-of-bag punctuation from one sender instance, with the number of
+    /// elements that sender shipped on this physical edge for this bag.
+    BagDone {
+        /// Logical edge.
+        edge: EdgeId,
+        /// Destination instance.
+        dst_inst: u16,
+        /// Bag identifier length.
+        bag_len: u32,
+        /// Elements sent by this sender on this physical edge.
+        count: u32,
+    },
+    /// Non-pipelined mode: an instance finished its bag at a path position.
+    BagComputed {
+        /// The path position.
+        pos: u32,
+    },
+    /// Non-pipelined mode: all bags at positions `<= pos` are complete;
+    /// positions up to `pos + 1` may start.
+    Release {
+        /// The barrier frontier.
+        pos: u32,
+    },
+    /// A simulated disk read completed for the given operator's host on
+    /// this machine (file reads overlap with CPU, which is what loop
+    /// pipelining exploits).
+    IoDone {
+        /// The operator whose read finished.
+        op: crate::graph::OpId,
+    },
+}
+
+/// Transport used by workers; implemented over the simulator and over
+/// crossbeam channels.
+pub trait Net {
+    /// Sends a message to the worker on `machine`; `bytes` is the payload
+    /// size for bandwidth accounting.
+    fn send(&mut self, machine: u16, msg: Msg, bytes: u64);
+    /// Charges CPU time on the current machine (no-op on real threads).
+    fn charge(&mut self, ns: u64);
+    /// Delivers `msg` to `machine` after `delay_ns` of virtual time without
+    /// occupying the CPU (models asynchronous disk I/O).
+    fn schedule(&mut self, delay_ns: u64, machine: u16, msg: Msg);
+}
+
+/// A fatal runtime error (lambda failures, protocol violations).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RuntimeError {
+    /// Description.
+    pub message: String,
+}
+
+impl RuntimeError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> RuntimeError {
+        RuntimeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Estimated wire size of a batch of values.
+pub fn batch_bytes(elems: &[Value]) -> u64 {
+    16 + elems.iter().map(Value::estimated_bytes).sum::<u64>()
+}
+
+/// The file-name prefix under which `output(value, tag)` sinks collect
+/// results in the shared file system.
+pub const OUTPUT_PREFIX: &str = "out://";
+
+/// Convenience alias used across the runtime.
+pub type Shared = Arc<EngineShared>;

@@ -1,0 +1,296 @@
+//! Real-thread execution of the Mitos runtime.
+//!
+//! The bag operator hosts and control-flow managers are message-driven
+//! state machines (see [`crate::worker`]); this driver runs one worker per
+//! OS thread with crossbeam channels as the transport — the same code that
+//! the discrete-event simulator drives, now under genuine concurrency and
+//! OS scheduling nondeterminism. Integration tests assert that results
+//! equal the simulator's and the reference interpreter's.
+//!
+//! Termination uses in-flight message counting: every send increments a
+//! shared counter before the message enters a channel and the receiver
+//! decrements it only after fully processing the message (including any
+//! sends that processing performed). When the counter is zero, every
+//! worker is quiescent; the driver then checks that the program exited and
+//! all hosts are idle.
+
+use crate::engine::{extract_outputs, EngineResult};
+use crate::rt::{EngineConfig, EngineShared, Msg, Net, RuntimeError};
+use crate::worker::Worker;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mitos_fs::InMemoryFs;
+use mitos_ir::nir::FuncIr;
+use mitos_sim::SimReport;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+enum TMsg {
+    M(Msg),
+    Stop,
+}
+
+struct ThreadNet<'a> {
+    senders: &'a [Sender<TMsg>],
+    inflight: &'a AtomicI64,
+    sent: u64,
+}
+
+impl Net for ThreadNet<'_> {
+    fn send(&mut self, machine: u16, msg: Msg, _bytes: u64) {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        self.sent += 1;
+        // A send can only fail after Stop, when delivery no longer matters.
+        if self.senders[machine as usize].send(TMsg::M(msg)).is_err() {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn charge(&mut self, _ns: u64) {
+        // Real time is real; virtual charging is a no-op here.
+    }
+
+    fn schedule(&mut self, _delay_ns: u64, machine: u16, msg: Msg) {
+        // Disk delays are not simulated on real threads; deliver directly.
+        self.send(machine, msg, 0);
+    }
+}
+
+/// Runs a compiled SSA program on real threads (one worker thread per
+/// simulated machine). File effects land in `fs`; `output(..)` collections
+/// are extracted into the result. The returned `sim` report carries only
+/// message counts (no virtual time).
+pub fn run_threads(
+    func: &FuncIr,
+    fs: &InMemoryFs,
+    engine: EngineConfig,
+    machines: u16,
+) -> Result<EngineResult, RuntimeError> {
+    assert!(machines > 0);
+    let graph =
+        crate::graph::LogicalGraph::build(func).map_err(|e| RuntimeError::new(e.message))?;
+    let rules = crate::path::PathRules::build(&graph);
+    let shared = Arc::new(EngineShared {
+        graph,
+        rules,
+        config: engine,
+        fs: fs.clone(),
+        machines,
+    });
+
+    let channels: Vec<(Sender<TMsg>, Receiver<TMsg>)> =
+        (0..machines).map(|_| unbounded()).collect();
+    let senders: Vec<Sender<TMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    let inflight = AtomicI64::new(0);
+    let idle_flags: Vec<AtomicBool> = (0..machines).map(|_| AtomicBool::new(false)).collect();
+    let exited_flags: Vec<AtomicBool> = (0..machines).map(|_| AtomicBool::new(false)).collect();
+    let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+
+    // Bootstrap.
+    for s in &senders {
+        inflight.fetch_add(1, Ordering::SeqCst);
+        s.send(TMsg::M(Msg::Start)).expect("fresh channel");
+    }
+
+    let workers: Vec<Mutex<Option<Worker>>> = (0..machines)
+        .map(|m| Mutex::new(Some(Worker::new(shared.clone(), m))))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (m, (_, receiver)) in channels.iter().enumerate() {
+            let senders = &senders;
+            let inflight = &inflight;
+            let idle_flags = &idle_flags;
+            let exited_flags = &exited_flags;
+            let first_error = &first_error;
+            let workers = &workers;
+            let receiver = receiver.clone();
+            scope.spawn(move || {
+                let mut worker = workers[m].lock().take().expect("worker present");
+                for tmsg in receiver.iter() {
+                    let msg = match tmsg {
+                        TMsg::Stop => break,
+                        TMsg::M(msg) => msg,
+                    };
+                    let mut net = ThreadNet {
+                        senders,
+                        inflight,
+                        sent: 0,
+                    };
+                    worker.handle(msg, &mut net);
+                    if let Some(e) = &worker.error {
+                        first_error.lock().get_or_insert_with(|| e.clone());
+                    }
+                    idle_flags[m].store(worker.idle(), Ordering::SeqCst);
+                    exited_flags[m].store(worker.path().exited(), Ordering::SeqCst);
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+                *workers[m].lock() = Some(worker);
+            });
+        }
+
+        // Quiescence detection loop.
+        loop {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            if first_error.lock().is_some() {
+                // Drain: errored workers discard messages; wait for
+                // quiescence, then stop.
+                if inflight.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                continue;
+            }
+            let quiet = inflight.load(Ordering::SeqCst) == 0;
+            if !quiet {
+                continue;
+            }
+            let all_exited = exited_flags.iter().all(|f| f.load(Ordering::SeqCst));
+            let all_idle = idle_flags.iter().all(|f| f.load(Ordering::SeqCst));
+            if all_exited && all_idle {
+                break;
+            }
+            if all_exited && inflight.load(Ordering::SeqCst) == 0 && !all_idle {
+                // Nothing in flight, program exited, but hosts hold state:
+                // a genuine deadlock; surface it rather than spinning.
+                first_error
+                    .lock()
+                    .get_or_insert_with(|| RuntimeError::new("threaded run deadlocked"));
+                break;
+            }
+        }
+        for s in &senders {
+            let _ = s.send(TMsg::Stop);
+        }
+    });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    let workers: Vec<Worker> = workers
+        .into_iter()
+        .map(|w| w.into_inner().expect("worker returned"))
+        .collect();
+    let w0 = &workers[0];
+    if !w0.path().exited() {
+        return Err(RuntimeError::new("threaded run ended before program exit"));
+    }
+    let outputs = extract_outputs(fs);
+    let op_stats = crate::engine::collect_op_stats(&shared.graph, &workers, machines);
+    Ok(EngineResult {
+        outputs,
+        path: w0.path().blocks().to_vec(),
+        sim: SimReport::default(),
+        hoist_hits: workers.iter().map(Worker::hoist_hits).sum(),
+        decisions: workers.iter().map(|w| w.decisions_broadcast).sum(),
+        op_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitos_ir::{interpret, InterpConfig};
+    use mitos_lang::Value;
+
+    fn check_threads(src: &str, machines: u16, setup: impl Fn(&InMemoryFs)) {
+        let func = mitos_ir::compile_str(src).unwrap();
+        let ref_fs = InMemoryFs::new();
+        setup(&ref_fs);
+        let reference = interpret(&func, &ref_fs, InterpConfig::default()).unwrap();
+        for round in 0..3 {
+            let fs = InMemoryFs::new();
+            setup(&fs);
+            let r = run_threads(&func, &fs, EngineConfig::default(), machines)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            assert_eq!(r.outputs, reference.canonical_outputs(), "round {round}");
+            assert_eq!(r.path, reference.path, "round {round}");
+            assert_eq!(fs.snapshot(), ref_fs.snapshot(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn straight_line_on_threads() {
+        check_threads(
+            "b = bag(1, 2, 3).map(x => x * 2); output(b.sum(), \"s\");",
+            3,
+            |_| {},
+        );
+    }
+
+    #[test]
+    fn loops_with_branches_on_threads() {
+        check_threads(
+            r#"
+            evens = 0;
+            odds = 0;
+            for i = 1 to 9 {
+                if (i % 2 == 0) { evens = evens + i; } else { odds = odds + i; }
+            }
+            output(evens, "e");
+            output(odds, "o");
+            "#,
+            4,
+            |_| {},
+        );
+    }
+
+    #[test]
+    fn visit_count_on_threads() {
+        check_threads(
+            r#"
+            yesterday = empty;
+            day = 1;
+            do {
+                visits = readFile("log" + day);
+                counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b);
+                if (day != 1) {
+                    diffs = (counts join yesterday).map(t => abs(t[1] - t[2]));
+                    writeFile(diffs.sum(), "diff" + day);
+                }
+                yesterday = counts;
+                day = day + 1;
+            } while (day <= 4);
+            "#,
+            3,
+            |fs| {
+                for d in 1..=4i64 {
+                    fs.put(
+                        format!("log{d}"),
+                        (0..40).map(|i| Value::I64((i * d) % 7)).collect::<Vec<_>>(),
+                    );
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn nested_loops_on_threads() {
+        check_threads(
+            r#"
+            total = 0;
+            i = 0;
+            while (i < 3) {
+                x = bag((1, i), (2, i * 2));
+                j = 0;
+                while (j < 2) {
+                    y = bag((1, j));
+                    total = total + (x join y).count();
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+            output(total, "t");
+            "#,
+            2,
+            |_| {},
+        );
+    }
+
+    #[test]
+    fn runtime_errors_surface_from_threads() {
+        let func = mitos_ir::compile_str("b = readFile(\"nope\"); output(b, \"b\");").unwrap();
+        let fs = InMemoryFs::new();
+        let err = run_threads(&func, &fs, EngineConfig::default(), 2).unwrap_err();
+        assert!(err.message.contains("nope"), "{err}");
+    }
+}

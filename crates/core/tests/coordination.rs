@@ -1,0 +1,220 @@
+//! Cross-iteration coordination tests: loop-carried state, phis, and
+//! conditional edges, checked on multi-machine simulated clusters.
+
+use mitos_core::rt::EngineConfig;
+use mitos_core::{run_sim, EngineResult};
+use mitos_fs::InMemoryFs;
+use mitos_lang::Value;
+use mitos_sim::SimConfig;
+
+fn run(src: &str, machines: u16) -> EngineResult {
+    let fs = InMemoryFs::new();
+    for d in 1..=3 {
+        fs.put(format!("log{d}"), vec![Value::I64(1), Value::I64(2)]);
+    }
+    let func = mitos_ir::compile_str(src).unwrap();
+    run_sim(
+        &func,
+        &fs,
+        EngineConfig::default(),
+        SimConfig::with_machines(machines),
+    )
+    .unwrap()
+}
+
+#[test]
+fn loop_carried_alias_forwards_previous_iteration() {
+    let src = r#"
+        yesterday = empty;
+        day = 1;
+        do {
+            counts = readFile("log" + day).map(x => (x, day * 10));
+            output(yesterday, "y");
+            yesterday = counts;
+            day = day + 1;
+        } while (day <= 3);
+    "#;
+    for machines in [1, 2, 4] {
+        let r = run(src, machines);
+        // Day 1 contributes nothing; days 2 and 3 output the previous
+        // day's counts.
+        let mut expected: Vec<Value> = vec![
+            Value::tuple([Value::I64(1), Value::I64(10)]),
+            Value::tuple([Value::I64(2), Value::I64(10)]),
+            Value::tuple([Value::I64(1), Value::I64(20)]),
+            Value::tuple([Value::I64(2), Value::I64(20)]),
+        ];
+        expected.sort_unstable();
+        assert_eq!(r.outputs["y"], expected, "machines={machines}");
+    }
+}
+
+#[test]
+fn join_inside_branch_matches_previous_day() {
+    let src = r#"
+        yesterday = empty;
+        day = 1;
+        do {
+            counts = readFile("log" + day).map(x => (x, day * 10));
+            if (day != 1) {
+                j = counts join yesterday;
+                output(j, "joined");
+            }
+            yesterday = counts;
+            day = day + 1;
+        } while (day <= 3);
+    "#;
+    for machines in [1, 3] {
+        let r = run(src, machines);
+        let j = &r.outputs["joined"];
+        assert_eq!(j.len(), 4, "machines={machines}: {j:?}");
+        for v in j {
+            let t = v.as_tuple().unwrap();
+            assert_eq!(
+                t[1].as_i64().unwrap() - t[2].as_i64().unwrap(),
+                10,
+                "today minus yesterday, machines={machines}: {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn distributed_path_matches_reference_interpreter() {
+    let src = r#"
+        s = 0;
+        for i = 1 to 5 {
+            if (i % 2 == 0) { s = s + i; } else { s = s - i; }
+        }
+        output(s, "s");
+    "#;
+    let func = mitos_ir::compile_str(src).unwrap();
+    let ref_fs = InMemoryFs::new();
+    let reference =
+        mitos_ir::interpret(&func, &ref_fs, mitos_ir::InterpConfig::default()).unwrap();
+    let fs = InMemoryFs::new();
+    let r = run_sim(
+        &func,
+        &fs,
+        EngineConfig::default(),
+        SimConfig::with_machines(5),
+    )
+    .unwrap();
+    assert_eq!(r.path, reference.path);
+    assert_eq!(r.outputs, reference.canonical_outputs());
+}
+
+#[test]
+fn untaken_branches_do_not_ship_bags() {
+    // `big` is consumed only inside the if-branch. When the branch is never
+    // taken, the conditional edges (Sec. 5.2.4) must drop the bag at the
+    // producer instead of shipping it.
+    let template = |threshold: i64| {
+        format!(
+            r#"
+            hits = 0;
+            for i = 1 to 6 {{
+                big = readFile("blob").map(x => (x, i));
+                if (i > {threshold}) {{
+                    joined = big join big;
+                    hits = hits + joined.count();
+                }}
+            }}
+            output(hits, "hits");
+            "#
+        )
+    };
+    let run = |threshold: i64| {
+        let fs = InMemoryFs::new();
+        fs.put("blob", (0..2000).map(Value::I64).collect::<Vec<_>>());
+        let func = mitos_ir::compile_str(&template(threshold)).unwrap();
+        run_sim(
+            &func,
+            &fs,
+            EngineConfig::default(),
+            SimConfig::with_machines(4),
+        )
+        .unwrap()
+    };
+    let always = run(0); // branch taken every iteration
+    let never = run(100); // branch never taken
+    assert_eq!(never.outputs["hits"], vec![Value::I64(0)]);
+    assert!(
+        never.sim.remote_bytes * 4 < always.sim.remote_bytes,
+        "dropping unneeded bags must save the shuffle traffic: \
+         never={} always={}",
+        never.sim.remote_bytes,
+        always.sim.remote_bytes
+    );
+}
+
+#[test]
+fn pipelined_and_barrier_paths_are_identical() {
+    let src = r#"
+        s = 0;
+        for i = 1 to 8 {
+            if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+        }
+        output(s, "s");
+    "#;
+    let func = mitos_ir::compile_str(src).unwrap();
+    let run = |pipelined: bool| {
+        let fs = InMemoryFs::new();
+        run_sim(
+            &func,
+            &fs,
+            EngineConfig {
+                pipelined,
+                ..EngineConfig::default()
+            },
+            SimConfig::with_machines(3),
+        )
+        .unwrap()
+    };
+    let a = run(true);
+    let b = run(false);
+    assert_eq!(a.path, b.path);
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.decisions, b.decisions, "same control-flow decisions");
+}
+
+#[test]
+fn combiner_pass_is_equivalent_and_cuts_shuffle_traffic() {
+    // A skewed workload: many elements, few keys — the regime where
+    // map-side combining shines.
+    let src = r#"
+        total = 0;
+        for d = 1 to 4 {
+            counts = readFile("log").map(x => (x % 4, 1)).reduceByKey((a, b) => a + b);
+            total = total + counts.map(c => c[1]).sum();
+        }
+        output(total, "t");
+    "#;
+    let setup = |fs: &InMemoryFs| {
+        fs.put("log", (0..4000).map(Value::I64).collect::<Vec<_>>());
+    };
+    let plain = mitos_ir::compile_str(src).unwrap();
+    let combined = mitos_ir::passes::insert_combiners(&plain);
+    mitos_ir::validate(&combined).unwrap();
+
+    let run = |func: &mitos_ir::FuncIr| {
+        let fs = InMemoryFs::new();
+        setup(&fs);
+        run_sim(
+            func,
+            &fs,
+            EngineConfig::default(),
+            SimConfig::with_machines(4),
+        )
+        .unwrap()
+    };
+    let a = run(&plain);
+    let b = run(&combined);
+    assert_eq!(a.outputs, b.outputs, "combiners must not change results");
+    assert!(
+        b.sim.remote_bytes * 2 < a.sim.remote_bytes,
+        "map-side combine must cut shuffle traffic: plain={} combined={}",
+        a.sim.remote_bytes,
+        b.sim.remote_bytes
+    );
+}

@@ -1,0 +1,254 @@
+//! Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy), used by
+//! SSA construction to place Φ-functions.
+
+use crate::nir::{BlockId, FuncIr};
+
+/// Dominator information for a CFG.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// Immediate dominator per block; `idom[entry] == entry`; unreachable
+    /// blocks get `None`.
+    pub idom: Vec<Option<BlockId>>,
+    /// Reverse postorder of reachable blocks.
+    pub rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+    /// Children in the dominator tree.
+    pub dom_children: Vec<Vec<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators with the Cooper–Harvey–Kennedy iterative
+    /// algorithm over reverse postorder.
+    pub fn compute(func: &FuncIr) -> Dominators {
+        let n = func.block_count();
+        let rpo = func.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b as usize] = i;
+        }
+        let preds = func.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(0);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b as usize] {
+                    if idom[p as usize].is_none() {
+                        continue; // not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b as usize] != Some(ni) {
+                        idom[b as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut dom_children = vec![Vec::new(); n];
+        for (b, d) in idom.iter().enumerate().skip(1) {
+            if let Some(d) = d {
+                dom_children[*d as usize].push(b as BlockId);
+            }
+        }
+        Dominators {
+            idom,
+            rpo,
+            rpo_index,
+            dom_children,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur as usize] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Dominance frontier of every block.
+    ///
+    /// Assumes the entry block has no incoming edges (the lowering
+    /// guarantees this: loop headers are always freshly created blocks).
+    pub fn frontiers(&self, func: &FuncIr) -> Vec<Vec<BlockId>> {
+        let n = func.block_count();
+        let preds = func.predecessors();
+        let mut df = vec![Vec::new(); n];
+        for (b, preds_b) in preds.iter().enumerate().take(n) {
+            if preds_b.len() < 2 {
+                continue;
+            }
+            let Some(idom_b) = self.idom[b] else { continue };
+            for &p in preds_b {
+                if self.idom[p as usize].is_none() {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b {
+                    if !df[runner as usize].contains(&(b as BlockId)) {
+                        df[runner as usize].push(b as BlockId);
+                    }
+                    match self.idom[runner as usize] {
+                        Some(d) if d != runner => runner = d,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+
+    /// Iterated dominance frontier of a set of blocks (the Φ-placement set).
+    pub fn iterated_frontier(&self, func: &FuncIr, blocks: &[BlockId]) -> Vec<BlockId> {
+        let df = self.frontiers(func);
+        let mut in_set = vec![false; func.block_count()];
+        let mut worklist: Vec<BlockId> = blocks.to_vec();
+        let mut result = Vec::new();
+        while let Some(b) = worklist.pop() {
+            for &f in &df[b as usize] {
+                if !in_set[f as usize] {
+                    in_set[f as usize] = true;
+                    result.push(f);
+                    worklist.push(f);
+                }
+            }
+        }
+        result.sort_unstable();
+        result
+    }
+
+    /// Position of a block in reverse postorder (`usize::MAX` if unreachable).
+    pub fn rpo_index(&self, b: BlockId) -> usize {
+        self.rpo_index[b as usize]
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a as usize] > rpo_index[b as usize] {
+            a = idom[a as usize].expect("processed block has idom");
+        }
+        while rpo_index[b as usize] > rpo_index[a as usize] {
+            b = idom[b as usize].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nir::{Block, Terminator};
+
+    /// Builds a CFG from an adjacency description; blocks with two
+    /// successors get a dummy branch condition (var 0).
+    pub(crate) fn cfg(succs: &[&[BlockId]]) -> FuncIr {
+        use crate::nir::VarInfo;
+        use std::sync::Arc;
+        let blocks = succs
+            .iter()
+            .map(|ss| Block {
+                stmts: vec![],
+                term: match ss.len() {
+                    0 => Terminator::Exit,
+                    1 => Terminator::Jump(ss[0]),
+                    2 => Terminator::Branch {
+                        cond: 0,
+                        then_blk: ss[0],
+                        else_blk: ss[1],
+                    },
+                    _ => panic!("at most 2 successors"),
+                },
+            })
+            .collect();
+        FuncIr {
+            blocks,
+            vars: vec![VarInfo {
+                name: Arc::from("c"),
+                is_scalar: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> {1,2} -> 3
+        let f = cfg(&[&[1, 2], &[3], &[3], &[]]);
+        let d = Dominators::compute(&f);
+        assert_eq!(d.idom[1], Some(0));
+        assert_eq!(d.idom[2], Some(0));
+        assert_eq!(d.idom[3], Some(0), "join dominated by fork, not branches");
+        assert!(d.dominates(0, 3));
+        assert!(!d.dominates(1, 3));
+        assert!(d.dominates(3, 3));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1(header) -> {2(body), 3(exit)}, 2 -> 1
+        let f = cfg(&[&[1], &[2, 3], &[1], &[]]);
+        let d = Dominators::compute(&f);
+        assert_eq!(d.idom[1], Some(0));
+        assert_eq!(d.idom[2], Some(1));
+        assert_eq!(d.idom[3], Some(1));
+        assert!(d.dominates(1, 2));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = cfg(&[&[1, 2], &[3], &[3], &[]]);
+        let d = Dominators::compute(&f);
+        let df = d.frontiers(&f);
+        assert_eq!(df[1], vec![3]);
+        assert_eq!(df[2], vec![3]);
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    #[test]
+    fn loop_header_is_its_own_frontier() {
+        let f = cfg(&[&[1], &[2, 3], &[1], &[]]);
+        let d = Dominators::compute(&f);
+        let df = d.frontiers(&f);
+        assert_eq!(df[1], vec![1], "back edge puts the header in its own DF");
+        assert_eq!(df[2], vec![1]);
+    }
+
+    #[test]
+    fn iterated_frontier_of_nested_ifs() {
+        // 0 -> {1,2}; 1 -> {3,4}; 3 -> 5; 4 -> 5; 5 -> 6; 2 -> 6; 6 exit
+        let f = cfg(&[&[1, 2], &[3, 4], &[6], &[5], &[5], &[6], &[]]);
+        let d = Dominators::compute(&f);
+        let idf = d.iterated_frontier(&f, &[3, 4]);
+        assert_eq!(idf, vec![5, 6], "phi needed at both join points");
+    }
+
+    #[test]
+    fn dom_children_form_a_tree() {
+        let f = cfg(&[&[1, 2], &[3], &[3], &[]]);
+        let d = Dominators::compute(&f);
+        let mut kids = d.dom_children[0].clone();
+        kids.sort_unstable();
+        assert_eq!(kids, vec![1, 2, 3]);
+        let total: usize = d.dom_children.iter().map(Vec::len).sum();
+        assert_eq!(total, 3, "every non-entry block has exactly one parent");
+    }
+}

@@ -1,0 +1,479 @@
+//! Sequential reference interpreter for SSA programs.
+//!
+//! This is the ground truth every engine is checked against: it executes the
+//! SSA control-flow graph directly, one basic block at a time, with classic
+//! pred-labelled Φ semantics. It also records the **execution path** — the
+//! sequence of basic blocks visited — which is exactly the path the Mitos
+//! control-flow managers reconstruct at runtime (Sec. 5.2.1), so tests can
+//! compare the distributed path against this one.
+
+use crate::kernel;
+use crate::nir::{BlockId, FuncIr, Op, Terminator, VarId};
+use mitos_fs::InMemoryFs;
+use mitos_lang::expr::eval;
+use mitos_lang::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Interpreter limits.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpConfig {
+    /// Maximum number of basic-block entries before declaring an infinite
+    /// loop.
+    pub max_block_steps: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            max_block_steps: 1_000_000,
+        }
+    }
+}
+
+/// The observable result of a program run: `output(..)` collections plus the
+/// execution path. File effects live in the [`InMemoryFs`] passed in.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct RunResult {
+    /// Values collected by `output(value, tag)`, per tag, in emission order.
+    pub outputs: BTreeMap<String, Vec<Value>>,
+    /// The sequence of basic blocks the execution visited.
+    pub path: Vec<BlockId>,
+}
+
+impl RunResult {
+    /// Canonical form: every output bag sorted, for multiset comparison.
+    pub fn canonical_outputs(&self) -> BTreeMap<String, Vec<Value>> {
+        self.outputs
+            .iter()
+            .map(|(k, v)| {
+                let mut v = v.clone();
+                v.sort_unstable();
+                (k.clone(), v)
+            })
+            .collect()
+    }
+}
+
+/// A runtime error during interpretation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InterpError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl InterpError {
+    fn new(message: impl Into<String>) -> InterpError {
+        InterpError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interpreter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<kernel::KernelError> for InterpError {
+    fn from(e: kernel::KernelError) -> Self {
+        InterpError::new(e.message)
+    }
+}
+
+/// Interprets an SSA program against a file system.
+pub fn interpret(
+    func: &FuncIr,
+    fs: &InMemoryFs,
+    config: InterpConfig,
+) -> Result<RunResult, InterpError> {
+    let mut env: Vec<Option<Vec<Value>>> = vec![None; func.vars.len()];
+    let mut result = RunResult::default();
+    let mut current: BlockId = 0;
+    let mut came_from: Option<BlockId> = None;
+    loop {
+        if result.path.len() >= config.max_block_steps {
+            return Err(InterpError::new(format!(
+                "exceeded {} block steps; infinite loop?",
+                config.max_block_steps
+            )));
+        }
+        result.path.push(current);
+        let block = &func.blocks[current as usize];
+        for stmt in &block.stmts {
+            let bag = eval_stmt(func, &stmt.op, &env, came_from, fs, &mut result)?;
+            env[stmt.target as usize] = Some(bag);
+        }
+        match &block.term {
+            Terminator::Exit => return Ok(result),
+            Terminator::Jump(next) => {
+                came_from = Some(current);
+                current = *next;
+            }
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let decision = read_condition(func, *cond, &env)?;
+                came_from = Some(current);
+                current = if decision { *then_blk } else { *else_blk };
+            }
+        }
+    }
+}
+
+fn get_bag<'a>(
+    func: &FuncIr,
+    env: &'a [Option<Vec<Value>>],
+    v: VarId,
+) -> Result<&'a [Value], InterpError> {
+    env[v as usize]
+        .as_deref()
+        .ok_or_else(|| InterpError::new(format!("variable `{}` read before write", func.var_name(v))))
+}
+
+/// Extracts the single element of a wrapped scalar.
+fn get_scalar(
+    func: &FuncIr,
+    env: &[Option<Vec<Value>>],
+    v: VarId,
+) -> Result<Value, InterpError> {
+    let bag = get_bag(func, env, v)?;
+    if bag.len() != 1 {
+        return Err(InterpError::new(format!(
+            "scalar `{}` holds {} elements",
+            func.var_name(v),
+            bag.len()
+        )));
+    }
+    Ok(bag[0].clone())
+}
+
+fn get_captured(
+    func: &FuncIr,
+    env: &[Option<Vec<Value>>],
+    captured: &[VarId],
+) -> Result<Vec<Value>, InterpError> {
+    captured
+        .iter()
+        .map(|&c| get_scalar(func, env, c))
+        .collect()
+}
+
+fn read_condition(
+    func: &FuncIr,
+    cond: VarId,
+    env: &[Option<Vec<Value>>],
+) -> Result<bool, InterpError> {
+    match get_scalar(func, env, cond)? {
+        Value::Bool(b) => Ok(b),
+        other => Err(InterpError::new(format!(
+            "condition `{}` is {}, not bool",
+            func.var_name(cond),
+            other.type_name()
+        ))),
+    }
+}
+
+fn eval_stmt(
+    func: &FuncIr,
+    op: &Op,
+    env: &[Option<Vec<Value>>],
+    came_from: Option<BlockId>,
+    fs: &InMemoryFs,
+    result: &mut RunResult,
+) -> Result<Vec<Value>, InterpError> {
+    Ok(match op {
+        Op::ReadFile { name } => {
+            let name = expect_str(func, get_scalar(func, env, *name)?)?;
+            fs.read(&name)
+                .map_err(|e| InterpError::new(e.to_string()))?
+        }
+        Op::WriteFile { bag, name } => {
+            let name = expect_str(func, get_scalar(func, env, *name)?)?;
+            let data = get_bag(func, env, *bag)?;
+            fs.put(name, data.to_vec());
+            vec![Value::Unit]
+        }
+        Op::Output { bag, tag } => {
+            let data = get_bag(func, env, *bag)?;
+            result
+                .outputs
+                .entry(tag.to_string())
+                .or_default()
+                .extend_from_slice(data);
+            vec![Value::Unit]
+        }
+        Op::Map {
+            input,
+            captured,
+            expr,
+        } => {
+            let caps = get_captured(func, env, captured)?;
+            kernel::map(expr, &caps, get_bag(func, env, *input)?)?
+        }
+        Op::FlatMap {
+            input,
+            captured,
+            expr,
+        } => {
+            let caps = get_captured(func, env, captured)?;
+            kernel::flat_map(expr, &caps, get_bag(func, env, *input)?)?
+        }
+        Op::Filter {
+            input,
+            captured,
+            expr,
+        } => {
+            let caps = get_captured(func, env, captured)?;
+            kernel::filter(expr, &caps, get_bag(func, env, *input)?)?
+        }
+        Op::Join { left, right } => {
+            kernel::join(get_bag(func, env, *left)?, get_bag(func, env, *right)?)
+        }
+        Op::Cross { left, right } => {
+            kernel::cross(get_bag(func, env, *left)?, get_bag(func, env, *right)?)
+        }
+        Op::Union { left, right } => {
+            let mut out = get_bag(func, env, *left)?.to_vec();
+            out.extend_from_slice(get_bag(func, env, *right)?);
+            out
+        }
+        Op::ReduceByKey {
+            input,
+            captured,
+            expr,
+        }
+        | Op::ReduceByKeyLocal {
+            input,
+            captured,
+            expr,
+        } => {
+            let caps = get_captured(func, env, captured)?;
+            kernel::reduce_by_key(expr, &caps, get_bag(func, env, *input)?)?
+        }
+        Op::Reduce {
+            input,
+            captured,
+            expr,
+            init,
+        } => {
+            let caps = get_captured(func, env, captured)?;
+            let folded = kernel::reduce(expr, &caps, init.as_ref(), get_bag(func, env, *input)?)?;
+            folded.into_iter().collect()
+        }
+        Op::Distinct { input } => kernel::distinct(get_bag(func, env, *input)?),
+        Op::Singleton { captured, expr } => {
+            let caps = get_captured(func, env, captured)?;
+            vec![eval(expr, &caps).map_err(|e| InterpError::new(e.message))?]
+        }
+        Op::LiteralBag { elems, captured } => {
+            let caps = get_captured(func, env, captured)?;
+            elems
+                .iter()
+                .map(|e| eval(e, &caps).map_err(|e| InterpError::new(e.message)))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        Op::Alias { input } => get_bag(func, env, *input)?.to_vec(),
+        Op::Phi { inputs } => {
+            let pred = came_from.ok_or_else(|| {
+                InterpError::new("phi in the entry block (invalid SSA)")
+            })?;
+            let (_, chosen) = inputs
+                .iter()
+                .find(|(p, _)| *p == pred)
+                .ok_or_else(|| {
+                    InterpError::new(format!("phi has no operand for predecessor {pred}"))
+                })?;
+            get_bag(func, env, *chosen)?.to_vec()
+        }
+    })
+}
+
+fn expect_str(_func: &FuncIr, v: Value) -> Result<String, InterpError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| InterpError::new(format!("file name must be a string, got {v:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::ssa::to_ssa;
+    use mitos_lang::parse;
+
+    fn run(src: &str, fs: &InMemoryFs) -> RunResult {
+        let func = to_ssa(&lower(&parse(src).unwrap()).unwrap()).unwrap();
+        interpret(&func, fs, InterpConfig::default()).unwrap()
+    }
+
+    fn ints(range: std::ops::Range<i64>) -> Vec<Value> {
+        range.map(Value::I64).collect()
+    }
+
+    #[test]
+    fn straight_line_pipeline() {
+        let fs = InMemoryFs::new();
+        let r = run(
+            "b = bag(1, 2, 3).map(x => x * 2).filter(x => x > 2); output(b, \"b\");",
+            &fs,
+        );
+        assert_eq!(r.outputs["b"], ints(4..7).iter().step_by(2).cloned().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loop_accumulates() {
+        let fs = InMemoryFs::new();
+        let r = run(
+            "s = 0; for i = 1 to 5 { s = s + i; } output(s, \"sum\");",
+            &fs,
+        );
+        assert_eq!(r.outputs["sum"], vec![Value::I64(15)]);
+    }
+
+    #[test]
+    fn if_branches_choose_values() {
+        let fs = InMemoryFs::new();
+        let r = run(
+            "x = 3; if (x > 2) { y = 10; } else { y = 20; } output(y, \"y\");",
+            &fs,
+        );
+        assert_eq!(r.outputs["y"], vec![Value::I64(10)]);
+    }
+
+    #[test]
+    fn path_is_recorded() {
+        let fs = InMemoryFs::new();
+        let r = run("i = 0; while (i < 2) { i = i + 1; } output(i, \"i\");", &fs);
+        // entry(0), header(1), body(2), header, body, header, after(3).
+        assert_eq!(r.path, vec![0, 1, 2, 1, 2, 1, 3]);
+    }
+
+    #[test]
+    fn read_and_write_files() {
+        let fs = InMemoryFs::new();
+        fs.put("in", ints(1..4));
+        run(
+            "b = readFile(\"in\").map(x => x + 100); writeFile(b, \"out\");",
+            &fs,
+        );
+        assert_eq!(fs.read("out").unwrap(), ints(101..104));
+    }
+
+    #[test]
+    fn visit_count_end_to_end() {
+        let fs = InMemoryFs::new();
+        // Three days of visits: day1 {1,1,2}, day2 {1,2,2}, day3 {2}.
+        fs.put("pageVisitLog1", vec![1, 1, 2].into_iter().map(Value::I64).collect());
+        fs.put("pageVisitLog2", vec![1, 2, 2].into_iter().map(Value::I64).collect());
+        fs.put("pageVisitLog3", vec![2].into_iter().map(Value::I64).collect());
+        let src = r#"
+            yesterday = empty;
+            day = 1;
+            do {
+                visits = readFile("pageVisitLog" + day);
+                counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b);
+                if (day != 1) {
+                    diffs = (counts join yesterday).map(t => abs(t[1] - t[2]));
+                    writeFile(diffs.sum(), "diff" + day);
+                }
+                yesterday = counts;
+                day = day + 1;
+            } while (day <= 3);
+        "#;
+        run(src, &fs);
+        // Day 2 vs day 1: |1-2| + |2-1| = 2. Day 3 vs day 2: page1 absent
+        // from day3 counts (inner join drops it), |1-2| = 1.
+        assert_eq!(fs.read("diff2").unwrap(), vec![Value::I64(2)]);
+        assert_eq!(fs.read("diff3").unwrap(), vec![Value::I64(1)]);
+    }
+
+    #[test]
+    fn nested_loops_fig4a_pattern() {
+        // x is loop-invariant w.r.t. the inner loop (paper Figure 4a).
+        let fs = InMemoryFs::new();
+        let r = run(
+            r#"
+            total = 0;
+            i = 0;
+            while (i < 2) {
+                x = bag((1, i)).map(p => (p[0], p[1] * 10));
+                j = 0;
+                while (j < 3) {
+                    y = bag((1, j));
+                    z = x join y;
+                    total = total + z.count();
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+            output(total, "joins");
+            "#,
+            &fs,
+        );
+        assert_eq!(r.outputs["joins"], vec![Value::I64(6)]);
+    }
+
+    #[test]
+    fn infinite_loop_detected() {
+        let fs = InMemoryFs::new();
+        let func = to_ssa(
+            &lower(&parse("i = 0; while (i < 1) { x = 1; } output(i, \"i\");").unwrap()).unwrap(),
+        )
+        .unwrap();
+        let err = interpret(
+            &func,
+            &fs,
+            InterpConfig {
+                max_block_steps: 100,
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("infinite loop"));
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let fs = InMemoryFs::new();
+        let func =
+            to_ssa(&lower(&parse("b = readFile(\"nope\"); output(b, \"b\");").unwrap()).unwrap())
+                .unwrap();
+        let err = interpret(&func, &fs, InterpConfig::default()).unwrap_err();
+        assert!(err.message.contains("nope"));
+    }
+
+    #[test]
+    fn challenge3_abdacd_pattern() {
+        // The paper's Figure 4b: different branches assign x and y; the
+        // reference semantics match them per original iteration.
+        let fs = InMemoryFs::new();
+        let r = run(
+            r#"
+            i = 0;
+            total = 0;
+            while (i < 2) {
+                if (i == 0) {
+                    x = bag((1, 100));
+                    y = bag((1, 200));
+                } else {
+                    x = bag((1, 300));
+                    y = bag((1, 400));
+                }
+                z = x join y;
+                total = total + z.map(t => t[1] + t[2]).sum();
+                i = i + 1;
+            }
+            output(total, "t");
+            "#,
+            &fs,
+        );
+        // (100+200) + (300+400) = 1000; mixing across iterations would give
+        // different values.
+        assert_eq!(r.outputs["t"], vec![Value::I64(1000)]);
+    }
+}

@@ -1,0 +1,61 @@
+//! # mitos-ir
+//!
+//! The compilation pipeline of the paper's Sec. 4: the surface AST is
+//! *simplified* (assignment splitting + scalar wrapping, [`mod@lower`]), turned
+//! into **SSA form** over basic blocks ([`ssa`]), and validated
+//! ([`mod@validate`]). The crate also provides the batch semantics of every bag
+//! operation ([`kernel`]) and a sequential reference interpreter ([`interp`])
+//! that doubles as the ground truth for all engines.
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod interp;
+pub mod kernel;
+pub mod lower;
+pub mod nir;
+pub mod passes;
+pub mod pretty;
+pub mod ssa;
+pub mod validate;
+
+pub use dom::Dominators;
+pub use interp::{interpret, InterpConfig, InterpError, RunResult};
+pub use lower::lower;
+pub use nir::{Block, BlockId, FuncIr, Op, Stmt, Terminator, VarId, VarInfo};
+pub use pretty::pretty;
+pub use ssa::to_ssa;
+pub use validate::{validate, ValidationError};
+
+use mitos_lang::{Diagnostic, Program};
+
+/// Compiles a surface program all the way to validated SSA.
+pub fn compile(program: &Program) -> Result<FuncIr, Diagnostic> {
+    let pre = lower(program)?;
+    let ssa = to_ssa(&pre)?;
+    validate(&ssa).map_err(|e| Diagnostic::new(e.message, mitos_lang::Span::default()))?;
+    Ok(ssa)
+}
+
+/// Parses and compiles source text to validated SSA.
+pub fn compile_str(src: &str) -> Result<FuncIr, Diagnostic> {
+    compile(&mitos_lang::parse(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_str_full_pipeline() {
+        let func = compile_str("i = 0; while (i < 3) { i = i + 1; } output(i, \"i\");").unwrap();
+        assert!(func.blocks.len() >= 4);
+        validate(&func).unwrap();
+    }
+
+    #[test]
+    fn compile_reports_frontend_errors() {
+        assert!(compile_str("x = ;").is_err());
+        assert!(compile_str("y = nope;").is_err());
+    }
+}

@@ -1,0 +1,766 @@
+//! Lowering of the surface AST to the normalized IR (the paper's Sec. 4.1).
+//!
+//! Three things happen here:
+//!
+//! 1. **Assignment splitting** — compound expressions such as
+//!    `b = a.map(..).filter(..)` become chains of single-operation
+//!    assignments through fresh temporaries.
+//! 2. **Scalar wrapping** — scalar variables (loop counters, learning rates,
+//!    aggregation results) become one-element bags via [`Op::Singleton`],
+//!    so the dataflow builder only deals with bag operations.
+//! 3. **Control-flow flattening** — `if`/`while`/`do-while` become basic
+//!    blocks with conditional-jump terminators. Every branch condition is
+//!    materialized as a fresh singleton statement in the deciding block;
+//!    that statement later becomes the *condition node* of the dataflow.
+//!
+//! The output is a pre-SSA [`FuncIr`]: program variables may still have
+//! several defining statements; [`crate::ssa`] fixes that.
+
+use crate::nir::{Block, BlockId, FuncIr, Op, Stmt as IrStmt, Terminator, VarId, VarInfo};
+use mitos_lang::ast::{Lambda, Program, Stmt, SurfExpr};
+use mitos_lang::diag::{Diagnostic, Span};
+use mitos_lang::expr::{BinOp, Expr};
+use mitos_lang::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Whether an expression produces a bag or a (wrapped) scalar.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// A distributed collection.
+    Bag,
+    /// A single value, represented as a one-element bag after lowering.
+    Scalar,
+}
+
+/// Lowers a surface program to normalized (pre-SSA) IR.
+pub fn lower(program: &Program) -> Result<FuncIr, Diagnostic> {
+    let mut l = Lowerer::default();
+    l.func.blocks.push(Block {
+        stmts: vec![],
+        term: Terminator::Exit,
+    });
+    l.lower_stmts(&program.stmts)?;
+    // The final current block keeps its Exit terminator.
+    Ok(l.func)
+}
+
+fn err(msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(msg, Span::default())
+}
+
+#[derive(Default)]
+struct Lowerer {
+    func: FuncIr,
+    env: HashMap<Arc<str>, VarId>,
+    current: BlockId,
+    temp_counter: usize,
+}
+
+impl Lowerer {
+    fn new_var(&mut self, name: Arc<str>, is_scalar: bool) -> VarId {
+        let id = self.func.vars.len() as VarId;
+        self.func.vars.push(VarInfo { name, is_scalar });
+        id
+    }
+
+    fn fresh_temp(&mut self, hint: &str, is_scalar: bool) -> VarId {
+        self.temp_counter += 1;
+        let name = Arc::from(format!("t{}_{hint}", self.temp_counter).as_str());
+        self.new_var(name, is_scalar)
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = self.func.blocks.len() as BlockId;
+        self.func.blocks.push(Block {
+            stmts: vec![],
+            term: Terminator::Exit,
+        });
+        id
+    }
+
+    fn emit(&mut self, target: VarId, op: Op) {
+        self.func.blocks[self.current as usize]
+            .stmts
+            .push(IrStmt { target, op });
+    }
+
+    fn set_term(&mut self, block: BlockId, term: Terminator) {
+        self.func.blocks[block as usize].term = term;
+    }
+
+    fn lookup(&self, name: &str) -> Result<VarId, Diagnostic> {
+        self.env
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(format!("use of undeclared variable `{name}`")))
+    }
+
+    fn is_scalar_var(&self, v: VarId) -> bool {
+        self.func.vars[v as usize].is_scalar
+    }
+
+    /// Syntactic type of an expression under the current environment.
+    fn type_of(&self, e: &SurfExpr) -> Result<Ty, Diagnostic> {
+        Ok(match e {
+            SurfExpr::Var(name) => {
+                if self.is_scalar_var(self.lookup(name)?) {
+                    Ty::Scalar
+                } else {
+                    Ty::Bag
+                }
+            }
+            SurfExpr::ReadFile(_)
+            | SurfExpr::EmptyBag
+            | SurfExpr::BagLit(_)
+            | SurfExpr::Map(..)
+            | SurfExpr::FlatMap(..)
+            | SurfExpr::Filter(..)
+            | SurfExpr::Join(..)
+            | SurfExpr::Cross(..)
+            | SurfExpr::Union(..)
+            | SurfExpr::ReduceByKey(..)
+            | SurfExpr::Distinct(_) => Ty::Bag,
+            SurfExpr::Lit(_)
+            | SurfExpr::Reduce(..)
+            | SurfExpr::Sum(_)
+            | SurfExpr::Count(_)
+            | SurfExpr::Min(_)
+            | SurfExpr::Max(_)
+            | SurfExpr::Tuple(_)
+            | SurfExpr::List(_)
+            | SurfExpr::Index(..)
+            | SurfExpr::Unary(..)
+            | SurfExpr::Binary(..)
+            | SurfExpr::Call(..)
+            | SurfExpr::IfExpr(..) => Ty::Scalar,
+        })
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), Diagnostic> {
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), Diagnostic> {
+        match s {
+            Stmt::Assign { name, value } => self.lower_assign(name, value),
+            Stmt::WriteFile { value, name } => {
+                let bag = self.lower_value(value)?;
+                let name_v = self.materialize_scalar(name)?;
+                let target = self.fresh_temp("write", true);
+                self.emit(target, Op::WriteFile { bag, name: name_v });
+                Ok(())
+            }
+            Stmt::Output { value, tag } => {
+                let bag = self.lower_value(value)?;
+                let target = self.fresh_temp("output", true);
+                self.emit(
+                    target,
+                    Op::Output {
+                        bag,
+                        tag: tag.clone(),
+                    },
+                );
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // `for` desugaring wraps its statements in `if (true)`;
+                // flatten that trivial guard away.
+                if matches!(cond, SurfExpr::Lit(Value::Bool(true))) && else_body.is_empty() {
+                    return self.lower_stmts(then_body);
+                }
+                let cond_v = self.materialize_condition(cond)?;
+                let then_blk = self.new_block();
+                let else_blk = self.new_block();
+                let join = self.new_block();
+                self.set_term(
+                    self.current,
+                    Terminator::Branch {
+                        cond: cond_v,
+                        then_blk,
+                        else_blk,
+                    },
+                );
+                self.current = then_blk;
+                self.lower_stmts(then_body)?;
+                self.set_term(self.current, Terminator::Jump(join));
+                self.current = else_blk;
+                self.lower_stmts(else_body)?;
+                self.set_term(self.current, Terminator::Jump(join));
+                self.current = join;
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                self.set_term(self.current, Terminator::Jump(header));
+                self.current = header;
+                let cond_v = self.materialize_condition(cond)?;
+                // Blocks are created after the condition statements so ids
+                // stay allocation-ordered; `header` may now hold Reduce
+                // statements for aggregating conditions.
+                let cond_block = self.current;
+                let body_blk = self.new_block();
+                let after = self.new_block();
+                self.set_term(
+                    cond_block,
+                    Terminator::Branch {
+                        cond: cond_v,
+                        then_blk: body_blk,
+                        else_blk: after,
+                    },
+                );
+                self.current = body_blk;
+                self.lower_stmts(body)?;
+                self.set_term(self.current, Terminator::Jump(header));
+                self.current = after;
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let body_blk = self.new_block();
+                self.set_term(self.current, Terminator::Jump(body_blk));
+                self.current = body_blk;
+                self.lower_stmts(body)?;
+                let cond_v = self.materialize_condition(cond)?;
+                let cond_block = self.current;
+                let after = self.new_block();
+                self.set_term(
+                    cond_block,
+                    Terminator::Branch {
+                        cond: cond_v,
+                        then_blk: body_blk,
+                        else_blk: after,
+                    },
+                );
+                self.current = after;
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_assign(&mut self, name: &Arc<str>, value: &SurfExpr) -> Result<(), Diagnostic> {
+        let ty = self.type_of(value)?;
+        let target = match self.env.get(name) {
+            Some(&v) => {
+                let existing_scalar = self.is_scalar_var(v);
+                if existing_scalar != (ty == Ty::Scalar) {
+                    return Err(err(format!(
+                        "variable `{name}` was {} but is re-assigned a {}",
+                        if existing_scalar { "a scalar" } else { "a bag" },
+                        if ty == Ty::Scalar { "scalar" } else { "bag" },
+                    )));
+                }
+                v
+            }
+            None => {
+                let v = self.new_var(name.clone(), ty == Ty::Scalar);
+                self.env.insert(name.clone(), v);
+                v
+            }
+        };
+        match ty {
+            Ty::Scalar => {
+                let mut captured = Vec::new();
+                let expr = self.lower_scalar(value, &[], &mut captured)?;
+                self.emit(target, Op::Singleton { captured, expr });
+            }
+            Ty::Bag => {
+                if let SurfExpr::Var(src) = value {
+                    let input = self.lookup(src)?;
+                    self.emit(target, Op::Alias { input });
+                } else {
+                    let op = self.lower_bag_op(value)?;
+                    self.emit(target, op);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers an expression of either type to a bag variable (scalars are
+    /// wrapped), for sinks like `writeFile` that accept both.
+    fn lower_value(&mut self, e: &SurfExpr) -> Result<VarId, Diagnostic> {
+        match self.type_of(e)? {
+            Ty::Bag => self.lower_bag(e),
+            Ty::Scalar => self.materialize_scalar(e),
+        }
+    }
+
+    /// Lowers a bag-typed expression, emitting temporaries for sub-trees,
+    /// and returns the variable holding the result.
+    fn lower_bag(&mut self, e: &SurfExpr) -> Result<VarId, Diagnostic> {
+        if let SurfExpr::Var(name) = e {
+            let v = self.lookup(name)?;
+            if self.is_scalar_var(v) {
+                return Err(err(format!("`{name}` is a scalar, expected a bag")));
+            }
+            return Ok(v);
+        }
+        let op = self.lower_bag_op(e)?;
+        let hint = op.mnemonic();
+        let target = self.fresh_temp(hint, false);
+        self.emit(target, op);
+        Ok(target)
+    }
+
+    /// Lowers the top node of a bag-typed expression to an unemitted [`Op`].
+    fn lower_bag_op(&mut self, e: &SurfExpr) -> Result<Op, Diagnostic> {
+        Ok(match e {
+            SurfExpr::ReadFile(name) => Op::ReadFile {
+                name: self.materialize_scalar(name)?,
+            },
+            SurfExpr::EmptyBag => Op::LiteralBag {
+                elems: vec![],
+                captured: vec![],
+            },
+            SurfExpr::BagLit(elems) => {
+                let mut captured = Vec::new();
+                let elems = elems
+                    .iter()
+                    .map(|el| self.lower_scalar(el, &[], &mut captured))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Op::LiteralBag { elems, captured }
+            }
+            SurfExpr::Map(b, l) => {
+                let input = self.lower_bag(b)?;
+                let (expr, captured) = self.lower_lambda(l)?;
+                Op::Map {
+                    input,
+                    captured,
+                    expr,
+                }
+            }
+            SurfExpr::FlatMap(b, l) => {
+                let input = self.lower_bag(b)?;
+                let (expr, captured) = self.lower_lambda(l)?;
+                Op::FlatMap {
+                    input,
+                    captured,
+                    expr,
+                }
+            }
+            SurfExpr::Filter(b, l) => {
+                let input = self.lower_bag(b)?;
+                let (expr, captured) = self.lower_lambda(l)?;
+                Op::Filter {
+                    input,
+                    captured,
+                    expr,
+                }
+            }
+            SurfExpr::Join(a, b) => Op::Join {
+                left: self.lower_bag(a)?,
+                right: self.lower_bag(b)?,
+            },
+            SurfExpr::Cross(a, b) => Op::Cross {
+                left: self.lower_bag(a)?,
+                right: self.lower_bag(b)?,
+            },
+            SurfExpr::Union(a, b) => Op::Union {
+                left: self.lower_bag(a)?,
+                right: self.lower_bag(b)?,
+            },
+            SurfExpr::ReduceByKey(b, l) => {
+                let input = self.lower_bag(b)?;
+                let (expr, captured) = self.lower_lambda(l)?;
+                Op::ReduceByKey {
+                    input,
+                    captured,
+                    expr,
+                }
+            }
+            SurfExpr::Distinct(b) => Op::Distinct {
+                input: self.lower_bag(b)?,
+            },
+            SurfExpr::Var(_) => unreachable!("handled by lower_bag"),
+            other => {
+                return Err(err(format!(
+                    "expected a bag expression, found scalar `{other}`"
+                )))
+            }
+        })
+    }
+
+    /// Lowers a lambda body: parameters become `$0..$n-1`, captured scalar
+    /// program variables become `$n..`.
+    fn lower_lambda(&mut self, l: &Lambda) -> Result<(Expr, Vec<VarId>), Diagnostic> {
+        let mut captured = Vec::new();
+        let params: Vec<Arc<str>> = l.params.clone();
+        let param_slots: Vec<(Arc<str>, usize)> = params
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        let expr = self.lower_scalar(&l.body, &param_slots, &mut captured)?;
+        Ok((expr, captured))
+    }
+
+    /// Materializes a scalar expression as a one-element bag variable.
+    /// A bare scalar variable reference is returned directly (it already is
+    /// a one-element bag).
+    fn materialize_scalar(&mut self, e: &SurfExpr) -> Result<VarId, Diagnostic> {
+        if let SurfExpr::Var(name) = e {
+            let v = self.lookup(name)?;
+            if !self.is_scalar_var(v) {
+                return Err(err(format!("`{name}` is a bag, expected a scalar")));
+            }
+            return Ok(v);
+        }
+        let mut captured = Vec::new();
+        let expr = self.lower_scalar(e, &[], &mut captured)?;
+        let target = self.fresh_temp("scalar", true);
+        self.emit(target, Op::Singleton { captured, expr });
+        Ok(target)
+    }
+
+    /// Materializes a branch condition. Unlike [`materialize_scalar`], this
+    /// always emits a fresh statement in the current block so that the
+    /// deciding block contains its own condition node (paper Fig. 3,
+    /// `ifCond` / `exitCond`).
+    fn materialize_condition(&mut self, e: &SurfExpr) -> Result<VarId, Diagnostic> {
+        if self.type_of(e)? != Ty::Scalar {
+            return Err(err(format!("condition `{e}` must be a scalar boolean")));
+        }
+        let mut captured = Vec::new();
+        let expr = self.lower_scalar(e, &[], &mut captured)?;
+        let target = self.fresh_temp("cond", true);
+        self.emit(target, Op::Singleton { captured, expr });
+        Ok(target)
+    }
+
+    /// Lowers a scalar expression to a compiled [`Expr`].
+    ///
+    /// `params` maps lambda parameter names to their `$i` slots; `captured`
+    /// accumulates the scalar program variables referenced, which become
+    /// `$params.len() + i` parameters.
+    fn lower_scalar(
+        &mut self,
+        e: &SurfExpr,
+        params: &[(Arc<str>, usize)],
+        captured: &mut Vec<VarId>,
+    ) -> Result<Expr, Diagnostic> {
+        let n_params = params.len();
+        let capture = |captured: &mut Vec<VarId>, v: VarId| -> Expr {
+            let idx = match captured.iter().position(|&c| c == v) {
+                Some(i) => i,
+                None => {
+                    captured.push(v);
+                    captured.len() - 1
+                }
+            };
+            Expr::Param(n_params + idx)
+        };
+        Ok(match e {
+            SurfExpr::Lit(v) => Expr::Lit(v.clone()),
+            SurfExpr::Var(name) => {
+                if let Some(&(_, slot)) = params.iter().find(|(p, _)| p == name) {
+                    return Ok(Expr::Param(slot));
+                }
+                let v = self.lookup(name)?;
+                if !self.is_scalar_var(v) {
+                    return Err(err(format!(
+                        "bag `{name}` cannot be used in a scalar expression; \
+                         aggregate it first (e.g. `.sum()`, `.count()`)"
+                    )));
+                }
+                capture(captured, v)
+            }
+            SurfExpr::Sum(b)
+            | SurfExpr::Count(b)
+            | SurfExpr::Min(b)
+            | SurfExpr::Max(b)
+            | SurfExpr::Reduce(b, _) => {
+                if n_params > 0 {
+                    return Err(err(
+                        "bag aggregations are not supported inside operator lambdas",
+                    ));
+                }
+                let input = self.lower_bag(b)?;
+                let (expr, agg_captured, init, hint) = match e {
+                    SurfExpr::Sum(_) => (
+                        Expr::bin(BinOp::Add, Expr::Param(0), Expr::Param(1)),
+                        Vec::new(),
+                        Some(Value::I64(0)),
+                        "sum",
+                    ),
+                    SurfExpr::Count(_) => (
+                        Expr::bin(BinOp::Add, Expr::Param(0), Expr::lit(1i64)),
+                        Vec::new(),
+                        Some(Value::I64(0)),
+                        "count",
+                    ),
+                    SurfExpr::Min(_) => (
+                        Expr::Call(
+                            mitos_lang::Func::Min,
+                            vec![Expr::Param(0), Expr::Param(1)],
+                        ),
+                        Vec::new(),
+                        None,
+                        "min",
+                    ),
+                    SurfExpr::Max(_) => (
+                        Expr::Call(
+                            mitos_lang::Func::Max,
+                            vec![Expr::Param(0), Expr::Param(1)],
+                        ),
+                        Vec::new(),
+                        None,
+                        "max",
+                    ),
+                    SurfExpr::Reduce(_, l) => {
+                        let (expr, caps) = self.lower_lambda(l)?;
+                        (expr, caps, None, "reduce")
+                    }
+                    _ => unreachable!(),
+                };
+                let target = self.fresh_temp(hint, true);
+                self.emit(
+                    target,
+                    Op::Reduce {
+                        input,
+                        captured: agg_captured,
+                        expr,
+                        init,
+                    },
+                );
+                capture(captured, target)
+            }
+            SurfExpr::Tuple(es) => Expr::Tuple(
+                es.iter()
+                    .map(|x| self.lower_scalar(x, params, captured))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            SurfExpr::List(es) => Expr::List(
+                es.iter()
+                    .map(|x| self.lower_scalar(x, params, captured))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            SurfExpr::Index(x, i) => {
+                Expr::Index(Box::new(self.lower_scalar(x, params, captured)?), *i)
+            }
+            SurfExpr::Unary(op, x) => {
+                Expr::Unary(*op, Box::new(self.lower_scalar(x, params, captured)?))
+            }
+            SurfExpr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(self.lower_scalar(a, params, captured)?),
+                Box::new(self.lower_scalar(b, params, captured)?),
+            ),
+            SurfExpr::Call(func, es) => Expr::Call(
+                *func,
+                es.iter()
+                    .map(|x| self.lower_scalar(x, params, captured))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            SurfExpr::IfExpr(c, t, f) => Expr::If(
+                Box::new(self.lower_scalar(c, params, captured)?),
+                Box::new(self.lower_scalar(t, params, captured)?),
+                Box::new(self.lower_scalar(f, params, captured)?),
+            ),
+            other => {
+                return Err(err(format!(
+                    "bag expression `{other}` used where a scalar is required"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitos_lang::parse;
+
+    fn lower_src(src: &str) -> FuncIr {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    fn lower_err(src: &str) -> String {
+        lower(&parse(src).unwrap()).unwrap_err().message
+    }
+
+    #[test]
+    fn splits_compound_assignments() {
+        let f = lower_src("b = bag(1, 2).map(x => x + 1).filter(x => x > 1);");
+        // bagLit temp, map temp, filter into b: three statements.
+        assert_eq!(f.blocks.len(), 1);
+        let ops: Vec<&str> = f.blocks[0]
+            .stmts
+            .iter()
+            .map(|s| s.op.mnemonic())
+            .collect();
+        assert_eq!(ops, ["bagLit", "map", "filter"]);
+        // Final target is the program variable `b`.
+        let last = f.blocks[0].stmts.last().unwrap();
+        assert_eq!(f.var_name(last.target), "b");
+    }
+
+    #[test]
+    fn wraps_scalars_into_singletons() {
+        let f = lower_src("day = 1; day = day + 1;");
+        let ops: Vec<&str> = f.blocks[0]
+            .stmts
+            .iter()
+            .map(|s| s.op.mnemonic())
+            .collect();
+        assert_eq!(ops, ["singleton", "singleton"]);
+        // The increment captures `day` and uses $0.
+        match &f.blocks[0].stmts[1].op {
+            Op::Singleton { captured, expr } => {
+                assert_eq!(captured.len(), 1);
+                assert_eq!(expr.to_string(), "($0 + 1)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_becomes_header_body_after() {
+        let f = lower_src("i = 0; while (i < 3) { i = i + 1; }");
+        // Blocks: entry(0), header(1), body(2), after(3).
+        assert_eq!(f.blocks.len(), 4);
+        match &f.blocks[1].term {
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => {
+                assert_eq!((*then_blk, *else_blk), (2, 3));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(f.blocks[2].term, Terminator::Jump(1));
+        // Condition node lives in the header.
+        assert_eq!(f.blocks[1].stmts.len(), 1);
+    }
+
+    #[test]
+    fn do_while_jumps_back_to_body() {
+        let f = lower_src("i = 0; do { i = i + 1; } while (i < 3);");
+        assert_eq!(f.blocks.len(), 3); // entry, body, after
+        match &f.blocks[1].term {
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => assert_eq!((*then_blk, *else_blk), (1, 2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_creates_diamond() {
+        let f = lower_src("x = 1; if (x > 0) { y = 1; } else { y = 2; } z = y;");
+        assert_eq!(f.blocks.len(), 4); // entry, then, else, join
+        assert_eq!(f.blocks[1].term, Terminator::Jump(3));
+        assert_eq!(f.blocks[2].term, Terminator::Jump(3));
+        // `z = y` lands in the join block.
+        let last = f.blocks[3].stmts.last().unwrap();
+        assert_eq!(f.var_name(last.target), "z");
+    }
+
+    #[test]
+    fn aggregation_in_condition_lands_in_header() {
+        let f = lower_src(
+            "changed = bag(1); while (changed.count() > 0) { changed = empty; }",
+        );
+        let header = &f.blocks[1];
+        let ops: Vec<&str> = header.stmts.iter().map(|s| s.op.mnemonic()).collect();
+        assert_eq!(ops, ["reduce", "singleton"], "count + condition node");
+    }
+
+    #[test]
+    fn lambda_captures_scalars() {
+        let f = lower_src("k = 10; b = bag(1, 2).filter(x => x < k);");
+        let filter = f.blocks[0]
+            .stmts
+            .iter()
+            .find(|s| s.op.mnemonic() == "filter")
+            .unwrap();
+        match &filter.op {
+            Op::Filter { captured, expr, .. } => {
+                assert_eq!(captured.len(), 1);
+                assert_eq!(f.var_name(captured[0]), "k");
+                assert_eq!(expr.to_string(), "($0 < $1)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bag_alias_is_explicit() {
+        let f = lower_src("a = bag(1); b = a;");
+        let last = f.blocks[0].stmts.last().unwrap();
+        assert!(matches!(last.op, Op::Alias { .. }));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(lower_err("x = 1; x = bag(1);").contains("re-assigned"));
+        assert!(lower_err("b = bag(1); y = b + 1;").contains("aggregate it first"));
+        assert!(lower_err("y = nope + 1;").contains("undeclared"));
+        assert!(
+            lower_err("b = bag(1); c = bag(2).map(x => x.sum());").contains("not supported"),
+        );
+    }
+
+    #[test]
+    fn scalar_writefile_wraps() {
+        let f = lower_src("b = bag(1, 2); writeFile(b.sum(), \"out\");");
+        let ops: Vec<&str> = f.blocks[0]
+            .stmts
+            .iter()
+            .map(|s| s.op.mnemonic())
+            .collect();
+        assert_eq!(ops, ["bagLit", "reduce", "singleton", "singleton", "writeFile"]);
+    }
+
+    #[test]
+    fn for_loop_guard_is_flattened() {
+        let f = lower_src("for i = 1 to 3 { output(i, \"is\"); }");
+        // No diamond for the `if (true)` wrapper: entry, header, body, after.
+        assert_eq!(f.blocks.len(), 4);
+    }
+
+    #[test]
+    fn nested_loop_block_structure() {
+        let f = lower_src(
+            "i = 0; while (i < 2) { j = 0; while (j < 2) { j = j + 1; } i = i + 1; }",
+        );
+        // entry, outer header, outer body, inner header, inner body,
+        // inner after, outer after — allocation order may differ, but the
+        // count is fixed.
+        assert_eq!(f.blocks.len(), 7);
+        let exit = f.exit_block().unwrap();
+        assert_ne!(exit, 0);
+    }
+
+    #[test]
+    fn join_of_two_bags() {
+        let f = lower_src("a = bag((1, 2)); b = bag((1, 3)); c = a join b;");
+        let last = f.blocks[0].stmts.last().unwrap();
+        match &last.op {
+            Op::Join { left, right } => {
+                assert_eq!(f.var_name(*left), "a");
+                assert_eq!(f.var_name(*right), "b");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition_always_fresh_even_for_bare_var() {
+        let f = lower_src("flag = true; if (flag) { x = 1; } else { x = 2; }");
+        // entry holds: flag singleton + fresh condition singleton.
+        assert_eq!(f.blocks[0].stmts.len(), 2);
+        match &f.blocks[0].term {
+            Terminator::Branch { cond, .. } => {
+                assert_ne!(f.var_name(*cond), "flag");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

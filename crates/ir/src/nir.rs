@@ -1,0 +1,512 @@
+//! The normalized intermediate representation.
+//!
+//! After lowering (Sec. 4.1 of the paper), a program is a control-flow graph
+//! of basic blocks. Every assignment has exactly **one bag operation** on its
+//! right-hand side, and every scalar value has been wrapped into a
+//! one-element bag, so all statements uniformly define bags. After SSA
+//! construction (Sec. 4.2) each variable has exactly one defining statement
+//! and Φ-statements appear at control-flow joins.
+//!
+//! The same structures represent both the pre-SSA and the SSA form; the
+//! [`crate::ssa`] pass transforms one into the other and
+//! [`mod@crate::validate`] checks the SSA invariants.
+
+use mitos_lang::{Expr, Value};
+use std::sync::Arc;
+
+/// Index of a basic block.
+pub type BlockId = u32;
+/// Index of an IR variable.
+pub type VarId = u32;
+
+/// A single bag operation: the right-hand side of one IR assignment.
+///
+/// `captured` lists scalar (one-element-bag) variables referenced by the
+/// operation's expression; at runtime they become extra broadcast inputs.
+/// Expression parameter numbering per operation:
+///
+/// * `Map`/`FlatMap`/`Filter`: `$0` = element, `$1..` = captured.
+/// * `ReduceByKey`/`Reduce`: `$0` = accumulator, `$1` = element,
+///   `$2..` = captured.
+/// * `Singleton`: `$0..` = captured.
+/// * `LiteralBag`: each element expression uses `$0..` = captured.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Op {
+    /// Read the file named by the one-element bag `name`.
+    ReadFile {
+        /// Scalar string bag holding the file name.
+        name: VarId,
+    },
+    /// Write bag `bag` to the file named by `name`. Defines a unit bag.
+    WriteFile {
+        /// The data to write.
+        bag: VarId,
+        /// Scalar string bag holding the file name.
+        name: VarId,
+    },
+    /// Collect bag `bag` into the program result under `tag`. Defines a
+    /// unit bag.
+    Output {
+        /// The data to collect.
+        bag: VarId,
+        /// Result tag.
+        tag: Arc<str>,
+    },
+    /// Element-wise transformation.
+    Map {
+        /// Input bag.
+        input: VarId,
+        /// Captured scalar variables.
+        captured: Vec<VarId>,
+        /// Lambda body.
+        expr: Expr,
+    },
+    /// Element-wise transformation producing a list, flattened.
+    FlatMap {
+        /// Input bag.
+        input: VarId,
+        /// Captured scalar variables.
+        captured: Vec<VarId>,
+        /// Lambda body; must evaluate to a list.
+        expr: Expr,
+    },
+    /// Keep elements whose predicate holds.
+    Filter {
+        /// Input bag.
+        input: VarId,
+        /// Captured scalar variables.
+        captured: Vec<VarId>,
+        /// Predicate body.
+        expr: Expr,
+    },
+    /// Equi-join on element key (field 0). `(k, a..) ⋈ (k, b..) → (k, a.., b..)`.
+    Join {
+        /// Build side (kept in the operator's state; the hoisting side).
+        left: VarId,
+        /// Probe side.
+        right: VarId,
+    },
+    /// Cartesian product: `(l, r)` pairs of whole elements.
+    Cross {
+        /// Left input (streamed).
+        left: VarId,
+        /// Right input (collected, then paired with every left element).
+        right: VarId,
+    },
+    /// Bag union (multiset concatenation).
+    Union {
+        /// First input.
+        left: VarId,
+        /// Second input.
+        right: VarId,
+    },
+    /// Per-key fold of the value fields of `(k, v)` elements.
+    ReduceByKey {
+        /// Input bag of key-value tuples.
+        input: VarId,
+        /// Captured scalar variables.
+        captured: Vec<VarId>,
+        /// Combiner body: `$0` = accumulated value, `$1` = next value.
+        expr: Expr,
+    },
+    /// Partition-local pre-aggregation before a `reduceByKey` shuffle
+    /// (inserted by [`crate::passes::insert_combiners`]); same semantics
+    /// as [`Op::ReduceByKey`] but evaluated without repartitioning.
+    ReduceByKeyLocal {
+        /// Input bag of key-value tuples.
+        input: VarId,
+        /// Captured scalar variables.
+        captured: Vec<VarId>,
+        /// Combiner body: `$0` = accumulated value, `$1` = next value.
+        expr: Expr,
+    },
+    /// Global fold producing a one-element bag.
+    Reduce {
+        /// Input bag.
+        input: VarId,
+        /// Captured scalar variables.
+        captured: Vec<VarId>,
+        /// Combiner body: `$0` = accumulator, `$1` = next element.
+        expr: Expr,
+        /// Value of the empty fold; `None` makes an empty input an error.
+        init: Option<Value>,
+    },
+    /// Remove duplicate elements.
+    Distinct {
+        /// Input bag.
+        input: VarId,
+    },
+    /// A one-element bag computed from captured scalars (a wrapped scalar).
+    Singleton {
+        /// Captured scalar variables.
+        captured: Vec<VarId>,
+        /// The scalar expression.
+        expr: Expr,
+    },
+    /// A literal bag of scalar expressions.
+    LiteralBag {
+        /// Element expressions.
+        elems: Vec<Expr>,
+        /// Captured scalar variables.
+        captured: Vec<VarId>,
+    },
+    /// Forward the input unchanged (`b = a;` aliases).
+    Alias {
+        /// Input bag.
+        input: VarId,
+    },
+    /// SSA Φ-function: selects among versions of one original variable.
+    /// Operands are labelled with the predecessor block they flow in from;
+    /// the Mitos runtime instead selects by execution path (Sec. 5.2.3) —
+    /// the equivalence of the two is property-tested.
+    Phi {
+        /// `(predecessor block, variable version)` operands.
+        inputs: Vec<(BlockId, VarId)>,
+    },
+}
+
+impl Op {
+    /// All variables read by this operation, in a deterministic order:
+    /// data inputs first, then captured scalars.
+    pub fn uses(&self) -> Vec<VarId> {
+        match self {
+            Op::ReadFile { name } => vec![*name],
+            Op::WriteFile { bag, name } => vec![*bag, *name],
+            Op::Output { bag, .. } => vec![*bag],
+            Op::Map {
+                input, captured, ..
+            }
+            | Op::FlatMap {
+                input, captured, ..
+            }
+            | Op::Filter {
+                input, captured, ..
+            }
+            | Op::ReduceByKey {
+                input, captured, ..
+            }
+            | Op::ReduceByKeyLocal {
+                input, captured, ..
+            }
+            | Op::Reduce {
+                input, captured, ..
+            } => {
+                let mut v = vec![*input];
+                v.extend_from_slice(captured);
+                v
+            }
+            Op::Join { left, right }
+            | Op::Cross { left, right }
+            | Op::Union { left, right } => vec![*left, *right],
+            Op::Distinct { input } | Op::Alias { input } => vec![*input],
+            Op::Singleton { captured, .. } | Op::LiteralBag { captured, .. } => captured.clone(),
+            Op::Phi { inputs } => inputs.iter().map(|(_, v)| *v).collect(),
+        }
+    }
+
+    /// Rewrites every used variable with `f` (used by SSA renaming).
+    pub fn map_uses(&mut self, mut f: impl FnMut(VarId) -> VarId) {
+        match self {
+            Op::ReadFile { name } => *name = f(*name),
+            Op::WriteFile { bag, name } => {
+                *bag = f(*bag);
+                *name = f(*name);
+            }
+            Op::Output { bag, .. } => *bag = f(*bag),
+            Op::Map {
+                input, captured, ..
+            }
+            | Op::FlatMap {
+                input, captured, ..
+            }
+            | Op::Filter {
+                input, captured, ..
+            }
+            | Op::ReduceByKey {
+                input, captured, ..
+            }
+            | Op::ReduceByKeyLocal {
+                input, captured, ..
+            }
+            | Op::Reduce {
+                input, captured, ..
+            } => {
+                *input = f(*input);
+                for c in captured {
+                    *c = f(*c);
+                }
+            }
+            Op::Join { left, right }
+            | Op::Cross { left, right }
+            | Op::Union { left, right } => {
+                *left = f(*left);
+                *right = f(*right);
+            }
+            Op::Distinct { input } | Op::Alias { input } => *input = f(*input),
+            Op::Singleton { captured, .. } | Op::LiteralBag { captured, .. } => {
+                for c in captured {
+                    *c = f(*c);
+                }
+            }
+            Op::Phi { inputs } => {
+                for (_, v) in inputs {
+                    *v = f(*v);
+                }
+            }
+        }
+    }
+
+    /// A short lowercase mnemonic for pretty-printing and operator naming.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::ReadFile { .. } => "readFile",
+            Op::WriteFile { .. } => "writeFile",
+            Op::Output { .. } => "output",
+            Op::Map { .. } => "map",
+            Op::FlatMap { .. } => "flatMap",
+            Op::Filter { .. } => "filter",
+            Op::Join { .. } => "join",
+            Op::Cross { .. } => "cross",
+            Op::Union { .. } => "union",
+            Op::ReduceByKey { .. } => "reduceByKey",
+            Op::ReduceByKeyLocal { .. } => "reduceByKeyLocal",
+            Op::Reduce { .. } => "reduce",
+            Op::Distinct { .. } => "distinct",
+            Op::Singleton { .. } => "singleton",
+            Op::LiteralBag { .. } => "bagLit",
+            Op::Alias { .. } => "alias",
+            Op::Phi { .. } => "phi",
+        }
+    }
+
+    /// Whether this is a Φ-statement.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Op::Phi { .. })
+    }
+}
+
+/// One IR assignment: `target = op`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Stmt {
+    /// The defined variable.
+    pub target: VarId,
+    /// The defining operation.
+    pub op: Op,
+}
+
+/// How a basic block ends.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional jump on a one-element boolean bag. The condition variable
+    /// becomes a *condition node* of the dataflow (the colored nodes of the
+    /// paper's Figure 3b).
+    Branch {
+        /// Condition variable (singleton bool bag defined in this block).
+        cond: VarId,
+        /// Target when true.
+        then_blk: BlockId,
+        /// Target when false.
+        else_blk: BlockId,
+    },
+    /// Program end.
+    Exit,
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
+            Terminator::Exit => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line statements plus a terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// Statements in execution order (Φ-statements first, in SSA form).
+    pub stmts: Vec<Stmt>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+/// Metadata of an IR variable.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VarInfo {
+    /// Source-level name (SSA versions get a `.N` suffix).
+    pub name: Arc<str>,
+    /// Whether the variable is a wrapped scalar (one-element bag).
+    pub is_scalar: bool,
+}
+
+/// A whole program in normalized (or SSA) form.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FuncIr {
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Variable table.
+    pub vars: Vec<VarInfo>,
+}
+
+impl FuncIr {
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Predecessor lists, indexed by block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for s in block.term.successors() {
+                preds[s as usize].push(b as BlockId);
+            }
+        }
+        preds
+    }
+
+    /// Successor lists, indexed by block.
+    pub fn successors(&self) -> Vec<Vec<BlockId>> {
+        self.blocks.iter().map(|b| b.term.successors()).collect()
+    }
+
+    /// The block defining each variable, if any (`None` for unused slots).
+    pub fn def_blocks(&self) -> Vec<Option<BlockId>> {
+        let mut defs = vec![None; self.vars.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for stmt in &block.stmts {
+                defs[stmt.target as usize] = Some(b as BlockId);
+            }
+        }
+        defs
+    }
+
+    /// Reverse postorder of blocks reachable from the entry.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let succs = self.successors();
+        let mut stack: Vec<(BlockId, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b as usize];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s as usize] {
+                    visited[s as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// The exit block (unique by construction).
+    pub fn exit_block(&self) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| matches!(b.term, Terminator::Exit))
+            .map(|b| b as BlockId)
+    }
+
+    /// Convenience: the variable's display name.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v as usize].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> FuncIr {
+        // 0 -> {1, 2} -> 3
+        FuncIr {
+            blocks: vec![
+                Block {
+                    stmts: vec![Stmt {
+                        target: 0,
+                        op: Op::Singleton {
+                            captured: vec![],
+                            expr: Expr::lit(true),
+                        },
+                    }],
+                    term: Terminator::Branch {
+                        cond: 0,
+                        then_blk: 1,
+                        else_blk: 2,
+                    },
+                },
+                Block {
+                    stmts: vec![],
+                    term: Terminator::Jump(3),
+                },
+                Block {
+                    stmts: vec![],
+                    term: Terminator::Jump(3),
+                },
+                Block {
+                    stmts: vec![],
+                    term: Terminator::Exit,
+                },
+            ],
+            vars: vec![VarInfo {
+                name: Arc::from("c"),
+                is_scalar: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let f = diamond();
+        assert_eq!(f.successors()[0], vec![1, 2]);
+        assert_eq!(f.predecessors()[3], vec![1, 2]);
+        assert_eq!(f.predecessors()[0], Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let f = diamond();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 4);
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2) && pos(1) < pos(3));
+    }
+
+    #[test]
+    fn uses_and_map_uses_round_trip() {
+        let mut op = Op::Map {
+            input: 3,
+            captured: vec![5, 7],
+            expr: Expr::Param(0),
+        };
+        assert_eq!(op.uses(), vec![3, 5, 7]);
+        op.map_uses(|v| v + 10);
+        assert_eq!(op.uses(), vec![13, 15, 17]);
+    }
+
+    #[test]
+    fn exit_block_found() {
+        assert_eq!(diamond().exit_block(), Some(3));
+    }
+
+    #[test]
+    fn def_blocks_tracks_targets() {
+        let f = diamond();
+        assert_eq!(f.def_blocks(), vec![Some(0)]);
+    }
+}

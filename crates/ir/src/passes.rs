@@ -1,0 +1,121 @@
+//! IR-to-IR optimization passes.
+//!
+//! Currently one pass: **combiner insertion** for `reduceByKey` — the
+//! classic shuffle optimization (Spark's map-side combine, Flink's
+//! combiner chaining). Each `t = b.reduceByKey(f)` becomes
+//!
+//! ```text
+//! tmp = b.reduceByKeyLocal(f)   // pre-aggregate within each partition
+//! t   = tmp.reduceByKey(f)      // final aggregation after the shuffle
+//! ```
+//!
+//! which shrinks the shuffled data from one record per input element to at
+//! most one record per (partition, key). Sound when the combiner is
+//! associative and commutative — the same contract Spark and Flink impose.
+//! The pass is opt-in (`mitos-bench`'s `ablation` target measures it).
+
+use crate::nir::{FuncIr, Op, Stmt, VarInfo};
+use std::sync::Arc;
+
+/// Splits every `reduceByKey` into a partition-local combiner followed by
+/// the post-shuffle aggregation. Expects (and preserves) SSA form.
+pub fn insert_combiners(func: &FuncIr) -> FuncIr {
+    let mut out = func.clone();
+    let mut next_combiner = 0usize;
+    for block in &mut out.blocks {
+        let mut stmts = Vec::with_capacity(block.stmts.len());
+        for stmt in block.stmts.drain(..) {
+            match stmt.op {
+                Op::ReduceByKey {
+                    input,
+                    captured,
+                    expr,
+                } => {
+                    next_combiner += 1;
+                    let tmp = out.vars.len() as u32;
+                    out.vars.push(VarInfo {
+                        name: Arc::from(format!("combine{next_combiner}").as_str()),
+                        is_scalar: false,
+                    });
+                    stmts.push(Stmt {
+                        target: tmp,
+                        op: Op::ReduceByKeyLocal {
+                            input,
+                            captured: captured.clone(),
+                            expr: expr.clone(),
+                        },
+                    });
+                    stmts.push(Stmt {
+                        target: stmt.target,
+                        op: Op::ReduceByKey {
+                            input: tmp,
+                            captured,
+                            expr,
+                        },
+                    });
+                }
+                op => stmts.push(Stmt {
+                    target: stmt.target,
+                    op,
+                }),
+            }
+        }
+        block.stmts = stmts;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_str, validate};
+
+    #[test]
+    fn splits_reduce_by_key_and_stays_valid_ssa() {
+        let func = compile_str(
+            "b = bag((1, 2), (1, 3), (2, 5)); c = b.reduceByKey((a, b) => a + b); \
+             output(c, \"c\");",
+        )
+        .unwrap();
+        let optimized = insert_combiners(&func);
+        validate(&optimized).unwrap();
+        let locals = optimized
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter(|s| matches!(s.op, Op::ReduceByKeyLocal { .. }))
+            .count();
+        assert_eq!(locals, 1);
+        // One extra statement per reduceByKey.
+        let before: usize = func.blocks.iter().map(|b| b.stmts.len()).sum();
+        let after: usize = optimized.blocks.iter().map(|b| b.stmts.len()).sum();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn interpreter_results_unchanged() {
+        let src = r#"
+            t = 0;
+            for d = 1 to 3 {
+                counts = bag((d, 1), (1, 1), (1, 2)).reduceByKey((a, b) => a + b);
+                t = t + counts.map(c => c[1]).sum();
+            }
+            output(t, "t");
+        "#;
+        let func = compile_str(src).unwrap();
+        let optimized = insert_combiners(&func);
+        let fs1 = mitos_fs::InMemoryFs::new();
+        let fs2 = mitos_fs::InMemoryFs::new();
+        let plain = crate::interpret(&func, &fs1, crate::InterpConfig::default()).unwrap();
+        let combined =
+            crate::interpret(&optimized, &fs2, crate::InterpConfig::default()).unwrap();
+        assert_eq!(plain.canonical_outputs(), combined.canonical_outputs());
+    }
+
+    #[test]
+    fn idempotent_on_programs_without_reduce_by_key() {
+        let func = compile_str("b = bag(1, 2).map(x => x * 2); output(b, \"b\");").unwrap();
+        let optimized = insert_combiners(&func);
+        assert_eq!(func, optimized);
+    }
+}

@@ -1,0 +1,167 @@
+//! IR pretty printer, rendering SSA in the style of the paper's Figure 3a.
+
+use crate::nir::{FuncIr, Op, Terminator, VarId};
+use std::fmt::Write as _;
+
+/// Renders the whole function.
+pub fn pretty(func: &FuncIr) -> String {
+    let mut out = String::new();
+    for (b, block) in func.blocks.iter().enumerate() {
+        let _ = writeln!(out, "block {b}:");
+        for stmt in &block.stmts {
+            let _ = writeln!(
+                out,
+                "  {} = {}",
+                func.var_name(stmt.target),
+                render_op(func, &stmt.op)
+            );
+        }
+        match &block.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  jump {t}");
+            }
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  if {} then {then_blk} else {else_blk}",
+                    func.var_name(*cond)
+                );
+            }
+            Terminator::Exit => {
+                let _ = writeln!(out, "  exit");
+            }
+        }
+    }
+    out
+}
+
+fn names(func: &FuncIr, vars: &[VarId]) -> String {
+    vars.iter()
+        .map(|&v| func.var_name(v).to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn render_op(func: &FuncIr, op: &Op) -> String {
+    match op {
+        Op::ReadFile { name } => format!("readFile({})", func.var_name(*name)),
+        Op::WriteFile { bag, name } => format!(
+            "writeFile({}, {})",
+            func.var_name(*bag),
+            func.var_name(*name)
+        ),
+        Op::Output { bag, tag } => format!("output({}, {tag:?})", func.var_name(*bag)),
+        Op::Map {
+            input,
+            captured,
+            expr,
+        } => format!(
+            "{}.map[{}]({expr})",
+            func.var_name(*input),
+            names(func, captured)
+        ),
+        Op::FlatMap {
+            input,
+            captured,
+            expr,
+        } => format!(
+            "{}.flatMap[{}]({expr})",
+            func.var_name(*input),
+            names(func, captured)
+        ),
+        Op::Filter {
+            input,
+            captured,
+            expr,
+        } => format!(
+            "{}.filter[{}]({expr})",
+            func.var_name(*input),
+            names(func, captured)
+        ),
+        Op::Join { left, right } => {
+            format!("{} join {}", func.var_name(*left), func.var_name(*right))
+        }
+        Op::Cross { left, right } => {
+            format!("{} cross {}", func.var_name(*left), func.var_name(*right))
+        }
+        Op::Union { left, right } => {
+            format!("{} union {}", func.var_name(*left), func.var_name(*right))
+        }
+        Op::ReduceByKey {
+            input,
+            captured,
+            expr,
+        } => format!(
+            "{}.reduceByKey[{}]({expr})",
+            func.var_name(*input),
+            names(func, captured)
+        ),
+        Op::ReduceByKeyLocal {
+            input,
+            captured,
+            expr,
+        } => format!(
+            "{}.reduceByKeyLocal[{}]({expr})",
+            func.var_name(*input),
+            names(func, captured)
+        ),
+        Op::Reduce {
+            input,
+            captured,
+            expr,
+            init,
+        } => format!(
+            "{}.reduce[{}]({expr}, init={init:?})",
+            func.var_name(*input),
+            names(func, captured)
+        ),
+        Op::Distinct { input } => format!("{}.distinct()", func.var_name(*input)),
+        Op::Singleton { captured, expr } => {
+            format!("singleton[{}]({expr})", names(func, captured))
+        }
+        Op::LiteralBag { elems, captured } => {
+            let elems = elems
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("bag[{}]({elems})", names(func, captured))
+        }
+        Op::Alias { input } => func.var_name(*input).to_string(),
+        Op::Phi { inputs } => {
+            let args = inputs
+                .iter()
+                .map(|(p, v)| format!("{} from {p}", func.var_name(*v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("Φ({args})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::ssa::to_ssa;
+    use mitos_lang::parse;
+
+    #[test]
+    fn renders_blocks_phis_and_branches() {
+        let func = to_ssa(
+            &lower(&parse("i = 0; while (i < 2) { i = i + 1; } output(i, \"i\");").unwrap())
+                .unwrap(),
+        )
+        .unwrap();
+        let text = pretty(&func);
+        assert!(text.contains("block 0:"), "{text}");
+        assert!(text.contains('Φ'), "{text}");
+        assert!(text.contains("if "), "{text}");
+        assert!(text.contains("exit"), "{text}");
+        assert!(text.contains("i.2 = Φ(i from 0, i.3 from 2)"), "{text}");
+    }
+}

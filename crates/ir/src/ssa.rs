@@ -1,0 +1,428 @@
+//! SSA construction (the paper's Sec. 4.2).
+//!
+//! Transforms the pre-SSA output of [`mod@crate::lower`] into static single
+//! assignment form: Φ-statements are placed at iterated dominance frontiers
+//! (pruned by liveness so loop headers do not accumulate dead Φs), and a
+//! dominator-tree walk renames every definition to a fresh version.
+//!
+//! Φ operands are labelled with the predecessor block they flow in from;
+//! the Mitos runtime ignores the labels and re-derives the choice from the
+//! execution path (Sec. 5.2.3) — `tests/` property-check the equivalence.
+
+use crate::dom::Dominators;
+use crate::nir::{BlockId, FuncIr, Op, Stmt, Terminator, VarId, VarInfo};
+use mitos_lang::diag::{Diagnostic, Span};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Converts a pre-SSA function into SSA form.
+pub fn to_ssa(func: &FuncIr) -> Result<FuncIr, Diagnostic> {
+    let mut func = func.clone();
+    let dom = Dominators::compute(&func);
+    let live_in = liveness(&func);
+
+    // --- Φ placement -----------------------------------------------------
+    // For every variable with definitions in more than one block, place a Φ
+    // at each block of the iterated dominance frontier of its def blocks,
+    // provided the variable is live on entry there.
+    let mut def_blocks: HashMap<VarId, Vec<BlockId>> = HashMap::new();
+    for (b, block) in func.blocks.iter().enumerate() {
+        for stmt in &block.stmts {
+            let blocks = def_blocks.entry(stmt.target).or_default();
+            if !blocks.contains(&(b as BlockId)) {
+                blocks.push(b as BlockId);
+            }
+        }
+    }
+    let preds = func.predecessors();
+    // Records the original variable of every inserted Φ, keyed by
+    // (block, position), so renaming can fill the operands per predecessor.
+    let mut phi_original: HashMap<(BlockId, usize), VarId> = HashMap::new();
+    let mut vars_sorted: Vec<VarId> = def_blocks.keys().copied().collect();
+    vars_sorted.sort_unstable();
+    for v in vars_sorted {
+        let blocks = &def_blocks[&v];
+        if blocks.len() < 2 {
+            continue;
+        }
+        for target_block in dom.iterated_frontier(&func, blocks) {
+            if !live_in[target_block as usize].contains(&v) {
+                continue;
+            }
+            let inputs = preds[target_block as usize]
+                .iter()
+                .map(|&p| (p, v))
+                .collect();
+            let block = &mut func.blocks[target_block as usize];
+            block.stmts.insert(
+                0,
+                Stmt {
+                    target: v,
+                    op: Op::Phi { inputs },
+                },
+            );
+            // Shift previously recorded positions in this block.
+            let shifted: Vec<((BlockId, usize), VarId)> = phi_original
+                .iter()
+                .filter(|((b, _), _)| *b == target_block)
+                .map(|(&(b, i), &ov)| ((b, i + 1), ov))
+                .collect();
+            phi_original.retain(|(b, _), _| *b != target_block);
+            phi_original.extend(shifted);
+            phi_original.insert((target_block, 0), v);
+        }
+    }
+
+    // --- Renaming ---------------------------------------------------------
+    let old_vars = func.vars.clone();
+    let mut new_vars: Vec<VarInfo> = Vec::new();
+    let mut version_count: HashMap<VarId, usize> = HashMap::new();
+    let mut stacks: HashMap<VarId, Vec<VarId>> = HashMap::new();
+    let fresh = |old: VarId,
+                     new_vars: &mut Vec<VarInfo>,
+                     version_count: &mut HashMap<VarId, usize>|
+     -> VarId {
+        let version = version_count.entry(old).or_insert(0);
+        *version += 1;
+        let info = &old_vars[old as usize];
+        let name: Arc<str> = if *version == 1 {
+            info.name.clone()
+        } else {
+            Arc::from(format!("{}.{}", info.name, version).as_str())
+        };
+        let id = new_vars.len() as VarId;
+        new_vars.push(VarInfo {
+            name,
+            is_scalar: info.is_scalar,
+        });
+        id
+    };
+
+    // Explicit-stack DFS over the dominator tree.
+    enum Action {
+        Visit(BlockId),
+        Pop(Vec<VarId>),
+    }
+    let mut work = vec![Action::Visit(0)];
+    let succs = func.successors();
+    let mut error: Option<Diagnostic> = None;
+    // We mutate blocks in place; phi operand filling needs access to
+    // successor blocks while the current block is borrowed, so take the
+    // whole blocks vector in and out via indices.
+    while let Some(action) = work.pop() {
+        match action {
+            Action::Pop(defined) => {
+                for old in defined {
+                    stacks.get_mut(&old).expect("pushed").pop();
+                }
+            }
+            Action::Visit(b) => {
+                let mut defined_here: Vec<VarId> = Vec::new();
+                let n_stmts = func.blocks[b as usize].stmts.len();
+                for i in 0..n_stmts {
+                    let is_phi = func.blocks[b as usize].stmts[i].op.is_phi();
+                    if !is_phi {
+                        let stmt = &mut func.blocks[b as usize].stmts[i];
+                        let mut missing: Option<VarId> = None;
+                        stmt.op.map_uses(|old| {
+                            match stacks.get(&old).and_then(|s| s.last()) {
+                                Some(&new) => new,
+                                None => {
+                                    missing = Some(old);
+                                    old
+                                }
+                            }
+                        });
+                        if let Some(old) = missing {
+                            error.get_or_insert_with(|| {
+                                Diagnostic::new(
+                                    format!(
+                                        "variable `{}` may be used before assignment",
+                                        old_vars[old as usize].name
+                                    ),
+                                    Span::default(),
+                                )
+                            });
+                        }
+                    }
+                    let old_target = func.blocks[b as usize].stmts[i].target;
+                    let new_target = fresh(old_target, &mut new_vars, &mut version_count);
+                    func.blocks[b as usize].stmts[i].target = new_target;
+                    stacks.entry(old_target).or_default().push(new_target);
+                    defined_here.push(old_target);
+                }
+                // Rewrite the branch condition.
+                if let Terminator::Branch { cond, .. } = &mut func.blocks[b as usize].term {
+                    match stacks.get(cond).and_then(|s| s.last()) {
+                        Some(&new) => *cond = new,
+                        None => {
+                            error.get_or_insert_with(|| {
+                                Diagnostic::new(
+                                    format!(
+                                        "condition `{}` may be used before assignment",
+                                        old_vars[*cond as usize].name
+                                    ),
+                                    Span::default(),
+                                )
+                            });
+                        }
+                    }
+                }
+                // Fill Φ operands of successors for the edge b -> s.
+                for &s in &succs[b as usize] {
+                    let n = func.blocks[s as usize].stmts.len();
+                    for i in 0..n {
+                        let Some(&orig) = phi_original.get(&(s, i)) else {
+                            continue;
+                        };
+                        let Op::Phi { inputs } = &mut func.blocks[s as usize].stmts[i].op else {
+                            continue;
+                        };
+                        for (pred, operand) in inputs.iter_mut() {
+                            if *pred == b {
+                                match stacks.get(&orig).and_then(|st| st.last()) {
+                                    Some(&new) => *operand = new,
+                                    None => {
+                                        error.get_or_insert_with(|| {
+                                            Diagnostic::new(
+                                                format!(
+                                                    "variable `{}` may be used before \
+                                                     assignment (missing on a control-flow path)",
+                                                    old_vars[orig as usize].name
+                                                ),
+                                                Span::default(),
+                                            )
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                work.push(Action::Pop(defined_here));
+                // Visit dominator-tree children (reverse for stable order).
+                for &child in dom.dom_children[b as usize].iter().rev() {
+                    work.push(Action::Visit(child));
+                }
+            }
+        }
+    }
+    if let Some(e) = error {
+        return Err(e);
+    }
+    func.vars = new_vars;
+    Ok(func)
+}
+
+/// Per-block live-in variable sets (backward iterative dataflow).
+fn liveness(func: &FuncIr) -> Vec<Vec<VarId>> {
+    let n = func.blocks.len();
+    let mut gen: Vec<Vec<VarId>> = Vec::with_capacity(n); // upward-exposed uses
+    let mut kill: Vec<Vec<VarId>> = Vec::with_capacity(n); // definitions
+    for block in &func.blocks {
+        let mut defined: Vec<VarId> = Vec::new();
+        let mut used: Vec<VarId> = Vec::new();
+        for stmt in &block.stmts {
+            for u in stmt.op.uses() {
+                if !defined.contains(&u) && !used.contains(&u) {
+                    used.push(u);
+                }
+            }
+            if !defined.contains(&stmt.target) {
+                defined.push(stmt.target);
+            }
+        }
+        if let Terminator::Branch { cond, .. } = &block.term {
+            if !defined.contains(cond) && !used.contains(cond) {
+                used.push(*cond);
+            }
+        }
+        gen.push(used);
+        kill.push(defined);
+    }
+    let succs = func.successors();
+    let mut live_in: Vec<Vec<VarId>> = gen.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut new_in = gen[b].clone();
+            for &s in &succs[b] {
+                for &v in &live_in[s as usize] {
+                    if !kill[b].contains(&v) && !new_in.contains(&v) {
+                        new_in.push(v);
+                    }
+                }
+            }
+            new_in.sort_unstable();
+            let mut cur = live_in[b].clone();
+            cur.sort_unstable();
+            if new_in != cur {
+                live_in[b] = new_in;
+                changed = true;
+            }
+        }
+    }
+    live_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use mitos_lang::parse;
+
+    fn ssa_of(src: &str) -> FuncIr {
+        to_ssa(&lower(&parse(src).unwrap()).unwrap()).unwrap()
+    }
+
+    fn single_assignment_holds(f: &FuncIr) {
+        let mut seen = vec![0usize; f.vars.len()];
+        for block in &f.blocks {
+            for stmt in &block.stmts {
+                seen[stmt.target as usize] += 1;
+            }
+        }
+        for (v, &count) in seen.iter().enumerate() {
+            assert!(
+                count <= 1,
+                "variable {} defined {count} times",
+                f.var_name(v as VarId)
+            );
+        }
+    }
+
+    #[test]
+    fn loop_counter_gets_header_phi() {
+        let f = ssa_of("i = 0; while (i < 3) { i = i + 1; } output(i, \"i\");");
+        single_assignment_holds(&f);
+        // The header (block 1) starts with a phi for i.
+        let header = &f.blocks[1];
+        match &header.stmts[0].op {
+            Op::Phi { inputs } => {
+                assert_eq!(inputs.len(), 2, "entry and back edge");
+                let preds: Vec<BlockId> = inputs.iter().map(|(p, _)| *p).collect();
+                assert!(preds.contains(&0) && preds.contains(&2));
+            }
+            other => panic!("expected phi, got {other:?}"),
+        }
+        assert_eq!(f.var_name(header.stmts[0].target), "i.2");
+    }
+
+    #[test]
+    fn if_join_gets_phi() {
+        let f = ssa_of("c = true; if (c) { x = 1; } else { x = 2; } output(x, \"x\");");
+        single_assignment_holds(&f);
+        let join = &f.blocks[3];
+        assert!(matches!(join.stmts[0].op, Op::Phi { .. }));
+    }
+
+    #[test]
+    fn dead_variables_get_no_phi() {
+        // `x` is reassigned in both branches but never used afterwards:
+        // liveness pruning must not insert a phi for it.
+        let f = ssa_of("c = true; x = 0; if (c) { x = 1; } else { x = 2; }");
+        for block in &f.blocks {
+            for stmt in &block.stmts {
+                assert!(
+                    !stmt.op.is_phi(),
+                    "unexpected phi for dead variable {}",
+                    f.var_name(stmt.target)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_unchanged_structurally() {
+        let f = ssa_of("a = 1; b = a + 1; output(b, \"b\");");
+        single_assignment_holds(&f);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].stmts.len(), 3);
+    }
+
+    #[test]
+    fn nested_loops_phi_at_both_headers() {
+        let f = ssa_of(
+            "i = 0; s = 0; while (i < 2) { j = 0; while (j < 2) { s = s + 1; j = j + 1; } i = i + 1; } output(s, \"s\");",
+        );
+        single_assignment_holds(&f);
+        let phi_count: usize = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter(|s| s.op.is_phi())
+            .count();
+        // i and s at the outer header; j and s at the inner header.
+        // (j is dead at the outer header.)
+        assert!(phi_count >= 4, "got {phi_count} phis");
+    }
+
+    #[test]
+    fn use_before_assignment_is_an_error() {
+        // `y` is only assigned in one branch but used after the if.
+        let src = "c = true; if (c) { y = 1; } else { } output(y, \"y\");";
+        let pre = lower(&parse(src).unwrap()).unwrap();
+        let result = to_ssa(&pre);
+        assert!(result.is_err());
+        assert!(result
+            .unwrap_err()
+            .message
+            .contains("used before assignment"));
+    }
+
+    #[test]
+    fn versions_are_named() {
+        let f = ssa_of("x = 1; x = x + 1; output(x, \"x\");");
+        let names: Vec<&str> = f.vars.iter().map(|v| &*v.name).collect();
+        assert!(names.contains(&"x"));
+        assert!(names.contains(&"x.2"));
+    }
+
+    #[test]
+    fn visit_count_structure_matches_paper_figure_3() {
+        // The running example: the do-while loop with an if inside.
+        let src = r#"
+            yesterday = empty;
+            day = 1;
+            do {
+                visits = readFile("pageVisitLog" + day);
+                counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b);
+                if (day != 1) {
+                    diffs = (counts join yesterday).map(t => abs(t[1] - t[2]));
+                    writeFile(diffs.sum(), "diff" + day);
+                }
+                yesterday = counts;
+                day = day + 1;
+            } while (day <= 365);
+        "#;
+        let f = ssa_of(src);
+        single_assignment_holds(&f);
+        // Paper Figure 3a: phis for yesterdayCnts and day at the loop head.
+        let body_head = &f.blocks[1];
+        let phi_names: Vec<&str> = body_head
+            .stmts
+            .iter()
+            .filter(|s| s.op.is_phi())
+            .map(|s| f.var_name(s.target))
+            .collect();
+        assert_eq!(phi_names.len(), 2, "phis: {phi_names:?}");
+        assert!(phi_names.iter().any(|n| n.starts_with("yesterday")));
+        assert!(phi_names.iter().any(|n| n.starts_with("day")));
+    }
+
+    #[test]
+    fn liveness_flows_through_loops() {
+        let pre = lower(&parse("x = 1; while (x < 3) { x = x + 1; } output(x, \"x\");").unwrap())
+            .unwrap();
+        let live = liveness(&pre);
+        // x must be live into the header (block 1) and the body (block 2).
+        let x = pre
+            .vars
+            .iter()
+            .position(|v| &*v.name == "x")
+            .unwrap() as VarId;
+        assert!(live[1].contains(&x));
+        assert!(live[2].contains(&x));
+    }
+}

@@ -1,0 +1,291 @@
+//! SSA invariant checking.
+//!
+//! Run after [`crate::ssa::to_ssa`] (the compile pipeline does this
+//! automatically) and property-tested over random programs: a program that
+//! passes validation is safe for the runtime's assumptions.
+
+use crate::dom::Dominators;
+use crate::nir::{BlockId, FuncIr, Op, Terminator, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A violated SSA invariant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidationError {
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SSA: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn bail(msg: String) -> Result<(), ValidationError> {
+    Err(ValidationError { message: msg })
+}
+
+/// Checks all SSA invariants; returns the first violation found.
+pub fn validate(func: &FuncIr) -> Result<(), ValidationError> {
+    let n_vars = func.vars.len();
+    // Locate the unique definition of every variable.
+    let mut def_site: HashMap<VarId, (BlockId, usize)> = HashMap::new();
+    for (b, block) in func.blocks.iter().enumerate() {
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            for u in stmt.op.uses() {
+                if u as usize >= n_vars {
+                    return bail(format!("use of out-of-range variable {u}"));
+                }
+            }
+            if stmt.target as usize >= n_vars {
+                return bail(format!("def of out-of-range variable {}", stmt.target));
+            }
+            if def_site
+                .insert(stmt.target, (b as BlockId, i))
+                .is_some()
+            {
+                return bail(format!(
+                    "variable `{}` has multiple definitions",
+                    func.var_name(stmt.target)
+                ));
+            }
+        }
+    }
+
+    let preds = func.predecessors();
+    let dom = Dominators::compute(func);
+
+    for (b, block) in func.blocks.iter().enumerate() {
+        let b_id = b as BlockId;
+        let mut past_phis = false;
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            match &stmt.op {
+                Op::Phi { inputs } => {
+                    if past_phis {
+                        return bail(format!(
+                            "phi `{}` appears after non-phi statements",
+                            func.var_name(stmt.target)
+                        ));
+                    }
+                    if b == 0 {
+                        return bail("phi in the entry block".to_string());
+                    }
+                    if inputs.len() < 2 {
+                        return bail(format!(
+                            "phi `{}` has fewer than two operands",
+                            func.var_name(stmt.target)
+                        ));
+                    }
+                    let mut expected: Vec<BlockId> = preds[b].clone();
+                    expected.sort_unstable();
+                    let mut got: Vec<BlockId> = inputs.iter().map(|(p, _)| *p).collect();
+                    got.sort_unstable();
+                    if expected != got {
+                        return bail(format!(
+                            "phi `{}` operands {:?} do not match predecessors {:?}",
+                            func.var_name(stmt.target),
+                            got,
+                            expected
+                        ));
+                    }
+                    // Each operand's definition must dominate its
+                    // predecessor block.
+                    for (p, v) in inputs {
+                        let Some(&(def_b, _)) = def_site.get(v) else {
+                            return bail(format!(
+                                "phi operand `{}` is never defined",
+                                func.var_name(*v)
+                            ));
+                        };
+                        if !dom.dominates(def_b, *p) {
+                            return bail(format!(
+                                "phi operand `{}` (defined in block {def_b}) does not \
+                                 dominate predecessor {p}",
+                                func.var_name(*v)
+                            ));
+                        }
+                    }
+                }
+                op => {
+                    past_phis = true;
+                    for u in op.uses() {
+                        let Some(&(def_b, def_i)) = def_site.get(&u) else {
+                            return bail(format!(
+                                "variable `{}` used but never defined",
+                                func.var_name(u)
+                            ));
+                        };
+                        let ok = if def_b == b_id {
+                            def_i < i
+                        } else {
+                            dom.dominates(def_b, b_id)
+                        };
+                        if !ok {
+                            return bail(format!(
+                                "use of `{}` in block {b} is not dominated by its \
+                                 definition in block {def_b}",
+                                func.var_name(u)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Branch conditions: defined in the same block (the deciding block
+        // owns its condition node) and scalar-typed.
+        if let Terminator::Branch { cond, .. } = &block.term {
+            match def_site.get(cond) {
+                None => {
+                    return bail(format!(
+                        "branch condition `{}` is never defined",
+                        func.var_name(*cond)
+                    ))
+                }
+                Some(&(def_b, _)) => {
+                    if def_b != b_id {
+                        return bail(format!(
+                            "branch condition `{}` must be defined in its deciding \
+                             block {b} (defined in {def_b})",
+                            func.var_name(*cond)
+                        ));
+                    }
+                }
+            }
+            if !func.vars[*cond as usize].is_scalar {
+                return bail(format!(
+                    "branch condition `{}` is not a scalar",
+                    func.var_name(*cond)
+                ));
+            }
+        }
+        for s in block.term.successors() {
+            if s as usize >= func.blocks.len() {
+                return bail(format!("jump to out-of-range block {s}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::nir::{Block, Stmt, VarInfo};
+    use crate::ssa::to_ssa;
+    use mitos_lang::{parse, Expr};
+    use std::sync::Arc;
+
+    fn compile(src: &str) -> FuncIr {
+        to_ssa(&lower(&parse(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn pipeline_output_validates() {
+        let srcs = [
+            "a = 1; output(a, \"a\");",
+            "i = 0; while (i < 3) { i = i + 1; } output(i, \"i\");",
+            "c = true; if (c) { x = 1; } else { x = 2; } output(x, \"x\");",
+            "i = 0; s = 0; while (i < 2) { j = 0; while (j < 2) { s = s + 1; j = j + 1; } i = i + 1; } output(s, \"s\");",
+        ];
+        for src in srcs {
+            validate(&compile(src)).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn detects_double_definition() {
+        let mut f = compile("a = 1; output(a, \"a\");");
+        let dup = f.blocks[0].stmts[0].clone();
+        f.blocks[0].stmts.push(dup);
+        assert!(validate(&f).unwrap_err().message.contains("multiple"));
+    }
+
+    #[test]
+    fn detects_use_before_def_in_block() {
+        let f = FuncIr {
+            blocks: vec![Block {
+                stmts: vec![
+                    Stmt {
+                        target: 0,
+                        op: Op::Singleton {
+                            captured: vec![1],
+                            expr: Expr::Param(0),
+                        },
+                    },
+                    Stmt {
+                        target: 1,
+                        op: Op::Singleton {
+                            captured: vec![],
+                            expr: Expr::lit(1i64),
+                        },
+                    },
+                ],
+                term: Terminator::Exit,
+            }],
+            vars: vec![
+                VarInfo {
+                    name: Arc::from("a"),
+                    is_scalar: true,
+                },
+                VarInfo {
+                    name: Arc::from("b"),
+                    is_scalar: true,
+                },
+            ],
+        };
+        assert!(validate(&f)
+            .unwrap_err()
+            .message
+            .contains("not dominated"));
+    }
+
+    #[test]
+    fn detects_condition_defined_elsewhere() {
+        let mut f = compile("c = true; if (c) { x = 1; } else { x = 2; } output(x, \"x\");");
+        // Move the condition node out of the deciding block.
+        let cond_stmt = f.blocks[0].stmts.pop().unwrap();
+        f.blocks[1].stmts.insert(0, cond_stmt);
+        let msg = validate(&f).unwrap_err().message;
+        assert!(msg.contains("deciding block") || msg.contains("not dominated"), "{msg}");
+    }
+
+    #[test]
+    fn detects_phi_pred_mismatch() {
+        let mut f = compile("i = 0; while (i < 3) { i = i + 1; } output(i, \"i\");");
+        // Corrupt the header phi's predecessor labels.
+        for block in &mut f.blocks {
+            for stmt in &mut block.stmts {
+                if let Op::Phi { inputs } = &mut stmt.op {
+                    inputs[0].0 = 99;
+                    assert!(validate(&f).unwrap_err().message.contains("predecessors"));
+                    return;
+                }
+            }
+        }
+        panic!("no phi found");
+    }
+
+    #[test]
+    fn detects_phi_after_non_phi() {
+        let mut f = compile("i = 0; while (i < 3) { i = i + 1; } output(i, \"i\");");
+        for block in &mut f.blocks {
+            let phi_pos = block.stmts.iter().position(|s| s.op.is_phi());
+            if let Some(p) = phi_pos {
+                if block.stmts.len() > p + 1 {
+                    block.stmts.swap(p, p + 1);
+                    let msg = validate(&f).unwrap_err().message;
+                    assert!(
+                        msg.contains("after non-phi") || msg.contains("not dominated"),
+                        "{msg}"
+                    );
+                    return;
+                }
+            }
+        }
+        panic!("no phi followed by a statement");
+    }
+}

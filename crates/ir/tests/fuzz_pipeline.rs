@@ -1,0 +1,42 @@
+//! Robustness fuzzing of the whole compile pipeline: any string that
+//! parses must lower, SSA-convert, and validate without panicking.
+
+use mitos_lang::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Mutations of a valid program (random truncation + splice) never
+    /// panic, and still-valid results compile or report errors gracefully.
+    #[test]
+    fn mutated_programs_never_panic(cut in 0usize..300, splice in "[;{}()=]{0,5}") {
+        let base = r#"
+            yesterday = empty;
+            day = 1;
+            do {
+                visits = readFile("log" + day);
+                counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b);
+                if (day != 1) {
+                    diffs = (counts join yesterday).map(t => abs(t[1] - t[2]));
+                    writeFile(diffs.sum(), "diff" + day);
+                }
+                yesterday = counts;
+                day = day + 1;
+            } while (day <= 3);
+        "#;
+        let cut = cut.min(base.len());
+        // Cut on a char boundary.
+        let mut cut = cut;
+        while !base.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let mutated = format!("{}{}{}", &base[..cut], splice, &base[cut..]);
+        if let Ok(program) = parse(&mutated) {
+            // Whatever parses must also survive the whole compile pipeline
+            // without panicking.
+            let _ = mitos_ir::compile(&program);
+        }
+    }
+
+}

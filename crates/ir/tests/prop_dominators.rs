@@ -1,0 +1,166 @@
+//! Property tests for the dominator analysis: the Cooper–Harvey–Kennedy
+//! implementation is checked against a brute-force definition of dominance
+//! ("a dominates b iff removing a disconnects the entry from b") on random
+//! CFGs, and the dominance-frontier characterization is verified directly.
+
+use mitos_ir::nir::{Block, FuncIr, Terminator, VarInfo};
+use mitos_ir::{BlockId, Dominators};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random CFG: every block gets 0–2 successors drawn from the non-entry
+/// blocks — the compiler's lowering never makes the entry a jump target
+/// (loop headers are always fresh blocks), and the dominance-frontier
+/// algorithm relies on that (an entry self-loop is the one degenerate case
+/// where the |preds| ≥ 2 shortcut of Cooper–Harvey–Kennedy diverges from
+/// the textbook DF definition).
+fn arb_cfg(max_blocks: usize) -> impl Strategy<Value = FuncIr> {
+    (2..=max_blocks).prop_flat_map(move |n| {
+        prop::collection::vec((0usize..=2, 1..n, 1..n), n).prop_map(move |specs| {
+            let blocks = specs
+                .iter()
+                .map(|&(arity, a, b)| Block {
+                    stmts: vec![],
+                    term: match arity {
+                        0 => Terminator::Exit,
+                        1 => Terminator::Jump(a as BlockId),
+                        _ => Terminator::Branch {
+                            cond: 0,
+                            then_blk: a as BlockId,
+                            else_blk: b as BlockId,
+                        },
+                    },
+                })
+                .collect();
+            FuncIr {
+                blocks,
+                vars: vec![VarInfo {
+                    name: Arc::from("c"),
+                    is_scalar: true,
+                }],
+            }
+        })
+    })
+}
+
+/// Blocks reachable from the entry without visiting `avoid`.
+fn reachable_avoiding(func: &FuncIr, avoid: Option<BlockId>) -> Vec<bool> {
+    let succs = func.successors();
+    let mut seen = vec![false; func.block_count()];
+    if avoid == Some(0) {
+        return seen;
+    }
+    seen[0] = true;
+    let mut stack = vec![0 as BlockId];
+    while let Some(b) = stack.pop() {
+        for &s in &succs[b as usize] {
+            if Some(s) == avoid || seen[s as usize] {
+                continue;
+            }
+            seen[s as usize] = true;
+            stack.push(s);
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// `dominates(a, b)` agrees with the brute-force definition for all
+    /// reachable pairs.
+    #[test]
+    fn dominators_match_brute_force(func in arb_cfg(9)) {
+        let dom = Dominators::compute(&func);
+        let reachable = reachable_avoiding(&func, None);
+        let n = func.block_count();
+        for a in 0..n as BlockId {
+            if !reachable[a as usize] {
+                continue;
+            }
+            let cut = reachable_avoiding(&func, Some(a));
+            for b in 0..n as BlockId {
+                if !reachable[b as usize] {
+                    continue;
+                }
+                // a dominates b  <=>  b unreachable when a is removed
+                // (with a dominating itself).
+                let brute = a == b || !cut[b as usize];
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    brute,
+                    "a={} b={} (n={})",
+                    a, b, n
+                );
+            }
+        }
+    }
+
+    /// Every reachable non-entry block's immediate dominator strictly
+    /// dominates it and is reachable.
+    #[test]
+    fn idom_is_a_strict_dominator(func in arb_cfg(9)) {
+        let dom = Dominators::compute(&func);
+        let reachable = reachable_avoiding(&func, None);
+        for b in 1..func.block_count() as BlockId {
+            if !reachable[b as usize] {
+                continue;
+            }
+            let Some(d) = dom.idom[b as usize] else {
+                prop_assert!(false, "reachable block {b} has no idom");
+                unreachable!()
+            };
+            prop_assert!(dom.dominates(d, b));
+            prop_assert!(reachable[d as usize]);
+        }
+    }
+
+    /// The dominance frontier characterization: `b ∈ DF(a)` iff `a`
+    /// dominates some predecessor of `b` but does not strictly dominate
+    /// `b`.
+    #[test]
+    fn frontier_characterization(func in arb_cfg(8)) {
+        let dom = Dominators::compute(&func);
+        let df = dom.frontiers(&func);
+        let preds = func.predecessors();
+        let reachable = reachable_avoiding(&func, None);
+        let n = func.block_count();
+        for a in 0..n as BlockId {
+            if !reachable[a as usize] {
+                continue;
+            }
+            for b in 0..n as BlockId {
+                if !reachable[b as usize] {
+                    continue;
+                }
+                let expected = preds[b as usize]
+                    .iter()
+                    .filter(|&&p| reachable[p as usize])
+                    .any(|&p| dom.dominates(a, p))
+                    && !(a != b && dom.dominates(a, b));
+                prop_assert_eq!(
+                    df[a as usize].contains(&b),
+                    expected,
+                    "a={} b={}",
+                    a, b
+                );
+            }
+        }
+    }
+
+    /// Reverse postorder visits every reachable block exactly once, entry
+    /// first, and respects forward-edge order for acyclic pairs.
+    #[test]
+    fn reverse_postorder_properties(func in arb_cfg(9)) {
+        let rpo = func.reverse_postorder();
+        let reachable = reachable_avoiding(&func, None);
+        let expected: usize = reachable.iter().filter(|&&r| r).count();
+        prop_assert_eq!(rpo.len(), expected);
+        prop_assert_eq!(rpo[0], 0);
+        let mut seen = std::collections::HashSet::new();
+        for &b in &rpo {
+            prop_assert!(reachable[b as usize]);
+            prop_assert!(seen.insert(b), "duplicate {b}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the bag kernels: each operator's optimized
+//! implementation must agree with a naive specification on random inputs.
+
+use mitos_ir::kernel;
+use mitos_lang::expr::{BinOp, Expr};
+use mitos_lang::{canonicalize, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn kv(k: i64, v: i64) -> Value {
+    Value::tuple([Value::I64(k), Value::I64(v)])
+}
+
+fn arb_pairs(max: usize) -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec((-5i64..5, -100i64..100), 0..max)
+        .prop_map(|ps| ps.into_iter().map(|(k, v)| kv(k, v)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Hash join equals the nested-loop specification (as multisets).
+    #[test]
+    fn join_equals_nested_loop(left in arb_pairs(24), right in arb_pairs(24)) {
+        let fast = canonicalize(kernel::join(&left, &right));
+        let mut naive = Vec::new();
+        for l in &left {
+            for r in &right {
+                if l.key() == r.key() {
+                    naive.push(kernel::join_row(l.key(), l, r));
+                }
+            }
+        }
+        prop_assert_eq!(fast, canonicalize(naive));
+    }
+
+    /// Join cardinality: |A ⋈ B| = Σ_k |A_k| · |B_k|.
+    #[test]
+    fn join_cardinality(left in arb_pairs(30), right in arb_pairs(30)) {
+        let mut lc: HashMap<Value, usize> = HashMap::new();
+        let mut rc: HashMap<Value, usize> = HashMap::new();
+        for l in &left { *lc.entry(l.key().clone()).or_default() += 1; }
+        for r in &right { *rc.entry(r.key().clone()).or_default() += 1; }
+        let expected: usize = lc
+            .iter()
+            .map(|(k, n)| n * rc.get(k).copied().unwrap_or(0))
+            .sum();
+        prop_assert_eq!(kernel::join(&left, &right).len(), expected);
+    }
+
+    /// reduceByKey with addition equals group-then-sum.
+    #[test]
+    fn reduce_by_key_equals_group_sum(input in arb_pairs(40)) {
+        let add = Expr::bin(BinOp::Add, Expr::Param(0), Expr::Param(1));
+        let fast = kernel::reduce_by_key(&add, &[], &input).unwrap();
+        let mut sums: HashMap<i64, i64> = HashMap::new();
+        for p in &input {
+            let t = p.as_tuple().unwrap();
+            *sums.entry(t[0].as_i64().unwrap()).or_default() += t[1].as_i64().unwrap();
+        }
+        let mut naive: Vec<Value> = sums.into_iter().map(|(k, v)| kv(k, v)).collect();
+        naive.sort_unstable();
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// reduceByKey output has exactly one row per distinct key.
+    #[test]
+    fn reduce_by_key_keys_unique(input in arb_pairs(40)) {
+        let add = Expr::bin(BinOp::Add, Expr::Param(0), Expr::Param(1));
+        let out = kernel::reduce_by_key(&add, &[], &input).unwrap();
+        let keys: std::collections::HashSet<Value> =
+            out.iter().map(|r| r.key().clone()).collect();
+        prop_assert_eq!(keys.len(), out.len());
+        let distinct_in: std::collections::HashSet<Value> =
+            input.iter().map(|r| r.key().clone()).collect();
+        prop_assert_eq!(keys.len(), distinct_in.len());
+    }
+
+    /// distinct is idempotent and preserves the support set.
+    #[test]
+    fn distinct_idempotent(input in arb_pairs(40)) {
+        let once = kernel::distinct(&input);
+        let twice = kernel::distinct(&once);
+        prop_assert_eq!(&once, &twice);
+        let support_in: std::collections::HashSet<&Value> = input.iter().collect();
+        let support_out: std::collections::HashSet<&Value> = once.iter().collect();
+        prop_assert_eq!(support_in, support_out);
+        prop_assert_eq!(once.len(), twice.len());
+    }
+
+    /// map preserves cardinality; filter's output is a sub-multiset.
+    #[test]
+    fn map_and_filter_shape(input in arb_pairs(40), c in -50i64..50) {
+        let double = Expr::Tuple(vec![
+            Expr::Index(Box::new(Expr::Param(0)), 0),
+            Expr::bin(
+                BinOp::Mul,
+                Expr::Index(Box::new(Expr::Param(0)), 1),
+                Expr::lit(2i64),
+            ),
+        ]);
+        prop_assert_eq!(kernel::map(&double, &[], &input).unwrap().len(), input.len());
+        let pred = Expr::bin(
+            BinOp::Gt,
+            Expr::Index(Box::new(Expr::Param(0)), 1),
+            Expr::lit(c),
+        );
+        let kept = kernel::filter(&pred, &[], &input).unwrap();
+        prop_assert!(kept.len() <= input.len());
+        // Filter + complementary filter partition the input.
+        let npred = Expr::bin(
+            BinOp::Le,
+            Expr::Index(Box::new(Expr::Param(0)), 1),
+            Expr::lit(c),
+        );
+        let dropped = kernel::filter(&npred, &[], &input).unwrap();
+        let mut both = kept;
+        both.extend(dropped);
+        prop_assert_eq!(canonicalize(both), canonicalize(input));
+    }
+
+    /// reduce with a sum initial value equals the arithmetic sum.
+    #[test]
+    fn reduce_sum_is_sum(values in prop::collection::vec(-100i64..100, 0..40)) {
+        let input: Vec<Value> = values.iter().copied().map(Value::I64).collect();
+        let add = Expr::bin(BinOp::Add, Expr::Param(0), Expr::Param(1));
+        let out = kernel::reduce(&add, &[], Some(&Value::I64(0)), &input).unwrap();
+        prop_assert_eq!(out, Some(Value::I64(values.iter().sum())));
+    }
+
+    /// cross cardinality is the product; every pair appears.
+    #[test]
+    fn cross_is_cartesian(a in arb_pairs(12), b in arb_pairs(12)) {
+        let out = kernel::cross(&a, &b);
+        prop_assert_eq!(out.len(), a.len() * b.len());
+        if let (Some(x), Some(y)) = (a.first(), b.first()) {
+            let expected = Value::tuple([x.clone(), y.clone()]);
+            prop_assert!(out.contains(&expected));
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The surface abstract syntax tree of the Mitos data-analysis language.
+//!
+//! This is the "program with imperative control flow" of the paper's Figure 2:
+//! ordinary assignments, `if`/`while`/`do-while` statements, and a
+//! collection-based bag algebra (`map`, `filter`, `join`, `reduceByKey`, ...)
+//! embedded in expressions. The AST is produced either by the textual parser
+//! ([`crate::parser`]) or programmatically via the fluent methods on
+//! [`SurfExpr`]; it is consumed by the `mitos-ir` lowering which simplifies it
+//! and converts it to SSA.
+
+use crate::expr::{BinOp, Func, UnOp};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A lambda passed to a bag operator, e.g. `x => (x, 1)`.
+///
+/// The body is a *scalar* expression: it may refer to the parameters and to
+/// scalar program variables (which become captured one-element-bag inputs of
+/// the operator during dataflow building), but it may not contain bag
+/// operations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Lambda {
+    /// Parameter names; one for unary lambdas, two for combiners.
+    pub params: Vec<Arc<str>>,
+    /// The body expression.
+    pub body: Box<SurfExpr>,
+}
+
+impl Lambda {
+    /// A unary lambda `param => body`.
+    pub fn unary(param: impl AsRef<str>, body: SurfExpr) -> Lambda {
+        Lambda {
+            params: vec![Arc::from(param.as_ref())],
+            body: Box::new(body),
+        }
+    }
+
+    /// A binary lambda `(a, b) => body`, used by `reduce`/`reduceByKey`.
+    pub fn binary(a: impl AsRef<str>, b: impl AsRef<str>, body: SurfExpr) -> Lambda {
+        Lambda {
+            params: vec![Arc::from(a.as_ref()), Arc::from(b.as_ref())],
+            body: Box::new(body),
+        }
+    }
+}
+
+/// A surface expression: scalar or bag typed (resolved by the IR binder).
+#[derive(Clone, PartialEq, Debug)]
+pub enum SurfExpr {
+    /// A literal scalar.
+    Lit(Value),
+    /// A variable reference (bag or scalar, decided by the binder).
+    Var(Arc<str>),
+    /// `readFile(name)` — a bag read from the named file.
+    ReadFile(Box<SurfExpr>),
+    /// `empty` — the empty bag.
+    EmptyBag,
+    /// `bag(e1, e2, ...)` — a literal bag of scalar expressions.
+    BagLit(Vec<SurfExpr>),
+    /// `b.map(x => e)`.
+    Map(Box<SurfExpr>, Lambda),
+    /// `b.flatMap(x => [..])` — the lambda returns a list, flattened.
+    FlatMap(Box<SurfExpr>, Lambda),
+    /// `b.filter(x => p)`.
+    Filter(Box<SurfExpr>, Lambda),
+    /// `a join b` — equi-join on element key (field 0); result `(k, l, r)`.
+    Join(Box<SurfExpr>, Box<SurfExpr>),
+    /// `a cross b` — Cartesian product; result `(l, r)`.
+    Cross(Box<SurfExpr>, Box<SurfExpr>),
+    /// `a union b` — bag union (concatenation).
+    Union(Box<SurfExpr>, Box<SurfExpr>),
+    /// `b.reduceByKey((a, b) => e)` — per-key fold of value fields (field 1).
+    ReduceByKey(Box<SurfExpr>, Lambda),
+    /// `b.reduce((a, b) => e)` — global fold; **scalar** result. Errors on an
+    /// empty bag unless a `.sum()`/`.count()` style default applies.
+    Reduce(Box<SurfExpr>, Lambda),
+    /// `b.sum()` — scalar sum (0 for the empty bag).
+    Sum(Box<SurfExpr>),
+    /// `b.count()` — scalar element count.
+    Count(Box<SurfExpr>),
+    /// `b.min()` — scalar minimum (errors on an empty bag).
+    Min(Box<SurfExpr>),
+    /// `b.max()` — scalar maximum (errors on an empty bag).
+    Max(Box<SurfExpr>),
+    /// `b.distinct()`.
+    Distinct(Box<SurfExpr>),
+    /// Tuple construction `(a, b, ...)` (scalar).
+    Tuple(Vec<SurfExpr>),
+    /// List construction `[a, b, ...]` (scalar).
+    List(Vec<SurfExpr>),
+    /// Indexing `e[0]` (scalar).
+    Index(Box<SurfExpr>, usize),
+    /// Unary scalar operation.
+    Unary(UnOp, Box<SurfExpr>),
+    /// Binary scalar operation.
+    Binary(BinOp, Box<SurfExpr>, Box<SurfExpr>),
+    /// Builtin call `abs(e)`, `dist2(a, b)`, ... (scalar).
+    Call(Func, Vec<SurfExpr>),
+    /// Conditional scalar expression `if c then a else b`.
+    IfExpr(Box<SurfExpr>, Box<SurfExpr>, Box<SurfExpr>),
+}
+
+impl SurfExpr {
+    /// A literal.
+    pub fn lit(v: impl Into<Value>) -> SurfExpr {
+        SurfExpr::Lit(v.into())
+    }
+
+    /// A variable reference.
+    pub fn var(name: impl AsRef<str>) -> SurfExpr {
+        SurfExpr::Var(Arc::from(name.as_ref()))
+    }
+
+    /// `readFile(name)`.
+    pub fn read_file(name: SurfExpr) -> SurfExpr {
+        SurfExpr::ReadFile(Box::new(name))
+    }
+
+    /// `self.map(lambda)`.
+    pub fn map(self, lambda: Lambda) -> SurfExpr {
+        SurfExpr::Map(Box::new(self), lambda)
+    }
+
+    /// `self.flatMap(lambda)`.
+    pub fn flat_map(self, lambda: Lambda) -> SurfExpr {
+        SurfExpr::FlatMap(Box::new(self), lambda)
+    }
+
+    /// `self.filter(lambda)`.
+    pub fn filter(self, lambda: Lambda) -> SurfExpr {
+        SurfExpr::Filter(Box::new(self), lambda)
+    }
+
+    /// `self join other`.
+    pub fn join(self, other: SurfExpr) -> SurfExpr {
+        SurfExpr::Join(Box::new(self), Box::new(other))
+    }
+
+    /// `self cross other`.
+    pub fn cross(self, other: SurfExpr) -> SurfExpr {
+        SurfExpr::Cross(Box::new(self), Box::new(other))
+    }
+
+    /// `self union other`.
+    pub fn union(self, other: SurfExpr) -> SurfExpr {
+        SurfExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self.reduceByKey(lambda)`.
+    pub fn reduce_by_key(self, lambda: Lambda) -> SurfExpr {
+        SurfExpr::ReduceByKey(Box::new(self), lambda)
+    }
+
+    /// `self.reduce(lambda)` — scalar result.
+    pub fn reduce(self, lambda: Lambda) -> SurfExpr {
+        SurfExpr::Reduce(Box::new(self), lambda)
+    }
+
+    /// `self.sum()` — scalar result.
+    pub fn sum(self) -> SurfExpr {
+        SurfExpr::Sum(Box::new(self))
+    }
+
+    /// `self.count()` — scalar result.
+    pub fn count(self) -> SurfExpr {
+        SurfExpr::Count(Box::new(self))
+    }
+
+    /// `self.min()` — scalar result.
+    pub fn min(self) -> SurfExpr {
+        SurfExpr::Min(Box::new(self))
+    }
+
+    /// `self.max()` — scalar result.
+    pub fn max(self) -> SurfExpr {
+        SurfExpr::Max(Box::new(self))
+    }
+
+    /// `self.distinct()`.
+    pub fn distinct(self) -> SurfExpr {
+        SurfExpr::Distinct(Box::new(self))
+    }
+
+    /// Binary scalar operation helper.
+    pub fn bin(op: BinOp, l: SurfExpr, r: SurfExpr) -> SurfExpr {
+        SurfExpr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    /// `self[idx]`.
+    pub fn index(self, idx: usize) -> SurfExpr {
+        SurfExpr::Index(Box::new(self), idx)
+    }
+}
+
+/// A statement of the surface language.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `name = expr;`
+    Assign {
+        /// Target variable name.
+        name: Arc<str>,
+        /// Right-hand side (bag or scalar typed).
+        value: SurfExpr,
+    },
+    /// `if (cond) { .. } else { .. }` — the condition is scalar.
+    If {
+        /// Scalar boolean condition.
+        cond: SurfExpr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Scalar boolean condition, evaluated before each step.
+        cond: SurfExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `do { .. } while (cond);`.
+    DoWhile {
+        /// Loop body, executed at least once.
+        body: Vec<Stmt>,
+        /// Scalar boolean condition, evaluated after each step.
+        cond: SurfExpr,
+    },
+    /// `writeFile(value, name);` — writes a bag (or a scalar, wrapped into a
+    /// one-element bag) to the named file.
+    WriteFile {
+        /// The data to write.
+        value: SurfExpr,
+        /// Scalar string file name.
+        name: SurfExpr,
+    },
+    /// `output(value, "tag");` — collects values into the program result
+    /// under the given tag (the quickstart-friendly sink).
+    Output {
+        /// The data to collect (bag or scalar).
+        value: SurfExpr,
+        /// Result tag.
+        tag: Arc<str>,
+    },
+}
+
+/// A complete surface program.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates a program from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Program {
+        Program { stmts }
+    }
+}
+
+fn fmt_block(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    for s in stmts {
+        fmt_stmt(f, s, indent)?;
+    }
+    Ok(())
+}
+
+fn fmt_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Assign { name, value } => writeln!(f, "{pad}{name} = {value};"),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            writeln!(f, "{pad}if ({cond}) {{")?;
+            fmt_block(f, then_body, indent + 1)?;
+            if else_body.is_empty() {
+                writeln!(f, "{pad}}}")
+            } else {
+                writeln!(f, "{pad}}} else {{")?;
+                fmt_block(f, else_body, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+        }
+        Stmt::While { cond, body } => {
+            writeln!(f, "{pad}while ({cond}) {{")?;
+            fmt_block(f, body, indent + 1)?;
+            writeln!(f, "{pad}}}")
+        }
+        Stmt::DoWhile { body, cond } => {
+            writeln!(f, "{pad}do {{")?;
+            fmt_block(f, body, indent + 1)?;
+            writeln!(f, "{pad}}} while ({cond});")
+        }
+        Stmt::WriteFile { value, name } => writeln!(f, "{pad}writeFile({value}, {name});"),
+        Stmt::Output { value, tag } => writeln!(f, "{pad}output({value}, {tag:?});"),
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_block(f, &self.stmts, 0)
+    }
+}
+
+impl fmt::Display for SurfExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn lambda(f: &mut fmt::Formatter<'_>, l: &Lambda) -> fmt::Result {
+            if l.params.len() == 1 {
+                write!(f, "{} => {}", l.params[0], l.body)
+            } else {
+                write!(f, "({}) => {}", l.params.join(", "), l.body)
+            }
+        }
+        match self {
+            SurfExpr::Lit(v) => write!(f, "{v:?}"),
+            SurfExpr::Var(n) => write!(f, "{n}"),
+            SurfExpr::ReadFile(e) => write!(f, "readFile({e})"),
+            SurfExpr::EmptyBag => write!(f, "empty"),
+            SurfExpr::BagLit(es) => {
+                write!(f, "bag(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            SurfExpr::Map(b, l) => {
+                write!(f, "{b}.map(")?;
+                lambda(f, l)?;
+                write!(f, ")")
+            }
+            SurfExpr::FlatMap(b, l) => {
+                write!(f, "{b}.flatMap(")?;
+                lambda(f, l)?;
+                write!(f, ")")
+            }
+            SurfExpr::Filter(b, l) => {
+                write!(f, "{b}.filter(")?;
+                lambda(f, l)?;
+                write!(f, ")")
+            }
+            SurfExpr::Join(a, b) => write!(f, "({a} join {b})"),
+            SurfExpr::Cross(a, b) => write!(f, "({a} cross {b})"),
+            SurfExpr::Union(a, b) => write!(f, "({a} union {b})"),
+            SurfExpr::ReduceByKey(b, l) => {
+                write!(f, "{b}.reduceByKey(")?;
+                lambda(f, l)?;
+                write!(f, ")")
+            }
+            SurfExpr::Reduce(b, l) => {
+                write!(f, "{b}.reduce(")?;
+                lambda(f, l)?;
+                write!(f, ")")
+            }
+            SurfExpr::Sum(b) => write!(f, "{b}.sum()"),
+            SurfExpr::Count(b) => write!(f, "{b}.count()"),
+            SurfExpr::Min(b) => write!(f, "{b}.min()"),
+            SurfExpr::Max(b) => write!(f, "{b}.max()"),
+            SurfExpr::Distinct(b) => write!(f, "{b}.distinct()"),
+            SurfExpr::Tuple(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            SurfExpr::List(es) => {
+                write!(f, "[")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            SurfExpr::Index(e, i) => write!(f, "{e}[{i}]"),
+            SurfExpr::Unary(UnOp::Neg, e) => write!(f, "-({e})"),
+            SurfExpr::Unary(UnOp::Not, e) => write!(f, "!({e})"),
+            SurfExpr::Binary(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
+            SurfExpr::Call(func, es) => {
+                write!(f, "{}(", func.name())?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            SurfExpr::IfExpr(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_builder_mirrors_the_running_example() {
+        // counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b);
+        let counts = SurfExpr::var("visits")
+            .map(Lambda::unary(
+                "x",
+                SurfExpr::Tuple(vec![SurfExpr::var("x"), SurfExpr::lit(1i64)]),
+            ))
+            .reduce_by_key(Lambda::binary(
+                "a",
+                "b",
+                SurfExpr::bin(BinOp::Add, SurfExpr::var("a"), SurfExpr::var("b")),
+            ));
+        let printed = counts.to_string();
+        assert_eq!(
+            printed,
+            "visits.map(x => (x, 1)).reduceByKey((a, b) => (a + b))"
+        );
+    }
+
+    #[test]
+    fn program_display_shows_control_flow() {
+        let p = Program::new(vec![
+            Stmt::Assign {
+                name: Arc::from("day"),
+                value: SurfExpr::lit(1i64),
+            },
+            Stmt::While {
+                cond: SurfExpr::bin(BinOp::Le, SurfExpr::var("day"), SurfExpr::lit(3i64)),
+                body: vec![Stmt::Assign {
+                    name: Arc::from("day"),
+                    value: SurfExpr::bin(BinOp::Add, SurfExpr::var("day"), SurfExpr::lit(1i64)),
+                }],
+            },
+        ]);
+        let text = p.to_string();
+        assert!(text.contains("while ((day <= 3)) {"));
+        assert!(text.contains("  day = (day + 1);"));
+    }
+}

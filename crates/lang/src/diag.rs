@@ -1,0 +1,126 @@
+//! Source-position tracking and error reporting for the frontend.
+
+use std::fmt;
+
+/// A byte range in the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both inputs.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A frontend error (lexing, parsing, or binding), with source location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the source it went wrong.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with a line/column position and a source
+    /// excerpt with a caret, in the style of `rustc`.
+    pub fn render(&self, source: &str) -> String {
+        let (line_no, col, line) = locate(source, self.span.start);
+        let caret_len = self
+            .span
+            .end
+            .saturating_sub(self.span.start)
+            .clamp(1, line.len().saturating_sub(col - 1).max(1));
+        let mut out = String::new();
+        out.push_str(&format!("error: {}\n", self.message));
+        out.push_str(&format!("  --> line {line_no}, column {col}\n"));
+        out.push_str(&format!("   | {line}\n"));
+        out.push_str(&format!(
+            "   | {}{}\n",
+            " ".repeat(col - 1),
+            "^".repeat(caret_len)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Returns (1-based line, 1-based column, line text) of a byte offset.
+/// Offsets inside a multi-byte character snap back to its start.
+fn locate(source: &str, offset: usize) -> (usize, usize, String) {
+    let mut offset = offset.min(source.len());
+    while offset > 0 && !source.is_char_boundary(offset) {
+        offset -= 1;
+    }
+    let before = &source[..offset];
+    let line_no = before.matches('\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |p| p + 1);
+    let line_end = source[offset..]
+        .find('\n')
+        .map_or(source.len(), |p| offset + p);
+    let col = offset - line_start + 1;
+    (line_no, col, source[line_start..line_end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locates_lines_and_columns() {
+        let src = "abc\ndefg\nhi";
+        let (l, c, text) = locate(src, 6);
+        assert_eq!((l, c), (2, 3));
+        assert_eq!(text, "defg");
+    }
+
+    #[test]
+    fn render_includes_caret() {
+        let src = "x = $;\n";
+        let d = Diagnostic::new("unexpected character", Span::new(4, 5));
+        let rendered = d.render(src);
+        assert!(rendered.contains("line 1, column 5"));
+        assert!(rendered.contains("x = $;"));
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn merge_spans() {
+        assert_eq!(Span::new(2, 5).merge(Span::new(4, 9)), Span::new(2, 9));
+    }
+
+    #[test]
+    fn locate_at_end_of_source() {
+        let (l, c, _) = locate("ab", 2);
+        assert_eq!((l, c), (1, 3));
+    }
+}

@@ -1,0 +1,423 @@
+//! Hand-written lexer for the Mitos surface language.
+
+use crate::diag::{Diagnostic, Span};
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Debug)]
+#[allow(missing_docs)] // keyword/punctuation variants are self-describing
+pub enum Tok {
+    /// Identifier or soft keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped content).
+    Str(String),
+    // Hard keywords.
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    To,
+    Then,
+    True,
+    False,
+    Empty,
+    Join,
+    Cross,
+    Union,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Assign,
+    Arrow, // =>
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// A short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Float(v) => format!("float `{v}`"),
+            Tok::Str(s) => format!("string {s:?}"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    fn text(&self) -> &'static str {
+        match self {
+            Tok::If => "if",
+            Tok::Else => "else",
+            Tok::While => "while",
+            Tok::Do => "do",
+            Tok::For => "for",
+            Tok::To => "to",
+            Tok::Then => "then",
+            Tok::True => "true",
+            Tok::False => "false",
+            Tok::Empty => "empty",
+            Tok::Join => "join",
+            Tok::Cross => "cross",
+            Tok::Union => "union",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Comma => ",",
+            Tok::Semi => ";",
+            Tok::Dot => ".",
+            Tok::Assign => "=",
+            Tok::Arrow => "=>",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Bang => "!",
+            _ => "?",
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Tokenizes the whole source; the final token is always [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Skip whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: `//` to end of line.
+        if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "if" => Tok::If,
+                "else" => Tok::Else,
+                "while" => Tok::While,
+                "do" => Tok::Do,
+                "for" => Tok::For,
+                "to" => Tok::To,
+                "then" => Tok::Then,
+                "true" => Tok::True,
+                "false" => Tok::False,
+                "empty" => Tok::Empty,
+                "join" => Tok::Join,
+                "cross" => Tok::Cross,
+                "union" => Tok::Union,
+                _ => Tok::Ident(word.to_string()),
+            };
+            tokens.push(Token {
+                tok,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Numbers: integer or float.
+        if c.is_ascii_digit() {
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            let span = Span::new(start, i);
+            let tok = if is_float {
+                Tok::Float(
+                    text.parse::<f64>()
+                        .map_err(|_| Diagnostic::new("invalid float literal", span))?,
+                )
+            } else {
+                Tok::Int(
+                    text.parse::<i64>()
+                        .map_err(|_| Diagnostic::new("integer literal out of range", span))?,
+                )
+            };
+            tokens.push(Token { tok, span });
+            continue;
+        }
+        // Strings with escapes.
+        if c == b'"' {
+            let mut out = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(Diagnostic::new(
+                        "unterminated string literal",
+                        Span::new(start, i),
+                    ));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        let esc = bytes.get(i).copied().ok_or_else(|| {
+                            Diagnostic::new("unterminated escape", Span::new(start, i))
+                        })?;
+                        out.push(match esc {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            other => {
+                                return Err(Diagnostic::new(
+                                    format!("unknown escape `\\{}`", other as char),
+                                    Span::new(i - 1, i + 1),
+                                ))
+                            }
+                        });
+                        i += 1;
+                    }
+                    _ => {
+                        // Consume one UTF-8 code point.
+                        let rest = &src[i..];
+                        let ch = rest.chars().next().expect("in-bounds char");
+                        out.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            tokens.push(Token {
+                tok: Tok::Str(out),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Punctuation.
+        let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+        let (tok, len) = if two(b'=', b'>') {
+            (Tok::Arrow, 2)
+        } else if two(b'=', b'=') {
+            (Tok::EqEq, 2)
+        } else if two(b'!', b'=') {
+            (Tok::NotEq, 2)
+        } else if two(b'<', b'=') {
+            (Tok::Le, 2)
+        } else if two(b'>', b'=') {
+            (Tok::Ge, 2)
+        } else if two(b'&', b'&') {
+            (Tok::AndAnd, 2)
+        } else if two(b'|', b'|') {
+            (Tok::OrOr, 2)
+        } else {
+            let t = match c {
+                b'(' => Tok::LParen,
+                b')' => Tok::RParen,
+                b'{' => Tok::LBrace,
+                b'}' => Tok::RBrace,
+                b'[' => Tok::LBracket,
+                b']' => Tok::RBracket,
+                b',' => Tok::Comma,
+                b';' => Tok::Semi,
+                b'.' => Tok::Dot,
+                b'=' => Tok::Assign,
+                b'+' => Tok::Plus,
+                b'-' => Tok::Minus,
+                b'*' => Tok::Star,
+                b'/' => Tok::Slash,
+                b'%' => Tok::Percent,
+                b'<' => Tok::Lt,
+                b'>' => Tok::Gt,
+                b'!' => Tok::Bang,
+                other => {
+                    return Err(Diagnostic::new(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(i, i + 1),
+                    ))
+                }
+            };
+            (t, 1)
+        };
+        tokens.push(Token {
+            tok,
+            span: Span::new(i, i + len),
+        });
+        i += len;
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("while day joinx join"),
+            vec![
+                Tok::While,
+                Tok::Ident("day".into()),
+                Tok::Ident("joinx".into()),
+                Tok::Join,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 7"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Int(7),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_int_is_method_call_not_float() {
+        // `b.sum()` style chains must not eat the dot into a float.
+        assert_eq!(
+            kinds("1.x"),
+            vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\n""#),
+            vec![Tok::Str("a\"b\n".into()), Tok::Eof]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(
+            kinds("== = => <= < && || !="),
+            vec![
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::Arrow,
+                Tok::Le,
+                Tok::Lt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::NotEq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("x // comment\ny"),
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+        assert_eq!(err.span.start, 2);
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+}

@@ -1,0 +1,764 @@
+//! Recursive-descent parser for the Mitos surface language.
+//!
+//! Grammar sketch (see `README.md` for the full language reference):
+//!
+//! ```text
+//! program  := stmt*
+//! stmt     := 'if' '(' expr ')' block ('else' (block | if-stmt))?
+//!           | 'while' '(' expr ')' block
+//!           | 'do' block 'while' '(' expr ')' ';'
+//!           | 'for' IDENT '=' expr 'to' expr block       // sugar
+//!           | 'writeFile' '(' expr ',' expr ')' ';'
+//!           | 'output' '(' expr ',' STRING ')' ';'
+//!           | IDENT '=' expr ';'
+//! expr     := or; or := and ('||' and)*; and := cmp ('&&' cmp)*
+//! cmp      := bag (CMPOP bag)?
+//! bag      := add (('join'|'cross'|'union') add)*
+//! add      := mul (('+'|'-') mul)*; mul := unary (('*'|'/'|'%') unary)*
+//! unary    := ('-'|'!') unary | postfix
+//! postfix  := primary ('.' METHOD '(' args ')' | '[' INT ']')*
+//! primary  := literal | 'empty' | 'readFile' '(' expr ')' | 'bag' '(' .. ')'
+//!           | BUILTIN '(' .. ')' | IDENT | '(' expr (',' expr)* ')'
+//!           | '[' .. ']' | 'if' expr 'then' expr 'else' expr
+//! lambda   := IDENT '=>' expr | '(' IDENT ',' IDENT ')' '=>' expr
+//! ```
+
+use crate::ast::{Lambda, Program, Stmt, SurfExpr};
+use crate::diag::{Diagnostic, Span};
+use crate::expr::{BinOp, Func, UnOp};
+use crate::lexer::{lex, Tok, Token};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Parses a complete program from source text.
+pub fn parse(src: &str) -> Result<Program, Diagnostic> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        fresh: 0,
+    };
+    let stmts = p.parse_stmts_until(Tok::Eof)?;
+    Ok(Program::new(stmts))
+}
+
+/// Parses a single expression (used by tests and the REPL-style examples).
+pub fn parse_expr(src: &str) -> Result<SurfExpr, Diagnostic> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        fresh: 0,
+    };
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    fresh: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, Diagnostic> {
+        if self.peek() == &tok {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::new(
+                format!("expected {}, found {}", tok.describe(), self.peek().describe()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        let span = self.span();
+        match self.bump().tok {
+            Tok::Ident(name) => Ok((name, span)),
+            other => Err(Diagnostic::new(
+                format!("expected identifier, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    fn fresh_name(&mut self, hint: &str) -> Arc<str> {
+        self.fresh += 1;
+        Arc::from(format!("__{hint}{}", self.fresh).as_str())
+    }
+
+    fn parse_stmts_until(&mut self, end: Tok) -> Result<Vec<Stmt>, Diagnostic> {
+        let mut stmts = Vec::new();
+        while self.peek() != &end {
+            if self.peek() == &Tok::Eof {
+                return Err(Diagnostic::new(
+                    format!("expected {} before end of input", end.describe()),
+                    self.span(),
+                ));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Diagnostic> {
+        self.expect(Tok::LBrace)?;
+        self.parse_stmts_until(Tok::RBrace)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        match self.peek().clone() {
+            Tok::If => self.if_stmt(),
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Do => {
+                self.bump();
+                let body = self.block()?;
+                self.expect(Tok::While)?;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Tok::For => self.for_stmt(),
+            Tok::Ident(name) if name == "writeFile" && self.peek2() == &Tok::LParen => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let value = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let name = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::WriteFile { value, name })
+            }
+            Tok::Ident(name) if name == "output" && self.peek2() == &Tok::LParen => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let value = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let span = self.span();
+                let tag = match self.bump().tok {
+                    Tok::Str(s) => s,
+                    other => {
+                        return Err(Diagnostic::new(
+                            format!("output tag must be a string literal, found {}", other.describe()),
+                            span,
+                        ))
+                    }
+                };
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Output {
+                    value,
+                    tag: Arc::from(tag.as_str()),
+                })
+            }
+            Tok::Ident(_) => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Assign {
+                    name: Arc::from(name.as_str()),
+                    value,
+                })
+            }
+            other => Err(Diagnostic::new(
+                format!("expected a statement, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        self.expect(Tok::If)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&Tok::Else) {
+            if self.peek() == &Tok::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// Desugars `for v = a to b { body }` into
+    /// `v = a; end = b; while (v <= end) { body; v = v + 1; }`.
+    fn for_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        self.expect(Tok::For)?;
+        let (var, _) = self.expect_ident()?;
+        let var: Arc<str> = Arc::from(var.as_str());
+        self.expect(Tok::Assign)?;
+        let from = self.expr()?;
+        self.expect(Tok::To)?;
+        let to = self.expr()?;
+        let mut body = self.block()?;
+        let end_var = self.fresh_name("for_end");
+        body.push(Stmt::Assign {
+            name: var.clone(),
+            value: SurfExpr::bin(
+                BinOp::Add,
+                SurfExpr::Var(var.clone()),
+                SurfExpr::lit(1i64),
+            ),
+        });
+        // A `for` is a statement; wrap the three desugared statements into a
+        // guarded `if (true)` so we return a single Stmt. The IR lowering
+        // flattens trivially-true conditionals away.
+        Ok(Stmt::If {
+            cond: SurfExpr::lit(true),
+            then_body: vec![
+                Stmt::Assign {
+                    name: var.clone(),
+                    value: from,
+                },
+                Stmt::Assign {
+                    name: end_var.clone(),
+                    value: to,
+                },
+                Stmt::While {
+                    cond: SurfExpr::bin(
+                        BinOp::Le,
+                        SurfExpr::Var(var),
+                        SurfExpr::Var(end_var),
+                    ),
+                    body,
+                },
+            ],
+            else_body: Vec::new(),
+        })
+    }
+
+    fn expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = SurfExpr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = SurfExpr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        let lhs = self.bag_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::NotEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.bag_expr()?;
+        Ok(SurfExpr::bin(op, lhs, rhs))
+    }
+
+    fn bag_expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            lhs = match self.peek() {
+                Tok::Join => {
+                    self.bump();
+                    lhs.join(self.add_expr()?)
+                }
+                Tok::Cross => {
+                    self.bump();
+                    lhs.cross(self.add_expr()?)
+                }
+                Tok::Union => {
+                    self.bump();
+                    lhs.union(self.add_expr()?)
+                }
+                _ => return Ok(lhs),
+            };
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = SurfExpr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = SurfExpr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            // Fold negated numeric literals so `-3` is a literal (and the
+            // printer/parser round-trip is exact).
+            return Ok(match e {
+                SurfExpr::Lit(Value::I64(v)) => SurfExpr::Lit(Value::I64(v.wrapping_neg())),
+                SurfExpr::Lit(Value::F64(v)) => SurfExpr::Lit(Value::F64(-v)),
+                other => SurfExpr::Unary(UnOp::Neg, Box::new(other)),
+            });
+        }
+        if self.eat(&Tok::Bang) {
+            let e = self.unary_expr()?;
+            return Ok(SurfExpr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<SurfExpr, Diagnostic> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&Tok::Dot) {
+                let (method, span) = self.expect_ident()?;
+                self.expect(Tok::LParen)?;
+                e = match method.as_str() {
+                    "map" => {
+                        let l = self.lambda(1)?;
+                        self.expect(Tok::RParen)?;
+                        e.map(l)
+                    }
+                    "flatMap" => {
+                        let l = self.lambda(1)?;
+                        self.expect(Tok::RParen)?;
+                        e.flat_map(l)
+                    }
+                    "filter" => {
+                        let l = self.lambda(1)?;
+                        self.expect(Tok::RParen)?;
+                        e.filter(l)
+                    }
+                    "reduceByKey" => {
+                        let l = self.lambda(2)?;
+                        self.expect(Tok::RParen)?;
+                        e.reduce_by_key(l)
+                    }
+                    "reduce" => {
+                        let l = self.lambda(2)?;
+                        self.expect(Tok::RParen)?;
+                        e.reduce(l)
+                    }
+                    "sum" => {
+                        self.expect(Tok::RParen)?;
+                        e.sum()
+                    }
+                    "count" => {
+                        self.expect(Tok::RParen)?;
+                        e.count()
+                    }
+                    "min" => {
+                        self.expect(Tok::RParen)?;
+                        e.min()
+                    }
+                    "max" => {
+                        self.expect(Tok::RParen)?;
+                        e.max()
+                    }
+                    "distinct" => {
+                        self.expect(Tok::RParen)?;
+                        e.distinct()
+                    }
+                    other => {
+                        return Err(Diagnostic::new(
+                            format!("unknown method `.{other}(..)`"),
+                            span,
+                        ))
+                    }
+                };
+            } else if self.peek() == &Tok::LBracket {
+                self.bump();
+                let span = self.span();
+                let idx = match self.bump().tok {
+                    Tok::Int(v) if v >= 0 => v as usize,
+                    other => {
+                        return Err(Diagnostic::new(
+                            format!(
+                                "index must be a non-negative integer literal, found {}",
+                                other.describe()
+                            ),
+                            span,
+                        ))
+                    }
+                };
+                self.expect(Tok::RBracket)?;
+                e = e.index(idx);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn lambda(&mut self, arity: usize) -> Result<Lambda, Diagnostic> {
+        let span = self.span();
+        if arity == 1 {
+            // `x => body`
+            let (p, _) = self.expect_ident()?;
+            self.expect(Tok::Arrow)?;
+            let body = self.expr()?;
+            Ok(Lambda::unary(p, body))
+        } else {
+            // `(a, b) => body`
+            self.expect(Tok::LParen)
+                .map_err(|_| Diagnostic::new("expected a binary lambda `(a, b) => ..`", span))?;
+            let (a, _) = self.expect_ident()?;
+            self.expect(Tok::Comma)?;
+            let (b, _) = self.expect_ident()?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Arrow)?;
+            let body = self.expr()?;
+            Ok(Lambda::binary(a, b, body))
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<SurfExpr>, Diagnostic> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<SurfExpr, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(SurfExpr::Lit(Value::I64(v)))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(SurfExpr::Lit(Value::F64(v)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(SurfExpr::Lit(Value::str(s)))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(SurfExpr::Lit(Value::Bool(true)))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(SurfExpr::Lit(Value::Bool(false)))
+            }
+            Tok::Empty => {
+                self.bump();
+                Ok(SurfExpr::EmptyBag)
+            }
+            Tok::If => {
+                // If-expression: `if c then a else b`.
+                self.bump();
+                let c = self.expr()?;
+                self.expect(Tok::Then)?;
+                let t = self.expr()?;
+                self.expect(Tok::Else)?;
+                let e = self.expr()?;
+                Ok(SurfExpr::IfExpr(Box::new(c), Box::new(t), Box::new(e)))
+            }
+            Tok::Ident(name) if self.peek2() == &Tok::LParen => {
+                self.bump();
+                match name.as_str() {
+                    "readFile" => {
+                        let mut args = self.call_args()?;
+                        if args.len() != 1 {
+                            return Err(Diagnostic::new(
+                                "readFile expects exactly one argument",
+                                span,
+                            ));
+                        }
+                        Ok(SurfExpr::ReadFile(Box::new(args.remove(0))))
+                    }
+                    "bag" => Ok(SurfExpr::BagLit(self.call_args()?)),
+                    other => match Func::from_name(other) {
+                        Some(func) => {
+                            let args = self.call_args()?;
+                            if args.len() != func.arity() {
+                                return Err(Diagnostic::new(
+                                    format!(
+                                        "{} expects {} argument(s), got {}",
+                                        func.name(),
+                                        func.arity(),
+                                        args.len()
+                                    ),
+                                    span,
+                                ));
+                            }
+                            Ok(SurfExpr::Call(func, args))
+                        }
+                        None => Err(Diagnostic::new(
+                            format!("unknown function `{other}`"),
+                            span,
+                        )),
+                    },
+                }
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(SurfExpr::var(name))
+            }
+            Tok::LParen => {
+                self.bump();
+                let first = self.expr()?;
+                if self.eat(&Tok::Comma) {
+                    let mut fields = vec![first];
+                    loop {
+                        fields.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(SurfExpr::Tuple(fields))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(first)
+                }
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    loop {
+                        elems.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(SurfExpr::List(elems))
+            }
+            other => Err(Diagnostic::new(
+                format!("expected an expression, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_visit_count_program() {
+        let src = r#"
+            yesterday = empty;
+            day = 1;
+            do {
+                visits = readFile("pageVisitLog" + day);
+                counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b);
+                if (day != 1) {
+                    diffs = (counts join yesterday).map(t => abs(t[1] - t[2]));
+                    writeFile(diffs.sum(), "diff" + day);
+                }
+                yesterday = counts;
+                day = day + 1;
+            } while (day <= 365);
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        match &p.stmts[2] {
+            Stmt::DoWhile { body, cond } => {
+                assert_eq!(body.len(), 5);
+                assert_eq!(cond.to_string(), "(day <= 365)");
+            }
+            other => panic!("expected do-while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_chain_precedence() {
+        let e = parse_expr("visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)").unwrap();
+        assert!(matches!(e, SurfExpr::ReduceByKey(..)));
+    }
+
+    #[test]
+    fn join_binds_looser_than_arithmetic() {
+        let e = parse_expr("a join b").unwrap();
+        assert!(matches!(e, SurfExpr::Join(..)));
+        let e = parse_expr("a join b.filter(x => x > 0)").unwrap();
+        match e {
+            SurfExpr::Join(_, r) => assert!(matches!(*r, SurfExpr::Filter(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuple_vs_paren() {
+        assert!(matches!(parse_expr("(1, 2)").unwrap(), SurfExpr::Tuple(_)));
+        assert!(matches!(parse_expr("(1)").unwrap(), SurfExpr::Lit(_)));
+    }
+
+    #[test]
+    fn if_expression_and_statement() {
+        let e = parse_expr("if x > 0 then 1 else 2").unwrap();
+        assert!(matches!(e, SurfExpr::IfExpr(..)));
+        let p = parse("if (x > 0) { y = 1; } else if (x < 0) { y = 2; } else { y = 3; }").unwrap();
+        match &p.stmts[0] {
+            Stmt::If { else_body, .. } => {
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_desugars_to_while() {
+        let p = parse("for day = 1 to 10 { output(day, \"days\"); }").unwrap();
+        match &p.stmts[0] {
+            Stmt::If { then_body, .. } => {
+                assert_eq!(then_body.len(), 3);
+                match &then_body[2] {
+                    Stmt::While { body, .. } => {
+                        assert_eq!(body.len(), 2, "body + increment");
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("x = ;").unwrap_err();
+        assert!(err.message.contains("expected an expression"));
+        assert_eq!(err.span.start, 4);
+        let rendered = err.render("x = ;");
+        assert!(rendered.contains("column 5"));
+    }
+
+    #[test]
+    fn rejects_unknown_method() {
+        let err = parse_expr("b.frobnicate()").unwrap_err();
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_wrong_builtin_arity() {
+        let err = parse_expr("abs(1, 2)").unwrap_err();
+        assert!(err.message.contains("expects 1"));
+    }
+
+    #[test]
+    fn parses_builtins_and_indexing() {
+        let e = parse_expr("dist2(p[1], c[1]) < eps").unwrap();
+        assert!(matches!(e, SurfExpr::Binary(BinOp::Lt, ..)));
+    }
+
+    #[test]
+    fn output_requires_string_tag() {
+        assert!(parse("output(x, tag);").is_err());
+        assert!(parse("output(x, \"tag\");").is_ok());
+    }
+
+    #[test]
+    fn nested_loops_parse() {
+        let src = r#"
+            i = 0;
+            while (i < 3) {
+                j = 0;
+                while (j < 2) {
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 2);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let src = "x = bag(1, 2, 3).map(v => v * 2);\n";
+        let p = parse(src).unwrap();
+        let reparsed = parse(&p.to_string()).unwrap();
+        assert_eq!(p, reparsed);
+    }
+}

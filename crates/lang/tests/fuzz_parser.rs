@@ -1,0 +1,38 @@
+//! Robustness fuzzing of the frontend: the lexer and parser must never
+//! panic, whatever bytes they are fed — they either produce an AST or a
+//! located diagnostic.
+
+use mitos_lang::{parse, parse_expr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary unicode strings never panic the parser.
+    #[test]
+    fn parser_total_on_arbitrary_strings(src in ".{0,200}") {
+        let _ = parse(&src);
+        let _ = parse_expr(&src);
+    }
+
+    /// Strings over the language's own alphabet (more likely to get deep
+    /// into the parser) never panic either.
+    #[test]
+    fn parser_total_on_language_alphabet(
+        src in "[a-z0-9 =;(){}<>!&|+*/%,.\\[\\]\"-]{0,200}"
+    ) {
+        let _ = parse(&src);
+        let _ = parse_expr(&src);
+    }
+
+    /// Diagnostics render without panicking for any source/span combo.
+    #[test]
+    fn diagnostics_always_render(src in ".{0,100}", start in 0usize..120, len in 0usize..20) {
+        let d = mitos_lang::Diagnostic::new(
+            "synthetic",
+            mitos_lang::Span::new(start, start + len),
+        );
+        let rendered = d.render(&src);
+        prop_assert!(rendered.contains("synthetic"));
+    }
+}

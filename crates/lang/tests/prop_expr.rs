@@ -1,0 +1,113 @@
+//! Property tests for the expression evaluator: algebraic laws of the
+//! comparison operators, round-tripping through the printer/parser for
+//! expressions, and evaluator/total-order consistency.
+
+use mitos_lang::expr::{eval, BinOp, Expr};
+use mitos_lang::{parse_expr, SurfExpr, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::I64),
+        (-100.0f64..100.0).prop_map(Value::F64),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop::collection::vec(inner, 0..3).prop_map(Value::tuple)
+    })
+    .boxed()
+}
+
+fn cmp(op: BinOp, a: &Value, b: &Value) -> bool {
+    let e = Expr::bin(op, Expr::Param(0), Expr::Param(1));
+    eval(&e, &[a.clone(), b.clone()])
+        .unwrap()
+        .as_bool()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The comparison operators implement a coherent total order:
+    /// exactly one of `<`, `==`, `>` holds, and `<=`/`>=` agree.
+    #[test]
+    fn comparisons_form_a_total_order(a in arb_value(), b in arb_value()) {
+        let lt = cmp(BinOp::Lt, &a, &b);
+        let gt = cmp(BinOp::Gt, &a, &b);
+        let eq = cmp(BinOp::Eq, &a, &b);
+        prop_assert_eq!([lt, eq, gt].iter().filter(|&&x| x).count(), 1);
+        prop_assert_eq!(cmp(BinOp::Le, &a, &b), lt || eq);
+        prop_assert_eq!(cmp(BinOp::Ge, &a, &b), gt || eq);
+        prop_assert_eq!(cmp(BinOp::Ne, &a, &b), !eq);
+        // Antisymmetry.
+        prop_assert_eq!(cmp(BinOp::Lt, &b, &a), gt);
+    }
+
+    /// Equality is reflexive and hashing agrees with equality.
+    #[test]
+    fn equality_and_hash_agree(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        prop_assert!(cmp(BinOp::Eq, &a, &a));
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        if a == b {
+            prop_assert_eq!(hash(&a), hash(&b));
+        }
+    }
+
+    /// Integer arithmetic in the evaluator matches Rust's wrapping
+    /// semantics.
+    #[test]
+    fn integer_arithmetic_matches_rust(a in any::<i64>(), b in any::<i64>()) {
+        let check = |op: BinOp, expected: i64| {
+            let e = Expr::bin(op, Expr::Param(0), Expr::Param(1));
+            let got = eval(&e, &[Value::I64(a), Value::I64(b)]).unwrap();
+            prop_assert_eq!(got, Value::I64(expected));
+            Ok(())
+        };
+        check(BinOp::Add, a.wrapping_add(b))?;
+        check(BinOp::Sub, a.wrapping_sub(b))?;
+        check(BinOp::Mul, a.wrapping_mul(b))?;
+        if b != 0 {
+            check(BinOp::Div, a.wrapping_div(b))?;
+            check(BinOp::Mod, a.wrapping_rem(b))?;
+        }
+    }
+
+    /// Scalar surface expressions print to text that parses back to the
+    /// same AST.
+    #[test]
+    fn scalar_expr_round_trip(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        op in prop_oneof![
+            Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
+            Just(BinOp::Lt), Just(BinOp::Eq)
+        ],
+    ) {
+        let e = SurfExpr::bin(
+            op,
+            SurfExpr::bin(BinOp::Add, SurfExpr::lit(a), SurfExpr::var("x")),
+            SurfExpr::lit(b),
+        );
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        prop_assert_eq!(e, reparsed, "{}", printed);
+    }
+
+    /// `estimated_bytes` is positive and monotone under tuple nesting.
+    #[test]
+    fn estimated_bytes_monotone(v in arb_value()) {
+        let base = v.estimated_bytes();
+        prop_assert!(base >= 1);
+        let nested = Value::tuple([v.clone()]);
+        prop_assert!(nested.estimated_bytes() > base);
+    }
+}

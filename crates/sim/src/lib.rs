@@ -1,0 +1,574 @@
+//! # mitos-sim
+//!
+//! A deterministic discrete-event simulator of a commodity cluster: the
+//! substrate every engine in this reproduction executes on, standing in for
+//! the 26-machine testbed of the paper's evaluation (see `DESIGN.md`).
+//!
+//! The model:
+//!
+//! * **Machines** are serial CPU resources. Each delivered message occupies
+//!   its destination machine for a base cost plus whatever the handler
+//!   charges via [`SimCtx::charge`]; messages queue FIFO per machine.
+//! * **The network** delivers messages with a base latency plus a
+//!   bytes/bandwidth term, plus optional seeded jitter. Same-machine sends
+//!   pay only a small local latency.
+//! * **The world** ([`World`]) owns all actor state and dispatches messages
+//!   by [`ActorId`]; actors are message-driven state machines, so the same
+//!   logic can also run on real threads (the runtime crate does exactly
+//!   that).
+//!
+//! The simulation is fully deterministic for a given seed: event ties are
+//! broken by sequence number, and all randomness comes from one PRNG.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Virtual time, in nanoseconds.
+pub type Time = u64;
+
+/// Index of a simulated machine.
+pub type MachineId = u16;
+
+/// Address of an actor: a machine plus a per-engine local index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ActorId {
+    /// The machine hosting the actor.
+    pub machine: MachineId,
+    /// Engine-defined local actor index.
+    pub index: u32,
+}
+
+impl ActorId {
+    /// Creates an actor id.
+    pub fn new(machine: MachineId, index: u32) -> ActorId {
+        ActorId { machine, index }
+    }
+}
+
+/// Cluster parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of machines.
+    pub machines: u16,
+    /// Base one-way network latency between distinct machines (ns).
+    pub net_latency_ns: u64,
+    /// Network bandwidth in bytes per microsecond (per message; links are
+    /// not modelled as contended).
+    pub net_bytes_per_us: u64,
+    /// Delivery latency for same-machine messages (ns).
+    pub local_latency_ns: u64,
+    /// Fixed CPU cost of dispatching any message (ns), before charges.
+    pub dispatch_cost_ns: u64,
+    /// Extra network latency jitter: each remote send pays a uniform random
+    /// 0..=jitter_pct percent on top of its latency. Drives the paper's
+    /// Challenge 3 ("irregular processing delays") in tests.
+    pub jitter_pct: u8,
+    /// PRNG seed; same seed, same execution.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        // Gigabit Ethernet-ish: ~150 µs effective one-way latency (paper's
+        // testbed, incl. the software stack), 125 B/µs ≈ 1 Gbit/s.
+        SimConfig {
+            machines: 4,
+            net_latency_ns: 150_000,
+            net_bytes_per_us: 125,
+            local_latency_ns: 2_000,
+            dispatch_cost_ns: 2_000,
+            jitter_pct: 10,
+            seed: 0xB1605,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with a given machine count, other parameters default.
+    pub fn with_machines(machines: u16) -> SimConfig {
+        SimConfig {
+            machines,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// The engine state driven by the simulator: owns all actors and handles
+/// one delivered message at a time.
+pub trait World {
+    /// Message type exchanged between actors.
+    type Msg;
+
+    /// Handles a message delivered to `dest`. Use `ctx` to send messages,
+    /// charge CPU time, and set timers.
+    fn handle(&mut self, dest: ActorId, msg: Self::Msg, ctx: &mut SimCtx<Self::Msg>);
+}
+
+/// Side-effect collector handed to [`World::handle`].
+pub struct SimCtx<'a, M> {
+    now: Time,
+    machines: u16,
+    charged_ns: u64,
+    outbox: &'a mut Vec<Outgoing<M>>,
+}
+
+struct Outgoing<M> {
+    to: ActorId,
+    msg: M,
+    bytes: u64,
+    /// Explicit delay for timers; `None` means network delivery.
+    timer_delay: Option<Time>,
+}
+
+impl<M> SimCtx<'_, M> {
+    /// The current virtual time (start of this message's processing).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of machines in the cluster.
+    pub fn machines(&self) -> u16 {
+        self.machines
+    }
+
+    /// Sends a message; `bytes` drives the bandwidth term of the delivery
+    /// delay (use 0 for small control messages).
+    pub fn send(&mut self, to: ActorId, msg: M, bytes: u64) {
+        self.outbox.push(Outgoing {
+            to,
+            msg,
+            bytes,
+            timer_delay: None,
+        });
+    }
+
+    /// Delivers `msg` to `to` after `delay`, without network modelling.
+    pub fn schedule(&mut self, delay: Time, to: ActorId, msg: M) {
+        self.outbox.push(Outgoing {
+            to,
+            msg,
+            bytes: 0,
+            timer_delay: Some(delay),
+        });
+    }
+
+    /// Charges `cpu_ns` of processing time to the current machine for this
+    /// message. Subsequent messages on the machine queue behind it.
+    pub fn charge(&mut self, cpu_ns: u64) {
+        self.charged_ns = self.charged_ns.saturating_add(cpu_ns);
+    }
+}
+
+/// Statistics of a finished simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Virtual time when the last machine went idle.
+    pub end_time: Time,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total bytes shipped between distinct machines.
+    pub remote_bytes: u64,
+    /// Total CPU nanoseconds charged across machines.
+    pub cpu_ns: u64,
+    /// Largest inbox depth observed on any machine.
+    pub max_inbox: usize,
+}
+
+enum Event<M> {
+    Arrive { to: ActorId, msg: M },
+    Process { machine: MachineId },
+}
+
+struct Machine<M> {
+    inbox: VecDeque<(ActorId, M)>,
+    busy_until: Time,
+    /// Whether a Process event is already queued for this machine.
+    scheduled: bool,
+}
+
+/// The discrete-event simulator.
+pub struct Sim<W: World> {
+    config: SimConfig,
+    world: W,
+    queue: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    events: Vec<Option<Event<W::Msg>>>,
+    machines: Vec<Machine<W::Msg>>,
+    seq: u64,
+    now: Time,
+    rng: StdRng,
+    report: SimReport,
+    outbox: Vec<Outgoing<W::Msg>>,
+}
+
+impl<W: World> Sim<W> {
+    /// Creates a simulator over `world`.
+    pub fn new(config: SimConfig, world: W) -> Sim<W> {
+        assert!(config.machines > 0, "need at least one machine");
+        let machines = (0..config.machines)
+            .map(|_| Machine {
+                inbox: VecDeque::new(),
+                busy_until: 0,
+                scheduled: false,
+            })
+            .collect();
+        Sim {
+            world,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            machines,
+            seq: 0,
+            now: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            report: SimReport::default(),
+            outbox: Vec::new(),
+            config,
+        }
+    }
+
+    /// Injects an initial message at time 0 (before `run`).
+    pub fn inject(&mut self, to: ActorId, msg: W::Msg) {
+        self.push_event(0, Event::Arrive { to, msg });
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulator, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Runs until no events remain; returns the run statistics.
+    pub fn run(&mut self) -> SimReport {
+        // Safety valve against runaway engines: no realistic workload in
+        // this repo approaches this; hitting it is a bug, not a long run.
+        let max_events: u64 = 2_000_000_000;
+        let mut processed: u64 = 0;
+        while let Some(Reverse((t, _, slot))) = self.queue.pop() {
+            let event = self.events[slot].take().expect("event taken once");
+            self.now = t;
+            processed += 1;
+            assert!(
+                processed < max_events,
+                "simulation exceeded {max_events} events; runaway engine?"
+            );
+            match event {
+                Event::Arrive { to, msg } => {
+                    let m = &mut self.machines[to.machine as usize];
+                    m.inbox.push_back((to, msg));
+                    self.report.max_inbox = self.report.max_inbox.max(m.inbox.len());
+                    if !m.scheduled {
+                        m.scheduled = true;
+                        let start = t.max(m.busy_until);
+                        self.push_event(start, Event::Process { machine: to.machine });
+                    }
+                }
+                Event::Process { machine } => {
+                    let m = &mut self.machines[machine as usize];
+                    let Some((dest, msg)) = m.inbox.pop_front() else {
+                        m.scheduled = false;
+                        continue;
+                    };
+                    self.report.messages += 1;
+                    let mut ctx = SimCtx {
+                        now: t,
+                        machines: self.config.machines,
+                        charged_ns: 0,
+                        outbox: &mut self.outbox,
+                    };
+                    self.world.handle(dest, msg, &mut ctx);
+                    let charged = ctx.charged_ns;
+                    let cost = self.config.dispatch_cost_ns + charged;
+                    self.report.cpu_ns += cost;
+                    let done = t + cost;
+                    let m = &mut self.machines[machine as usize];
+                    m.busy_until = done;
+                    self.report.end_time = self.report.end_time.max(done);
+                    if m.inbox.is_empty() {
+                        m.scheduled = false;
+                    } else {
+                        self.push_event(done, Event::Process { machine });
+                    }
+                    // Dispatch collected sends, departing at `done`.
+                    let outgoing = std::mem::take(&mut self.outbox);
+                    for out in outgoing {
+                        let arrival = match out.timer_delay {
+                            Some(delay) => done + delay,
+                            None => {
+                                if out.to.machine == machine {
+                                    done + self.config.local_latency_ns
+                                } else {
+                                    let base = self.config.net_latency_ns
+                                        + (out.bytes * 1000)
+                                            / self.config.net_bytes_per_us.max(1);
+                                    let jitter = if self.config.jitter_pct > 0 {
+                                        let pct =
+                                            self.rng.gen_range(0..=self.config.jitter_pct as u64);
+                                        base * pct / 100
+                                    } else {
+                                        0
+                                    };
+                                    self.report.remote_bytes += out.bytes;
+                                    done + base + jitter
+                                }
+                            }
+                        };
+                        self.push_event(
+                            arrival,
+                            Event::Arrive {
+                                to: out.to,
+                                msg: out.msg,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.report
+    }
+
+    fn push_event(&mut self, t: Time, event: Event<W::Msg>) {
+        let slot = self.events.len();
+        self.events.push(Some(event));
+        self.queue.push(Reverse((t, self.seq, slot)));
+        self.seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial world: every message is (hops_left, cpu_cost); it charges
+    /// the cost and forwards to the next machine while hops remain. It logs
+    /// (time, actor, hops) per delivery.
+    struct Relay {
+        log: Vec<(Time, ActorId, u32)>,
+        bytes: u64,
+    }
+
+    #[derive(Clone)]
+    struct Hop {
+        hops_left: u32,
+        cpu: u64,
+    }
+
+    impl World for Relay {
+        type Msg = Hop;
+        fn handle(&mut self, dest: ActorId, msg: Hop, ctx: &mut SimCtx<Hop>) {
+            self.log.push((ctx.now(), dest, msg.hops_left));
+            ctx.charge(msg.cpu);
+            if msg.hops_left > 0 {
+                let next = ActorId::new((dest.machine + 1) % ctx.machines(), 0);
+                ctx.send(
+                    next,
+                    Hop {
+                        hops_left: msg.hops_left - 1,
+                        cpu: msg.cpu,
+                    },
+                    self.bytes,
+                );
+            }
+        }
+    }
+
+    fn quiet(machines: u16) -> SimConfig {
+        SimConfig {
+            machines,
+            net_latency_ns: 1000,
+            net_bytes_per_us: 1000,
+            local_latency_ns: 10,
+            dispatch_cost_ns: 0,
+            jitter_pct: 0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn latency_and_cpu_accumulate() {
+        let mut sim = Sim::new(
+            quiet(2),
+            Relay {
+                log: vec![],
+                bytes: 0,
+            },
+        );
+        sim.inject(ActorId::new(0, 0), Hop { hops_left: 2, cpu: 500 });
+        let report = sim.run();
+        let log = &sim.world().log;
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].0, 0);
+        assert_eq!(log[1].0, 500 + 1000, "cpu then latency");
+        assert_eq!(log[2].0, 2 * (500 + 1000));
+        assert_eq!(report.messages, 3);
+        assert_eq!(report.cpu_ns, 3 * 500);
+        assert_eq!(report.end_time, 2 * 1500 + 500);
+    }
+
+    #[test]
+    fn bandwidth_term_applies_to_remote_sends() {
+        let mut sim = Sim::new(
+            quiet(2),
+            Relay {
+                log: vec![],
+                bytes: 2000, // 2000 B at 1000 B/us = 2 us = 2000 ns
+            },
+        );
+        sim.inject(ActorId::new(0, 0), Hop { hops_left: 1, cpu: 0 });
+        sim.run();
+        let log = &sim.world().log;
+        assert_eq!(log[1].0, 1000 + 2000);
+    }
+
+    #[test]
+    fn machine_serializes_messages() {
+        // Two messages to the same machine, each costing 100: the second
+        // starts only after the first finishes.
+        struct Busy {
+            started_at: Vec<Time>,
+        }
+        impl World for Busy {
+            type Msg = ();
+            fn handle(&mut self, _dest: ActorId, _msg: (), ctx: &mut SimCtx<()>) {
+                self.started_at.push(ctx.now());
+                ctx.charge(100);
+            }
+        }
+        let mut sim = Sim::new(quiet(1), Busy { started_at: vec![] });
+        sim.inject(ActorId::new(0, 0), ());
+        sim.inject(ActorId::new(0, 1), ());
+        sim.run();
+        assert_eq!(sim.world().started_at, vec![0, 100]);
+    }
+
+    #[test]
+    fn distinct_machines_run_in_parallel() {
+        struct Busy;
+        impl World for Busy {
+            type Msg = ();
+            fn handle(&mut self, _dest: ActorId, _msg: (), ctx: &mut SimCtx<()>) {
+                ctx.charge(1000);
+            }
+        }
+        let mut sim = Sim::new(quiet(2), Busy);
+        sim.inject(ActorId::new(0, 0), ());
+        sim.inject(ActorId::new(1, 0), ());
+        let report = sim.run();
+        assert_eq!(report.end_time, 1000, "parallel, not 2000");
+        assert_eq!(report.cpu_ns, 2000);
+    }
+
+    #[test]
+    fn timers_fire_after_delay() {
+        struct Timed {
+            fired: Vec<Time>,
+        }
+        #[derive(Clone)]
+        enum Msg {
+            Start,
+            Alarm,
+        }
+        impl World for Timed {
+            type Msg = Msg;
+            fn handle(&mut self, dest: ActorId, msg: Msg, ctx: &mut SimCtx<Msg>) {
+                match msg {
+                    Msg::Start => ctx.schedule(5000, dest, Msg::Alarm),
+                    Msg::Alarm => self.fired.push(ctx.now()),
+                }
+            }
+        }
+        let mut sim = Sim::new(quiet(1), Timed { fired: vec![] });
+        sim.inject(ActorId::new(0, 0), Msg::Start);
+        sim.run();
+        assert_eq!(sim.world().fired, vec![5000]);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let run_with_seed = |seed: u64| -> Vec<(Time, ActorId, u32)> {
+            let mut config = quiet(3);
+            config.jitter_pct = 50;
+            config.seed = seed;
+            let mut sim = Sim::new(
+                config,
+                Relay {
+                    log: vec![],
+                    bytes: 100,
+                },
+            );
+            sim.inject(ActorId::new(0, 0), Hop { hops_left: 6, cpu: 10 });
+            sim.run();
+            sim.into_world().log
+        };
+        assert_eq!(run_with_seed(7), run_with_seed(7));
+        assert_ne!(run_with_seed(7), run_with_seed(8), "jitter varies by seed");
+    }
+
+    #[test]
+    fn jitter_bounded_by_pct() {
+        let mut config = quiet(2);
+        config.jitter_pct = 10;
+        let mut sim = Sim::new(
+            config,
+            Relay {
+                log: vec![],
+                bytes: 0,
+            },
+        );
+        sim.inject(ActorId::new(0, 0), Hop { hops_left: 1, cpu: 0 });
+        sim.run();
+        let t = sim.world().log[1].0;
+        assert!((1000..=1100).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn report_counts_remote_bytes_only() {
+        struct LocalAndRemote;
+        impl World for LocalAndRemote {
+            type Msg = u32;
+            fn handle(&mut self, dest: ActorId, msg: u32, ctx: &mut SimCtx<u32>) {
+                if msg == 0 {
+                    ctx.send(ActorId::new(dest.machine, 1), 1, 500); // local
+                    ctx.send(ActorId::new(1, 0), 1, 700); // remote
+                }
+            }
+        }
+        let mut sim = Sim::new(quiet(2), LocalAndRemote);
+        sim.inject(ActorId::new(0, 0), 0);
+        let report = sim.run();
+        assert_eq!(report.remote_bytes, 700);
+        assert_eq!(report.messages, 3);
+    }
+
+    #[test]
+    fn dispatch_cost_applies_per_message() {
+        struct Nop;
+        impl World for Nop {
+            type Msg = ();
+            fn handle(&mut self, _dest: ActorId, _msg: (), _ctx: &mut SimCtx<()>) {}
+        }
+        let mut config = quiet(1);
+        config.dispatch_cost_ns = 50;
+        let mut sim = Sim::new(config, Nop);
+        sim.inject(ActorId::new(0, 0), ());
+        sim.inject(ActorId::new(0, 0), ());
+        let report = sim.run();
+        assert_eq!(report.end_time, 100);
+    }
+}

@@ -1,0 +1,317 @@
+//! # mitos-workloads
+//!
+//! Workload generators for the paper's evaluation tasks and the example
+//! applications: page-visit logs and page types (Visit Count, Secs. 2 & 6),
+//! random graphs (PageRank, connected components), and clustered points
+//! (k-means). All generators are seeded and deterministic.
+
+#![warn(missing_docs)]
+
+use mitos_fs::InMemoryFs;
+use mitos_lang::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the Visit Count workload (Sec. 6.1: visits uniformly
+/// distributed over pages, one log file per day).
+#[derive(Clone, Copy, Debug)]
+pub struct VisitCountSpec {
+    /// Number of days (= log files).
+    pub days: u32,
+    /// Visits per day.
+    pub visits_per_day: usize,
+    /// Number of distinct pages.
+    pub pages: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VisitCountSpec {
+    fn default() -> Self {
+        VisitCountSpec {
+            days: 10,
+            visits_per_day: 1000,
+            pages: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// Writes `pageVisitLog1..=days` files of uniformly random page ids.
+pub fn generate_visit_logs(fs: &InMemoryFs, spec: &VisitCountSpec) {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    for day in 1..=spec.days {
+        let visits: Vec<Value> = (0..spec.visits_per_day)
+            .map(|_| Value::I64(rng.gen_range(0..spec.pages) as i64))
+            .collect();
+        fs.put(format!("pageVisitLog{day}"), visits);
+    }
+}
+
+/// Like [`generate_visit_logs`], but with Zipf-distributed page popularity
+/// (exponent `s`): a few hot pages dominate, the regime where map-side
+/// combining and skew-sensitive shuffles matter. Uses inverse-CDF sampling
+/// over the precomputed harmonic weights.
+pub fn generate_visit_logs_zipf(fs: &InMemoryFs, spec: &VisitCountSpec, s: f64) {
+    assert!(s > 0.0, "zipf exponent must be positive");
+    let n = spec.pages.max(1) as usize;
+    // Cumulative weights of 1/k^s.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0f64;
+    for k in 1..=n {
+        acc += 1.0 / (k as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    for day in 1..=spec.days {
+        let visits: Vec<Value> = (0..spec.visits_per_day)
+            .map(|_| {
+                let u = rng.gen_range(0.0..total);
+                let idx = cdf.partition_point(|&c| c < u);
+                Value::I64(idx.min(n - 1) as i64)
+            })
+            .collect();
+        fs.put(format!("pageVisitLog{day}"), visits);
+    }
+}
+
+/// Writes a `pageTypes` file of `(pageId, type)` pairs; `distinct_types`
+/// type labels are assigned randomly.
+pub fn generate_page_types(fs: &InMemoryFs, pages: u64, distinct_types: u32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Value> = (0..pages)
+        .map(|p| {
+            let t = rng.gen_range(0..distinct_types);
+            Value::tuple([Value::I64(p as i64), Value::str(format!("type{t}"))])
+        })
+        .collect();
+    fs.put("pageTypes", rows);
+}
+
+/// The Visit Count program of Sec. 2, parameterized by day count; set
+/// `with_page_types` to include the loop-invariant `pageTypes` join.
+pub fn visit_count_program(days: u32, with_page_types: bool) -> String {
+    let filter = if with_page_types {
+        concat!(
+            "\n    visits = (pageTypes join visits.map(v => (v, 1)))",
+            ".filter(p => len(p[1]) > 0).map(p => p[0]);"
+        )
+    } else {
+        ""
+    };
+    let prologue = if with_page_types {
+        "pageTypes = readFile(\"pageTypes\");\n"
+    } else {
+        ""
+    };
+    format!(
+        r#"{prologue}yesterday = empty;
+day = 1;
+do {{
+    visits = readFile("pageVisitLog" + day);{filter}
+    counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b);
+    if (day != 1) {{
+        diffs = (counts join yesterday).map(t => abs(t[1] - t[2]));
+        writeFile(diffs.sum(), "diff" + day);
+    }}
+    yesterday = counts;
+    day = day + 1;
+}} while (day <= {days});
+"#
+    )
+}
+
+/// Parameters of a random directed graph.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphSpec {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Number of extra random edges (beyond the one guaranteed out-edge per
+    /// vertex).
+    pub edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphSpec {
+    fn default() -> Self {
+        GraphSpec {
+            vertices: 100,
+            edges: 400,
+            seed: 7,
+        }
+    }
+}
+
+/// Writes an `edges` file of `(src, dst)` pairs. Every vertex gets at least
+/// one outgoing edge (so PageRank's out-degree join is total).
+pub fn generate_graph(fs: &InMemoryFs, spec: &GraphSpec) {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rows: Vec<Value> = Vec::with_capacity(spec.edges + spec.vertices as usize);
+    for v in 0..spec.vertices {
+        let dst = rng.gen_range(0..spec.vertices);
+        rows.push(Value::tuple([Value::I64(v as i64), Value::I64(dst as i64)]));
+    }
+    for _ in 0..spec.edges {
+        let src = rng.gen_range(0..spec.vertices);
+        let dst = rng.gen_range(0..spec.vertices);
+        rows.push(Value::tuple([Value::I64(src as i64), Value::I64(dst as i64)]));
+    }
+    fs.put("edges", rows);
+}
+
+/// Writes a `points` file of `dim`-dimensional points drawn from `k`
+/// clusters, plus a `centroids0` file of `k` starting centroids. Point rows
+/// are `(id, [coords..])`; centroid rows are `(cid, [coords..])`.
+pub fn generate_kmeans(fs: &InMemoryFs, points: usize, k: u32, dim: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect();
+    let rows: Vec<Value> = (0..points)
+        .map(|i| {
+            let c = &centers[i % k as usize];
+            let coords: Vec<Value> = c
+                .iter()
+                .map(|&x| Value::F64(x + rng.gen_range(-1.0..1.0)))
+                .collect();
+            Value::tuple([Value::I64(i as i64), Value::list(coords)])
+        })
+        .collect();
+    fs.put("points", rows);
+    let init: Vec<Value> = (0..k)
+        .map(|c| {
+            let coords: Vec<Value> = (0..dim)
+                .map(|_| Value::F64(rng.gen_range(-10.0..10.0)))
+                .collect();
+            Value::tuple([Value::I64(c as i64), Value::list(coords)])
+        })
+        .collect();
+    fs.put("centroids0", init);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_logs_have_requested_shape() {
+        let fs = InMemoryFs::new();
+        let spec = VisitCountSpec {
+            days: 3,
+            visits_per_day: 50,
+            pages: 10,
+            seed: 1,
+        };
+        generate_visit_logs(&fs, &spec);
+        for d in 1..=3 {
+            let log = fs.read(&format!("pageVisitLog{d}")).unwrap();
+            assert_eq!(log.len(), 50);
+            for v in log {
+                let p = v.as_i64().unwrap();
+                assert!((0..10).contains(&p));
+            }
+        }
+        assert!(!fs.exists("pageVisitLog4"));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let fs1 = InMemoryFs::new();
+        let fs2 = InMemoryFs::new();
+        let spec = VisitCountSpec::default();
+        generate_visit_logs(&fs1, &spec);
+        generate_visit_logs(&fs2, &spec);
+        assert_eq!(fs1.snapshot(), fs2.snapshot());
+    }
+
+    #[test]
+    fn page_types_cover_all_pages() {
+        let fs = InMemoryFs::new();
+        generate_page_types(&fs, 20, 3, 9);
+        let rows = fs.read("pageTypes").unwrap();
+        assert_eq!(rows.len(), 20);
+        let ids: std::collections::HashSet<i64> = rows
+            .iter()
+            .map(|r| r.field(0).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn graph_has_out_edges_for_every_vertex() {
+        let fs = InMemoryFs::new();
+        generate_graph(
+            &fs,
+            &GraphSpec {
+                vertices: 10,
+                edges: 20,
+                seed: 3,
+            },
+        );
+        let rows = fs.read("edges").unwrap();
+        assert_eq!(rows.len(), 30);
+        let srcs: std::collections::HashSet<i64> = rows
+            .iter()
+            .map(|r| r.field(0).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(srcs.len(), 10, "every vertex has an out-edge");
+    }
+
+    #[test]
+    fn kmeans_points_and_centroids() {
+        let fs = InMemoryFs::new();
+        generate_kmeans(&fs, 40, 4, 2, 5);
+        assert_eq!(fs.read("points").unwrap().len(), 40);
+        assert_eq!(fs.read("centroids0").unwrap().len(), 4);
+        let p = &fs.read("points").unwrap()[0];
+        assert_eq!(p.field(1).unwrap().as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn zipf_logs_are_skewed() {
+        let fs = InMemoryFs::new();
+        let spec = VisitCountSpec {
+            days: 1,
+            visits_per_day: 5_000,
+            pages: 100,
+            seed: 4,
+        };
+        generate_visit_logs_zipf(&fs, &spec, 1.2);
+        let log = fs.read("pageVisitLog1").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for v in &log {
+            *counts.entry(v.as_i64().unwrap()).or_insert(0usize) += 1;
+        }
+        let hottest = *counts.values().max().unwrap();
+        // Page 0 should dominate: far above the uniform share of 50.
+        assert!(hottest > 500, "hottest page got {hottest} visits");
+        // All ids stay in range.
+        assert!(counts.keys().all(|&k| (0..100).contains(&k)));
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        let spec = VisitCountSpec {
+            days: 2,
+            visits_per_day: 100,
+            pages: 20,
+            seed: 9,
+        };
+        let fs1 = InMemoryFs::new();
+        let fs2 = InMemoryFs::new();
+        generate_visit_logs_zipf(&fs1, &spec, 1.0);
+        generate_visit_logs_zipf(&fs2, &spec, 1.0);
+        assert_eq!(fs1.snapshot(), fs2.snapshot());
+    }
+
+    #[test]
+    fn visit_count_program_compiles() {
+        for with_types in [false, true] {
+            let src = visit_count_program(5, with_types);
+            mitos_ir::compile_str(&src)
+                .unwrap_or_else(|e| panic!("with_types={with_types}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! K-means clustering with a **data-dependent** convergence loop: the
+//! `while` condition depends on the centroid shift computed inside the loop
+//! — control flow that functional iteration APIs make painful and Mitos
+//! makes ordinary.
+//!
+//! ```sh
+//! cargo run --release --example kmeans
+//! ```
+
+use mitos::fs::InMemoryFs;
+use mitos::workloads::generate_kmeans;
+use mitos::{compile, run_compiled, Engine};
+
+fn main() {
+    let program = r#"
+        points = readFile("points");
+        centroids = readFile("centroids0");
+        iter = 0;
+        shift = 1000.0;
+        while (shift > 0.001 && iter < 25) {
+            paired = points cross centroids;
+            best = paired
+                .map(pc => (pc[0][0], (dist2(pc[0][1], pc[1][1]), pc[1][0], pc[0][1])))
+                .reduceByKey((a, b) => if a[0] < b[0] then a else b);
+            sums = best
+                .map(t => (t[1][1], (t[1][2], 1)))
+                .reduceByKey((a, b) => (vadd(a[0], b[0]), a[1] + b[1]));
+            newCentroids = sums.map(t => (t[0], vscale(t[1][0], 1.0 / t[1][1])));
+            shift = (newCentroids join centroids).map(t => dist2(t[1], t[2])).sum();
+            centroids = newCentroids;
+            iter = iter + 1;
+        }
+        writeFile(centroids, "centroids_final");
+        output(iter, "iterations");
+        output(shift, "final_shift");
+    "#;
+
+    let fs = InMemoryFs::new();
+    generate_kmeans(&fs, 300, 4, 2, 7);
+    let func = compile(program).expect("compiles");
+    let outcome = run_compiled(&func, &fs, Engine::Mitos, 4).expect("runs");
+
+    let iters = outcome.outputs["iterations"][0].as_i64().unwrap();
+    let shift = outcome.outputs["final_shift"][0].as_f64().unwrap();
+    println!("converged after {iters} iterations (final shift {shift:.6})");
+    println!("final centroids:");
+    for c in fs.read("centroids_final").expect("written") {
+        let cid = c.field(0).unwrap().as_i64().unwrap();
+        let coords = c.field(1).unwrap();
+        println!("  cluster {cid}: {coords}");
+    }
+    println!("\nexecuted in {:.2} virtual ms", outcome.millis());
+    assert!(iters > 1, "should take several iterations");
+    assert!(shift <= 0.001 || iters == 25, "loop exit condition respected");
+
+    // Agreement with the reference interpreter.
+    let ref_fs = InMemoryFs::new();
+    generate_kmeans(&ref_fs, 300, 4, 2, 7);
+    let reference = run_compiled(&func, &ref_fs, Engine::Reference, 1).expect("ref");
+    // Float folds are partition-order dependent (as on real clusters):
+    // compare the iteration count exactly and the shift approximately.
+    assert_eq!(outcome.outputs["iterations"], reference.outputs["iterations"]);
+    let ref_shift = reference.outputs["final_shift"][0].as_f64().unwrap();
+    assert!((shift - ref_shift).abs() < 1e-6, "{shift} vs {ref_shift}");
+    println!("reference interpreter agrees (within float tolerance) ✓");
+}

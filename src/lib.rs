@@ -1,0 +1,248 @@
+//! # Mitos — imperative control flow compiled to a single cyclic dataflow
+//!
+//! A Rust reproduction of *"Efficient Control Flow in Dataflow Systems:
+//! When Ease-of-Use Meets High Performance"* (ICDE 2021). Programs written
+//! with ordinary imperative control flow (`while`, `do-while`, `if`, nested
+//! loops) over distributed bags are compiled — via simplification and an
+//! SSA-based intermediate representation — into a **single cyclic dataflow
+//! job**, whose distributed execution is coordinated with path-carrying bag
+//! identifiers, enabling **loop pipelining** and **loop-invariant
+//! hoisting**.
+//!
+//! ```
+//! use mitos::{run, Engine};
+//! use mitos::fs::InMemoryFs;
+//! use mitos::lang::Value;
+//!
+//! let fs = InMemoryFs::new();
+//! fs.put("numbers", (1..=10).map(Value::I64).collect::<Vec<_>>());
+//! let outcome = run(
+//!     r#"
+//!     total = 0;
+//!     for round = 1 to 3 {
+//!         scaled = readFile("numbers").map(x => x * round);
+//!         total = total + scaled.sum();
+//!     }
+//!     output(total, "total");
+//!     "#,
+//!     &fs,
+//!     Engine::Mitos,
+//!     4,
+//! ).unwrap();
+//! assert_eq!(outcome.outputs["total"], vec![Value::I64(330)]);
+//! ```
+//!
+//! The crates behind this facade:
+//!
+//! * [`lang`] — values, expressions, the surface language parser;
+//! * [`ir`] — simplification, SSA, validation, reference interpreter;
+//! * [`core`] — the Mitos dataflow builder and runtime (the paper's
+//!   contribution);
+//! * [`baselines`] — Spark-like driver loops, Flink-like supersteps,
+//!   Naiad- and TensorFlow-like loop executors;
+//! * [`sim`] — the deterministic cluster simulator all engines run on;
+//! * [`fs`] — the in-memory distributed file system;
+//! * [`workloads`] — seeded generators for the paper's evaluation tasks.
+
+#![warn(missing_docs)]
+
+pub use mitos_baselines as baselines;
+pub use mitos_core as core;
+pub use mitos_fs as fs;
+pub use mitos_ir as ir;
+pub use mitos_lang as lang;
+pub use mitos_sim as sim;
+pub use mitos_workloads as workloads;
+
+use mitos_core::rt::EngineConfig;
+use mitos_fs::InMemoryFs;
+use mitos_ir::{BlockId, FuncIr};
+use mitos_lang::Value;
+use mitos_sim::SimConfig;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which engine executes the program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// Mitos: single cyclic dataflow, loop pipelining, hoisting.
+    Mitos,
+    /// Mitos with loop pipelining disabled (Fig. 9 ablation).
+    MitosNoPipelining,
+    /// Mitos with loop-invariant hoisting disabled (Fig. 8 ablation).
+    MitosNoHoisting,
+    /// Flink-style native iterations (supersteps + hoisting).
+    FlinkNative,
+    /// Flink submitting one job per iteration step.
+    FlinkSeparateJobs,
+    /// Spark-style driver loop (one job per action).
+    Spark,
+    /// Mitos on real OS threads (one worker thread per machine) instead of
+    /// the simulator — no virtual timing, genuine concurrency.
+    MitosThreads,
+    /// The sequential reference interpreter (no cluster, no timing).
+    Reference,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Engine::Mitos => "Mitos",
+            Engine::MitosNoPipelining => "Mitos (not pipelined)",
+            Engine::MitosNoHoisting => "Mitos (wo. loop-invariant hoisting)",
+            Engine::FlinkNative => "Flink (native iterations)",
+            Engine::FlinkSeparateJobs => "Flink (separate jobs)",
+            Engine::Spark => "Spark",
+            Engine::MitosThreads => "Mitos (threads)",
+            Engine::Reference => "Reference interpreter",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The unified result of running a program on any engine.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// `output(value, tag)` collections, canonically sorted.
+    pub outputs: BTreeMap<String, Vec<Value>>,
+    /// The execution path (sequence of basic blocks).
+    pub path: Vec<BlockId>,
+    /// Virtual execution time in nanoseconds (0 for the reference
+    /// interpreter).
+    pub virtual_ns: u64,
+    /// Per-operator statistics (Mitos engines only; empty otherwise).
+    pub op_stats: Vec<mitos_core::engine::OpStats>,
+}
+
+impl Outcome {
+    /// Virtual execution time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.virtual_ns as f64 / 1e6
+    }
+}
+
+/// An error from compilation or execution.
+#[derive(Clone, Debug)]
+pub struct Error {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<mitos_lang::Diagnostic> for Error {
+    fn from(e: mitos_lang::Diagnostic) -> Self {
+        Error { message: e.message }
+    }
+}
+
+impl From<mitos_core::RuntimeError> for Error {
+    fn from(e: mitos_core::RuntimeError) -> Self {
+        Error { message: e.message }
+    }
+}
+
+/// Compiles source text to validated SSA (parse → simplify → SSA →
+/// validate).
+pub fn compile(src: &str) -> Result<FuncIr, Error> {
+    Ok(mitos_ir::compile_str(src)?)
+}
+
+/// Runs a compiled program on the chosen engine over a simulated cluster of
+/// `machines` machines. File effects land in `fs`.
+pub fn run_compiled(
+    func: &FuncIr,
+    fs: &InMemoryFs,
+    engine: Engine,
+    machines: u16,
+) -> Result<Outcome, Error> {
+    run_compiled_on(func, fs, engine, SimConfig::with_machines(machines))
+}
+
+/// Like [`run_compiled`], with full control over the cluster parameters.
+pub fn run_compiled_on(
+    func: &FuncIr,
+    fs: &InMemoryFs,
+    engine: Engine,
+    cluster: SimConfig,
+) -> Result<Outcome, Error> {
+    match engine {
+        Engine::Mitos | Engine::MitosNoPipelining | Engine::MitosNoHoisting => {
+            let config = EngineConfig {
+                pipelined: engine != Engine::MitosNoPipelining,
+                hoisting: engine != Engine::MitosNoHoisting,
+                ..EngineConfig::default()
+            };
+            let r = mitos_core::run_sim(func, fs, config, cluster)?;
+            Ok(Outcome {
+                outputs: r.outputs,
+                path: r.path,
+                virtual_ns: r.sim.end_time,
+                op_stats: r.op_stats,
+            })
+        }
+        Engine::FlinkNative => {
+            let r = mitos_baselines::run_flink_native(func, fs, cluster)?;
+            Ok(Outcome {
+                outputs: r.outputs,
+                path: r.path,
+                virtual_ns: r.sim.end_time,
+                op_stats: r.op_stats,
+            })
+        }
+        Engine::FlinkSeparateJobs => {
+            let r = mitos_baselines::run_flink_separate_jobs(func, fs, cluster)?;
+            Ok(Outcome {
+                outputs: r.outputs,
+                path: r.path,
+                virtual_ns: r.sim.end_time,
+                op_stats: Vec::new(),
+            })
+        }
+        Engine::Spark => {
+            let r = mitos_baselines::run_driver_loop(
+                func,
+                fs,
+                mitos_baselines::DriverConfig::default(),
+                cluster,
+            )?;
+            Ok(Outcome {
+                outputs: r.outputs,
+                path: r.path,
+                virtual_ns: r.sim.end_time,
+                op_stats: Vec::new(),
+            })
+        }
+        Engine::MitosThreads => {
+            let r = mitos_core::run_threads(func, fs, EngineConfig::default(), cluster.machines)?;
+            Ok(Outcome {
+                outputs: r.outputs,
+                path: r.path,
+                virtual_ns: 0,
+                op_stats: r.op_stats,
+            })
+        }
+        Engine::Reference => {
+            let r = mitos_ir::interpret(func, fs, mitos_ir::InterpConfig::default())
+                .map_err(|e| Error { message: e.message })?;
+            Ok(Outcome {
+                outputs: r.canonical_outputs(),
+                path: r.path,
+                virtual_ns: 0,
+                op_stats: Vec::new(),
+            })
+        }
+    }
+}
+
+/// Compiles and runs source text (the one-call entry point).
+pub fn run(src: &str, fs: &InMemoryFs, engine: Engine, machines: u16) -> Result<Outcome, Error> {
+    let func = compile(src)?;
+    run_compiled(&func, fs, engine, machines)
+}

@@ -1,0 +1,249 @@
+//! `mitos` — command-line runner for Mitos programs.
+//!
+//! ```sh
+//! mitos run program.mt --machines 8 --engine mitos \
+//!       --input numbers=data.txt --output-dir out/
+//! mitos ssa program.mt          # print the SSA intermediate representation
+//! mitos check program.mt       # compile + report Flink expressibility
+//! ```
+//!
+//! Input files are loaded into the in-memory DFS: each line becomes one bag
+//! element — an integer, a float, a quoted string, or a comma-separated
+//! tuple of those.
+
+use mitos::fs::InMemoryFs;
+use mitos::lang::Value;
+use mitos::{baselines, compile, ir, run_compiled, Engine};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mitos run <program> [--machines N] [--engine mitos|mitos-nopipe|\
+         mitos-nohoist|flink|flink-jobs|spark|threads|reference]\n             \
+         [--input name=path]... [--output-dir dir]\n  mitos ssa <program>\n  \
+         mitos graph <program>   # DOT dataflow (Figure 3b style)\n  \
+         mitos check <program>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_line(line: &str) -> Result<Value, String> {
+    let line = line.trim();
+    let parse_atom = |s: &str| -> Result<Value, String> {
+        let s = s.trim();
+        if let Ok(v) = s.parse::<i64>() {
+            return Ok(Value::I64(v));
+        }
+        if let Ok(v) = s.parse::<f64>() {
+            return Ok(Value::F64(v));
+        }
+        if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+            return Ok(Value::str(&s[1..s.len() - 1]));
+        }
+        Ok(Value::str(s))
+    };
+    if line.contains(',') {
+        let fields: Result<Vec<Value>, String> = line.split(',').map(parse_atom).collect();
+        Ok(Value::tuple(fields?))
+    } else {
+        parse_atom(line)
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Tuple(fields) => fields
+            .iter()
+            .map(render_value)
+            .collect::<Vec<_>>()
+            .join(","),
+        Value::Str(s) => s.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let command = args[0].as_str();
+    let program_path = &args[1];
+    let src = match std::fs::read_to_string(program_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {program_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let func = match compile(&src) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{}", mitos::lang::Diagnostic::new(e.message.clone(), Default::default()).render(&src));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command {
+        "ssa" => {
+            print!("{}", ir::pretty(&func));
+            ExitCode::SUCCESS
+        }
+        "graph" => {
+            // Figure-3b-style DOT rendering of the single dataflow job.
+            match mitos::core::LogicalGraph::build(&func) {
+                Ok(graph) => {
+                    print!("{}", mitos::core::to_dot(&graph));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "check" => {
+            println!("compiles: yes ({} basic blocks, {} operators)",
+                func.blocks.len(),
+                func.blocks.iter().map(|b| b.stmts.len()).sum::<usize>());
+            match baselines::flink_mode(&func) {
+                baselines::FlinkMode::Native => {
+                    println!("Flink native iterations: expressible")
+                }
+                baselines::FlinkMode::SeparateJobs => println!(
+                    "Flink native iterations: NOT expressible (needs one job per step); \
+                     Mitos runs it as a single dataflow job"
+                ),
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let mut machines: u16 = 4;
+            let mut engine = Engine::Mitos;
+            let mut inputs: Vec<(String, String)> = Vec::new();
+            let mut output_dir: Option<String> = None;
+            let mut explain = false;
+            let mut combiners = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--machines" => {
+                        i += 1;
+                        machines = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                    }
+                    "--engine" => {
+                        i += 1;
+                        engine = match args.get(i).map(String::as_str) {
+                            Some("mitos") => Engine::Mitos,
+                            Some("mitos-nopipe") => Engine::MitosNoPipelining,
+                            Some("mitos-nohoist") => Engine::MitosNoHoisting,
+                            Some("flink") => Engine::FlinkNative,
+                            Some("flink-jobs") => Engine::FlinkSeparateJobs,
+                            Some("spark") => Engine::Spark,
+                            Some("threads") => Engine::MitosThreads,
+                            Some("reference") => Engine::Reference,
+                            _ => usage(),
+                        };
+                    }
+                    "--input" => {
+                        i += 1;
+                        let spec = args.get(i).unwrap_or_else(|| usage());
+                        let (name, path) = spec.split_once('=').unwrap_or_else(|| usage());
+                        inputs.push((name.to_string(), path.to_string()));
+                    }
+                    "--output-dir" => {
+                        i += 1;
+                        output_dir = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
+                    "--explain" => explain = true,
+                    "--combiners" => combiners = true,
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            let fs = InMemoryFs::new();
+            for (name, path) in &inputs {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read input {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let elems: Result<Vec<Value>, String> = text
+                    .lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .map(parse_line)
+                    .collect();
+                match elems {
+                    Ok(elems) => fs.put(name.clone(), elems),
+                    Err(e) => {
+                        eprintln!("error: bad input line in {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let input_names: std::collections::BTreeSet<String> =
+                inputs.iter().map(|(n, _)| n.clone()).collect();
+            let func = if combiners {
+                ir::passes::insert_combiners(&func)
+            } else {
+                func
+            };
+            let start = std::time::Instant::now();
+            match run_compiled(&func, &fs, engine, machines) {
+                Ok(outcome) => {
+                    if explain && !outcome.op_stats.is_empty() {
+                        eprintln!(
+                            "{:<24} {:<12} {:>5} {:>12} {:>8}",
+                            "operator", "kind", "inst", "emitted", "hoists"
+                        );
+                        for s in &outcome.op_stats {
+                            eprintln!(
+                                "{:<24} {:<12} {:>5} {:>12} {:>8}",
+                                s.name, s.kind, s.instances, s.emitted, s.hoist_hits
+                            );
+                        }
+                    }
+                    for (tag, values) in &outcome.outputs {
+                        println!("== output {tag} ({} values) ==", values.len());
+                        for v in values {
+                            println!("{}", render_value(v));
+                        }
+                    }
+                    if let Some(dir) = output_dir {
+                        std::fs::create_dir_all(&dir).ok();
+                        for name in fs.list() {
+                            if input_names.contains(&name) {
+                                continue;
+                            }
+                            let rows = fs.read(&name).expect("listed");
+                            let text: String = rows
+                                .iter()
+                                .map(|v| render_value(v) + "\n")
+                                .collect();
+                            let path = format!("{dir}/{name}");
+                            if let Err(e) = std::fs::write(&path, text) {
+                                eprintln!("warning: cannot write {path}: {e}");
+                            } else {
+                                println!("wrote {path} ({} rows)", rows.len());
+                            }
+                        }
+                    }
+                    eprintln!(
+                        "[{engine}] {} machines, {:.2} virtual ms, {:.0} ms wall",
+                        machines,
+                        outcome.millis(),
+                        start.elapsed().as_secs_f64() * 1000.0
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

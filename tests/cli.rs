@@ -1,0 +1,154 @@
+//! Integration tests of the `mitos` command-line runner.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn mitos() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mitos"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mitos-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const PROGRAM: &str = r#"
+total = 0;
+counts = empty;
+for d = 1 to 3 {
+    counts = readFile("visits").map(x => (x % 5, 1)).reduceByKey((a, b) => a + b);
+    total = total + counts.count();
+}
+writeFile(counts, "final");
+output(total, "total");
+"#;
+
+#[test]
+fn run_produces_outputs_and_files() {
+    let program = write_temp("prog.mt", PROGRAM);
+    let data = write_temp(
+        "visits.txt",
+        &(0..50).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let outdir = std::env::temp_dir().join("mitos-cli-tests/out");
+    let _ = std::fs::remove_dir_all(&outdir);
+    let output = mitos()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--machines",
+            "3",
+            "--input",
+            &format!("visits={}", data.display()),
+            "--output-dir",
+            outdir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("== output total"), "{stdout}");
+    assert!(stdout.contains("15"), "5 keys x 3 days: {stdout}");
+    let written = std::fs::read_to_string(outdir.join("final")).unwrap();
+    assert_eq!(written.lines().count(), 5, "{written}");
+}
+
+#[test]
+fn engines_agree_via_cli() {
+    let program = write_temp("prog2.mt", PROGRAM);
+    let data = write_temp(
+        "visits2.txt",
+        &(0..40).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let run = |engine: &str| -> String {
+        let output = mitos()
+            .args([
+                "run",
+                program.to_str().unwrap(),
+                "--engine",
+                engine,
+                "--input",
+                &format!("visits={}", data.display()),
+            ])
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{engine}: {output:?}");
+        String::from_utf8_lossy(&output.stdout).to_string()
+    };
+    let reference = run("reference");
+    for engine in ["mitos", "mitos-nopipe", "spark", "flink-jobs", "threads"] {
+        assert_eq!(run(engine), reference, "{engine}");
+    }
+}
+
+#[test]
+fn ssa_and_graph_render() {
+    let program = write_temp("prog3.mt", PROGRAM);
+    let ssa = mitos()
+        .args(["ssa", program.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(ssa.status.success());
+    let text = String::from_utf8_lossy(&ssa.stdout);
+    assert!(text.contains("block 0:"), "{text}");
+    assert!(text.contains('Φ'), "{text}");
+
+    let dot = mitos()
+        .args(["graph", program.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(dot.status.success());
+    let text = String::from_utf8_lossy(&dot.stdout);
+    assert!(text.starts_with("digraph mitos {"), "{text}");
+}
+
+#[test]
+fn check_reports_flink_expressibility() {
+    let program = write_temp("prog4.mt", PROGRAM);
+    let output = mitos()
+        .args(["check", program.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("NOT expressible"), "{text}");
+}
+
+#[test]
+fn compile_errors_are_rendered_with_position() {
+    let program = write_temp("bad.mt", "x = ;\n");
+    let output = mitos()
+        .args(["check", program.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let text = String::from_utf8_lossy(&output.stderr);
+    assert!(text.contains("error:"), "{text}");
+}
+
+#[test]
+fn explain_prints_operator_stats() {
+    let program = write_temp("prog5.mt", PROGRAM);
+    let data = write_temp(
+        "visits5.txt",
+        &(0..20).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("operator"), "{err}");
+    assert!(err.contains("readFile"), "{err}");
+}
