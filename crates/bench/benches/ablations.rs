@@ -101,7 +101,7 @@ fn combiners() {
         fs.put(
             "log",
             (0..20_000)
-                .map(|i| mitos_lang::Value::I64(i))
+                .map(mitos_lang::Value::I64)
                 .collect::<Vec<_>>(),
         );
         let r = run_sim(func, &fs, EngineConfig::default(), SimConfig::with_machines(8))

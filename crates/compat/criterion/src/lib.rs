@@ -1,0 +1,193 @@
+//! Workspace-local, std-only stand-in for `criterion`.
+//!
+//! The build environment has no crates.io network access; this crate keeps
+//! the authoring API the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`]) and replaces the statistical machinery with a
+//! plain warm-up + timed-run loop reporting mean and minimum per-iteration
+//! time. Good enough to eyeball regressions; not a statistics engine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark harness configuration and runner.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then `sample_size` timed samples, then
+    /// a one-line mean/min report.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up & calibration: grow the per-sample iteration count until
+        // one sample takes a meaningful slice of the warm-up budget.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+            if b.elapsed < self.warm_up_time / 20 {
+                b.iters = (b.iters * 2).min(1 << 30);
+            }
+        }
+        let per_sample_budget = self.measurement_time / self.sample_size as u32;
+        if b.elapsed > Duration::ZERO && b.elapsed < per_sample_budget {
+            let scale = per_sample_budget.as_nanos() / b.elapsed.as_nanos().max(1);
+            b.iters = (b.iters as u128 * scale.clamp(1, 1 << 20)) as u64;
+        }
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut iters_done: u64 = 0;
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            total += b.elapsed;
+            iters_done += b.iters;
+            let per_iter = b.elapsed / b.iters.max(1) as u32;
+            best = best.min(per_iter);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let mean = if iters_done > 0 {
+            Duration::from_nanos((total.as_nanos() / iters_done.max(1) as u128) as u64)
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{name:<48} mean {:>12} min {:>12} ({} iters)",
+            format_ns(mean),
+            format_ns(best),
+            iters_done
+        );
+        self
+    }
+}
+
+fn format_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, run `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares a named group of benchmark functions (upstream-compatible
+/// `name`/`config`/`targets` form and the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

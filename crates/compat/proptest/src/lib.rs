@@ -1,0 +1,769 @@
+//! Workspace-local, std-only stand-in for `proptest`.
+//!
+//! The build environment has no crates.io network access; this crate keeps
+//! the authoring surface the workspace's property tests use — the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/
+//! `prop_recursive`/`boxed`, [`strategy::Just`], `any::<T>()`, range and
+//! regex-string strategies, `prop::collection::vec`, `prop_oneof!`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!` macros — and drops the parts
+//! it does not: there is **no shrinking** and no persisted regression seeds
+//! (`.proptest-regressions` files are ignored). Each test runs
+//! `ProptestConfig::cases` cases from a per-test deterministic RNG stream;
+//! the `PROPTEST_CASES` environment variable overrides the case count.
+
+#![warn(missing_docs)]
+
+/// Strategy trait, combinators, and primitive strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// Unlike upstream proptest there is no value tree and no shrinking:
+    /// `generate` directly produces one random value.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates an intermediate value, then generates from the
+        /// strategy `f` builds out of it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf case and
+        /// `recurse` wraps the strategy-so-far into a deeper one, applied
+        /// up to `depth` times. `_desired_size` and `_expected_branch_size`
+        /// are accepted for upstream signature compatibility and ignored;
+        /// recursion instead picks leaves twice as often as deeper arms,
+        /// which keeps generated sizes small.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                current = Union {
+                    arms: vec![(2, leaf.clone()), (1, deeper)],
+                }
+                .boxed();
+            }
+            current
+        }
+
+        /// Type-erases this strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe subset of [`Strategy`] backing [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, reference-counted strategy (upstream:
+    /// `BoxedStrategy`). Cloning shares the underlying generator.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, R, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        R: Strategy,
+        F: Fn(S::Value) -> R,
+    {
+        type Value = R::Value;
+        fn generate(&self, rng: &mut StdRng) -> R::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms. Panics if `arms`
+        /// is empty or all weights are zero.
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            assert!(
+                arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+                "prop_oneof! needs at least one arm with nonzero weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return arm.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights changed during generation")
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generates an unconstrained value of `Self`.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (full value range).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut StdRng) -> $ty {
+                    rng.gen::<u64>() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            // Wide but finite: uniform in [-1e9, 1e9).
+            (rng.gen::<f64>() - 0.5) * 2e9
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size interval for generated collections; built from a
+    /// `usize` (exact size), a `Range<usize>`, or a `RangeInclusive<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(!r.is_empty(), "empty collection size range {r:?}");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(!r.is_empty(), "empty collection size range {r:?}");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String generation from the small regex subset used as strategies.
+pub mod string {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// `.` — any printable char (mostly ASCII, occasionally wider
+        /// Unicode so "arbitrary string" fuzz tests see multibyte input).
+        Dot,
+        /// `[...]` — one of an explicit set of chars.
+        Class(Vec<char>),
+        /// A literal char.
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the supported regex subset — literals, `.`, `[...]` classes
+    /// with ranges and `\`-escapes, and an optional trailing `{m,n}` /
+    /// `{m}` repetition per atom — and generates one matching string.
+    /// Panics on constructs outside that subset.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(match &piece.atom {
+                    Atom::Dot => random_printable(rng),
+                    Atom::Class(set) => set[rng.gen_range(0..set.len())],
+                    Atom::Literal(c) => *c,
+                });
+            }
+        }
+        out
+    }
+
+    fn random_printable(rng: &mut StdRng) -> char {
+        // 1-in-16 chars comes from a wider Unicode block to exercise
+        // multibyte handling; the rest are printable ASCII.
+        if rng.gen_range(0u32..16) == 0 {
+            char::from_u32(rng.gen_range(0xA0u32..0x2FF)).unwrap_or('¿')
+        } else {
+            char::from(rng.gen_range(0x20u8..0x7F))
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Dot,
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        let item = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                        match item {
+                            ']' => break,
+                            '\\' => set.push(
+                                chars
+                                    .next()
+                                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                            ),
+                            lo => {
+                                // `a-z` range, unless `-` is the class's
+                                // final char (then it is literal).
+                                if chars.peek() == Some(&'-') {
+                                    let mut rest = chars.clone();
+                                    rest.next();
+                                    match rest.peek() {
+                                        Some(&hi) if hi != ']' => {
+                                            chars.next();
+                                            chars.next();
+                                            set.extend(lo..=hi);
+                                        }
+                                        _ => set.push(lo),
+                                    }
+                                } else {
+                                    set.push(lo);
+                                }
+                            }
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty char class in {pattern:?}");
+                    Atom::Class(set)
+                }
+                '\\' => Atom::Literal(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                ),
+                literal => Atom::Literal(literal),
+            };
+            // NB: the bounds are parsed through a fully annotated helper;
+            // leaving the `parse()` targets and the panic closure's return
+            // type to inference sends rustc's trait solver into a
+            // pathological (multi-minute, tens-of-GB) search here.
+            let (min, max): (usize, usize) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let parts: Vec<&str> = spec.split(',').collect();
+                let parse_bound = |s: &str| -> usize {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        panic!("unsupported repetition {{{spec}}} in {pattern:?}")
+                    })
+                };
+                match parts.as_slice() {
+                    [exact] => {
+                        let n = parse_bound(exact);
+                        (n, n)
+                    }
+                    [lo, hi] => (parse_bound(lo), parse_bound(hi)),
+                    _ => panic!("unsupported repetition {{{spec}}} in {pattern:?}"),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted repetition in {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+}
+
+/// Test-runner configuration and failure reporting.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Per-test configuration (upstream: `proptest::test_runner::Config`,
+    /// aliased to `ProptestConfig` in the prelude). Only `cases` changes
+    /// behavior here; the other fields are accepted for compatibility.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; there is no shrinking.
+        pub max_shrink_iters: u32,
+        /// Accepted for upstream compatibility; tests never fork.
+        pub fork: bool,
+        /// Accepted for upstream compatibility; cases are not timed out.
+        pub timeout: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config {
+                cases,
+                max_shrink_iters: 1024,
+                fork: false,
+                timeout: 0,
+            }
+        }
+    }
+
+    /// A failed case, carrying the `prop_assert!` message.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's module path and
+    /// name (FNV-1a), so every test has its own stable stream.
+    pub fn rng_for_test(module: &str, name: &str) -> StdRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in module.bytes().chain([b':']).chain(name.bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+/// The glob-import surface test files use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Fails the current proptest case (early-returns a
+/// [`test_runner::TestCaseError`]) if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current proptest case if the two expressions are unequal,
+/// showing both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Weighted (`3 => strat`) or uniform (`strat`) choice between strategies
+/// sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn, recurses.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __config: $crate::test_runner::Config = $config;
+            let mut __rng = $crate::test_runner::rng_for_test(module_path!(), stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__error) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        __error
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_oneof_generate_in_bounds() {
+        let mut rng = crate::test_runner::rng_for_test("self", "smoke");
+        let strat = prop_oneof![
+            2 => (0i64..10, 5u32..6).prop_map(|(a, b)| a + i64::from(b)),
+            1 => Just(-1i64),
+        ];
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == -1 || (5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::test_runner::rng_for_test("self", "regex");
+        for _ in 0..100 {
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = "[;{}()=]{0,5}".generate(&mut rng);
+            assert!(t.chars().all(|c| ";{}()=".contains(c)));
+            let u = "x\\.y".generate(&mut rng);
+            assert_eq!(u, "x.y");
+        }
+    }
+
+    #[test]
+    fn collection_vec_honors_size_forms() {
+        let mut rng = crate::test_runner::rng_for_test("self", "vec");
+        for _ in 0..50 {
+            assert_eq!(prop::collection::vec(0i64..5, 3usize).generate(&mut rng).len(), 3);
+            let bounded = prop::collection::vec(0i64..5, 1..4).generate(&mut rng);
+            assert!((1..=3).contains(&bounded.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// The macro pipeline itself: args bind, asserts return errors.
+        #[test]
+        fn macro_binds_args(a in 0i64..100, b in prop::collection::vec(0i64..10, 0..4)) {
+            prop_assert!((0..100).contains(&a));
+            prop_assert_eq!(b.len(), b.len());
+        }
+    }
+}

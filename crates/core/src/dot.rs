@@ -2,8 +2,13 @@
 //! paper's Figure 3b: basic blocks as dashed clusters, Φ-nodes filled
 //! black, condition nodes colored, conditional edges dashed and colored
 //! like their deciding condition node, wrapped scalars thin-bordered.
+//!
+//! When a run's metrics are supplied ([`to_dot_with_metrics`]), node
+//! labels carry observed bag/element counts and conditional edges carry
+//! their send/drop tallies — a visual form of the explain report.
 
 use crate::graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
+use crate::obs::MetricsRegistry;
 use crate::path::PathRules;
 use std::fmt::Write as _;
 
@@ -12,6 +17,14 @@ const CONDITION_COLORS: [&str; 4] = ["blue", "brown", "darkgreen", "purple"];
 
 /// Renders the dataflow as a DOT digraph.
 pub fn to_dot(graph: &LogicalGraph) -> String {
+    to_dot_with_metrics(graph, None)
+}
+
+/// Renders the dataflow as a DOT digraph, overlaying observed runtime
+/// counts when `metrics` (from [`crate::obs::ObsReport::metrics`]) is
+/// given: per-node `bags`/`emitted`/`hoists`, per-conditional-edge
+/// `sent`/`drop`.
+pub fn to_dot_with_metrics(graph: &LogicalGraph, metrics: Option<&MetricsRegistry>) -> String {
     let rules = PathRules::build(graph);
     let mut out = String::new();
     let _ = writeln!(out, "digraph mitos {{");
@@ -66,7 +79,17 @@ pub fn to_dot(graph: &LogicalGraph) -> String {
                     }
                 }
             }
-            let label = format!("{}\\n{}", node.name, node.kind.mnemonic());
+            let mut label = format!("{}\\n{}", node.name, node.kind.mnemonic());
+            if let Some(m) = metrics.and_then(|m| m.ops.get(id as usize)) {
+                let _ = write!(
+                    label,
+                    "\\nbags={} emitted={}",
+                    m.bags_opened, m.elements_emitted
+                );
+                if m.hoist_hits > 0 {
+                    let _ = write!(label, " hoists={}", m.hoist_hits);
+                }
+            }
             let _ = writeln!(
                 out,
                 "    n{id} [label=\"{label}\", {}];",
@@ -81,6 +104,7 @@ pub fn to_dot(graph: &LogicalGraph) -> String {
     for (eid, edge) in graph.edges.iter().enumerate() {
         let r = &rules.edges[eid];
         let mut attrs: Vec<String> = Vec::new();
+        let mut label_parts: Vec<String> = Vec::new();
         if !r.immediate {
             attrs.push("style=dashed".to_string());
             if let Some(color) = cond_color
@@ -91,12 +115,20 @@ pub fn to_dot(graph: &LogicalGraph) -> String {
             {
                 attrs.push(format!("color={color}"));
             }
+            if let Some(em) = metrics.and_then(|m| m.edges.get(eid)) {
+                if em.sent_bags + em.dropped_bags > 0 {
+                    label_parts.push(format!("sent={} drop={}", em.sent_bags, em.dropped_bags));
+                }
+            }
         }
         match edge.partitioning {
-            Partitioning::Hash => attrs.push("label=\"hash\"".to_string()),
-            Partitioning::Broadcast => attrs.push("label=\"bcast\"".to_string()),
-            Partitioning::Gather => attrs.push("label=\"gather\"".to_string()),
+            Partitioning::Hash => label_parts.insert(0, "hash".to_string()),
+            Partitioning::Broadcast => label_parts.insert(0, "bcast".to_string()),
+            Partitioning::Gather => label_parts.insert(0, "gather".to_string()),
             Partitioning::Forward => {}
+        }
+        if !label_parts.is_empty() {
+            attrs.push(format!("label=\"{}\"", label_parts.join("\\n")));
         }
         let _ = writeln!(
             out,
@@ -154,5 +186,42 @@ mod tests {
         let rendered = dot.matches("[label=\"").count();
         // One label per node plus edge labels; at least every node renders.
         assert!(rendered >= graph.nodes.len(), "{dot}");
+    }
+
+    #[test]
+    fn metrics_overlay_annotates_nodes_and_edges() {
+        use crate::obs::ObsLevel;
+        use crate::rt::EngineConfig;
+        use mitos_fs::InMemoryFs;
+        use mitos_sim::SimConfig;
+
+        let src = r#"
+            t = 0;
+            for i = 1 to 3 {
+                if (i % 2 == 0) { t = t + i; }
+            }
+            output(t, "t");
+        "#;
+        let func = mitos_ir::compile_str(src).unwrap();
+        let graph = LogicalGraph::build(&func).unwrap();
+        let fs = InMemoryFs::new();
+        let r = crate::engine::run_sim(
+            &func,
+            &fs,
+            EngineConfig {
+                obs: ObsLevel::Metrics,
+                ..EngineConfig::default()
+            },
+            SimConfig::with_machines(2),
+        )
+        .unwrap();
+        let obs = r.obs.expect("metrics collected");
+        let dot = to_dot_with_metrics(&graph, Some(&obs.metrics));
+        assert!(dot.contains("bags="), "node overlay: {dot}");
+        assert!(dot.contains("emitted="), "node overlay: {dot}");
+        assert!(
+            dot.contains("sent=") || dot.contains("drop="),
+            "conditional edge overlay: {dot}"
+        );
     }
 }

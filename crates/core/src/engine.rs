@@ -2,8 +2,9 @@
 //! cyclic dataflow job, and execute it on the simulated cluster.
 
 use crate::graph::LogicalGraph;
+use crate::obs::{self, ObsLevel, ObsReport};
 use crate::path::PathRules;
-use crate::rt::{EngineConfig, EngineShared, Msg, Net, RuntimeError, OUTPUT_PREFIX};
+use crate::rt::{EngineConfig, EngineShared, Msg, Net, RuntimeError, NS_PER_MS, OUTPUT_PREFIX};
 use crate::worker::Worker;
 use mitos_fs::InMemoryFs;
 use mitos_ir::nir::FuncIr;
@@ -46,12 +47,18 @@ pub struct EngineResult {
     pub decisions: u64,
     /// Per-operator statistics.
     pub op_stats: Vec<OpStats>,
+    /// Merged observability report ([`None`] when the run's
+    /// [`EngineConfig::obs`] level was [`ObsLevel::Off`]).
+    pub obs: Option<ObsReport>,
 }
 
 impl EngineResult {
-    /// The virtual execution time in milliseconds.
+    /// The execution time in milliseconds. `sim.end_time` is nanoseconds —
+    /// virtual time under the simulator, monotonic wall-clock under the
+    /// threaded driver — converted here via [`NS_PER_MS`], the single
+    /// ns→ms conversion point.
     pub fn millis(&self) -> f64 {
-        self.sim.end_time as f64 / 1e6
+        self.sim.end_time as f64 / NS_PER_MS as f64
     }
 }
 
@@ -72,6 +79,9 @@ impl Net for SimNet<'_, '_> {
     }
     fn schedule(&mut self, delay_ns: u64, machine: u16, msg: Msg) {
         self.ctx.schedule(delay_ns, ActorId::new(machine, 0), msg);
+    }
+    fn now_ns(&mut self) -> u64 {
+        self.ctx.now()
     }
 }
 
@@ -123,7 +133,7 @@ pub fn run_sim(
         sim.inject(ActorId::new(m, 0), Msg::Start);
     }
     let report = sim.run();
-    let world = sim.into_world();
+    let mut world = sim.into_world();
     for w in &world.workers {
         if let Some(e) = &w.error {
             return Err(e.clone());
@@ -144,13 +154,20 @@ pub fn run_sim(
     }
     let outputs = extract_outputs(fs);
     let op_stats = collect_op_stats(&shared.graph, &world.workers, cluster.machines);
+    let path = world.workers[0].path().blocks().to_vec();
+    let hoist_hits = world.workers.iter().map(Worker::hoist_hits).sum();
+    let decisions = world.workers.iter().map(|w| w.decisions_broadcast).sum();
+    let level = shared.config.obs;
+    let obs_report = (level != ObsLevel::Off)
+        .then(|| obs::merge_bufs(level, world.workers.iter_mut().map(Worker::take_obs)));
     Ok(EngineResult {
         outputs,
-        path: w0.path().blocks().to_vec(),
+        path,
         sim: report,
-        hoist_hits: world.workers.iter().map(Worker::hoist_hits).sum(),
-        decisions: world.workers.iter().map(|w| w.decisions_broadcast).sum(),
+        hoist_hits,
+        decisions,
         op_stats,
+        obs: obs_report,
     })
 }
 

@@ -9,6 +9,7 @@
 //! keeps it driver-agnostic (simulator or threads) and unit-testable.
 
 use crate::graph::{EdgeId, NodeKind, OpId};
+use crate::obs::{EventKind, InputRule, ObsBuf};
 use crate::path::{ExecutionPath, SendDecision};
 use crate::rt::{batch_bytes, EngineShared, Msg, Net, RuntimeError, OUTPUT_PREFIX};
 use mitos_ir::kernel::join_row;
@@ -27,6 +28,8 @@ pub struct HostOut<'a> {
     pub decisions: &'a mut Vec<(u32, BlockId)>,
     /// Path positions whose bag this host finished (non-pipelined mode).
     pub computed: &'a mut Vec<u32>,
+    /// Observability recording buffer (no-op at [`crate::obs::ObsLevel::Off`]).
+    pub obs: &'a mut ObsBuf,
 }
 
 /// One buffered input bag: elements received so far plus completion
@@ -80,7 +83,13 @@ enum EdgeSend {
     /// destination instance accumulate for the end-of-bag punctuation.
     Streaming { counts: Vec<u32>, done_sent: bool },
     /// Waiting for the path to prove the consumer will run (5.2.4).
-    Undecided { cursor: u32, buffer: Vec<Value> },
+    /// `opened_ns` (recorded only when observability is on) feeds the
+    /// open→decision latency histogram.
+    Undecided {
+        cursor: u32,
+        buffer: Vec<Value>,
+        opened_ns: u64,
+    },
     /// The consumer will never select this bag.
     Dropped,
 }
@@ -263,12 +272,6 @@ impl Host {
         out: &mut HostOut,
     ) -> Result<(), RuntimeError> {
         let input = self.shared.graph.edges[edge as usize].dst_input;
-        if std::env::var_os("MITOS_DEBUG").is_some() {
-            eprintln!(
-                "[data] op={} `{}` inst={} input={} bag_len={} n={}",
-                self.op, self.name, self.inst, input, bag_len, elems.len()
-            );
-        }
         let buf = self.inputs[input].bufs.entry(bag_len).or_default();
         buf.elems.extend(elems);
         self.poke(path, out)
@@ -317,6 +320,13 @@ impl Host {
             active.gate_done[0] = true;
             active.gates_left -= 1;
         }
+        out.obs.record(
+            out.net,
+            self.op,
+            EventKind::IoFinished {
+                count: elems.len() as u64,
+            },
+        );
         self.emit_all(elems, out)?;
         self.poke(path, out)
     }
@@ -383,15 +393,11 @@ impl Host {
         &mut self,
         pos: u32,
         path: &ExecutionPath,
-        _out: &mut HostOut,
+        out: &mut HostOut,
     ) -> Result<(), RuntimeError> {
-        if std::env::var_os("MITOS_DEBUG").is_some() {
-            eprintln!(
-                "[start] op={} `{}` inst={} pos={}",
-                self.op, self.name, self.inst, pos
-            );
-        }
         let len = pos + 1;
+        out.obs
+            .record(out.net, self.op, EventKind::BagOpened { pos, bag_len: len });
         let is_phi = matches!(self.kind, NodeKind::Phi);
         let n_inputs = self.in_edges.len();
         let mut sel: Vec<Option<u32>> = Vec::with_capacity(n_inputs);
@@ -418,6 +424,17 @@ impl Host {
             for (i, c) in candidates.iter().enumerate() {
                 sel.push(if i == win_idx { *c } else { None });
             }
+            if out.obs.enabled() {
+                out.obs.record(
+                    out.net,
+                    self.op,
+                    EventKind::InputSelected {
+                        edge: self.in_edges[win_idx],
+                        bag_len: win_len,
+                        rule: InputRule::PhiLatest,
+                    },
+                );
+            }
             // GC: buffered bags older than the winner can never be selected
             // again (candidate prefixes grow monotonically).
             for state in &mut self.inputs {
@@ -436,6 +453,27 @@ impl Host {
                             self.name
                         ))
                     })?;
+                if out.obs.enabled() {
+                    // Which prefix rule fired (5.2.3): a same-block producer
+                    // earlier in this very occurrence, or the latest earlier
+                    // occurrence of the producing block.
+                    let r = &self.shared.rules.edges[e as usize];
+                    let rule = if r.src_block == r.dst_block && r.src_stmt < r.dst_stmt && l == len
+                    {
+                        InputRule::SameBlock
+                    } else {
+                        InputRule::LatestOccurrence
+                    };
+                    out.obs.record(
+                        out.net,
+                        self.op,
+                        EventKind::InputSelected {
+                            edge: e,
+                            bag_len: l,
+                            rule,
+                        },
+                    );
+                }
                 sel.push(Some(l));
             }
             for (i, state) in self.inputs.iter_mut().enumerate() {
@@ -470,6 +508,20 @@ impl Host {
         }
         if reused {
             self.hoist_hits += 1;
+            if out.obs.enabled() {
+                let hoist_len = match self.kind {
+                    NodeKind::Join => sel[0],
+                    _ => sel[1],
+                };
+                out.obs.record(
+                    out.net,
+                    self.op,
+                    EventKind::HoistHit {
+                        pos,
+                        bag_len: hoist_len.unwrap_or(0),
+                    },
+                );
+            }
         } else if matches!(self.kind, NodeKind::Join | NodeKind::Cross) {
             self.kept = None;
         }
@@ -515,9 +567,12 @@ impl Host {
                     done_sent: false,
                 });
             } else {
+                // The clock is only consulted when tracing records latency.
+                let opened_ns = if out.obs.tracing() { out.net.now_ns() } else { 0 };
                 edges.push(EdgeSend::Undecided {
                     cursor: len,
                     buffer: Vec::new(),
+                    opened_ns,
                 });
             }
         }
@@ -621,6 +676,8 @@ impl Host {
                 debug_assert!(self.pending_io.is_none(), "one read at a time");
                 self.pending_io = Some(elems);
                 let machine = self.shared.graph.placement(self.op, self.inst);
+                out.obs
+                    .record(out.net, self.op, EventKind::IoStarted { delay_ns: delay });
                 out.net.schedule(delay, machine, Msg::IoDone { op: self.op });
                 return Ok(());
             }
@@ -916,6 +973,13 @@ impl Host {
             }
             NodeKind::OutputSink { tag } => {
                 out.net.charge(cost.elem_cost(elems.len()));
+                out.obs.record(
+                    out.net,
+                    self.op,
+                    EventKind::SinkWrote {
+                        count: elems.len() as u64,
+                    },
+                );
                 self.shared
                     .fs
                     .append(&format!("{OUTPUT_PREFIX}{tag}"), &elems);
@@ -1050,6 +1114,14 @@ impl Host {
         if let Some(outbag) = self.outbags.get_mut(&active.len) {
             outbag.finalized = true;
         }
+        out.obs.record(
+            out.net,
+            self.op,
+            EventKind::BagFinalized {
+                pos: active.pos,
+                bag_len: active.len,
+            },
+        );
         self.emit_done_where_possible(active.len, out);
         self.outbags.retain(|_, b| !b.retired());
 
@@ -1067,18 +1139,18 @@ impl Host {
         if elems.is_empty() {
             return Ok(());
         }
-        if std::env::var_os("MITOS_DEBUG").is_some() {
-            eprintln!(
-                "[emit] op={} `{}` inst={} bag_len={} n={}",
-                self.op,
-                self.name,
-                self.inst,
-                self.current.as_ref().map(|a| a.len).unwrap_or(0),
-                elems.len()
-            );
-        }
         self.emitted_elements += elems.len() as u64;
         let bag_len = self.current.as_ref().expect("active").len;
+        if out.obs.enabled() {
+            out.obs.record(
+                out.net,
+                self.op,
+                EventKind::Emitted {
+                    bag_len,
+                    count: elems.len() as u64,
+                },
+            );
+        }
         let cost = self.shared.config.cost;
         let n_edges = self.out_edge_ids.len();
         if n_edges == 0 {
@@ -1169,6 +1241,39 @@ impl Host {
         }
     }
 
+    /// Records a conditional-output send/drop resolution (5.2.4), with
+    /// open→decision latency when tracing (the clock is never read at
+    /// lower levels).
+    fn record_send_resolved(
+        &self,
+        edge: EdgeId,
+        bag_len: u32,
+        sent: bool,
+        buffered: u64,
+        opened_ns: u64,
+        out: &mut HostOut,
+    ) {
+        if !out.obs.enabled() {
+            return;
+        }
+        let latency_ns = if out.obs.tracing() {
+            out.net.now_ns().saturating_sub(opened_ns)
+        } else {
+            0
+        };
+        out.obs.record(
+            out.net,
+            self.op,
+            EventKind::SendResolved {
+                edge,
+                bag_len,
+                sent,
+                buffered,
+                latency_ns,
+            },
+        );
+    }
+
     /// Advances conditional-send watchers for every in-flight out-bag.
     fn advance_watchers(
         &mut self,
@@ -1182,18 +1287,24 @@ impl Host {
             let n_edges = self.out_edge_ids.len();
             for ei in 0..n_edges {
                 let edge = self.out_edge_ids[ei];
-                let (decision, next, buffered) = {
+                let (decision, next, buffered, buf_held, opened_ns) = {
                     let outbag = self.outbags.get_mut(&bag_len).expect("outbag");
-                    let EdgeSend::Undecided { cursor, buffer } = &mut outbag.edges[ei] else {
+                    let EdgeSend::Undecided {
+                        cursor,
+                        buffer,
+                        opened_ns,
+                    } = &mut outbag.edges[ei]
+                    else {
                         continue;
                     };
                     let (d, next) = self.shared.rules.decide_send(edge, path, bag_len, *cursor);
+                    let buf_held = buffer.len() as u64;
                     let buffered = if d == SendDecision::Send {
                         std::mem::take(buffer)
                     } else {
                         Vec::new()
                     };
-                    (d, next, buffered)
+                    (d, next, buffered, buf_held, *opened_ns)
                 };
                 let outbag = self.outbags.get_mut(&bag_len).expect("outbag");
                 match decision {
@@ -1205,6 +1316,7 @@ impl Host {
                     SendDecision::Drop => {
                         outbag.edges[ei] = EdgeSend::Dropped;
                         resolved_any = true;
+                        self.record_send_resolved(edge, bag_len, false, buf_held, opened_ns, out);
                     }
                     SendDecision::Send => {
                         let dst = self.shared.graph.edges[edge as usize].dst;
@@ -1215,6 +1327,7 @@ impl Host {
                         };
                         to_flush.push((bag_len, ei, buffered));
                         resolved_any = true;
+                        self.record_send_resolved(edge, bag_len, true, buf_held, opened_ns, out);
                     }
                 }
             }
@@ -1271,6 +1384,17 @@ impl Host {
                     _ => continue,
                 }
             };
+            if out.obs.enabled() {
+                out.obs.record(
+                    out.net,
+                    self.op,
+                    EventKind::PunctuationSent {
+                        edge,
+                        bag_len,
+                        count: counts.iter().map(|&c| c as u64).sum(),
+                    },
+                );
+            }
             let e = &self.shared.graph.edges[edge as usize];
             let dst = e.dst;
             // A Forward sender only ever feeds its own peer instance; all

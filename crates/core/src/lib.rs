@@ -13,7 +13,8 @@
 //!   simulated cluster.
 //!
 //! A thread-based driver for the same worker state machines is added in
-//! [`thread_driver`].
+//! [`thread_driver`], and a structured tracing + metrics layer (Chrome
+//! trace export, `EXPLAIN`-style reports) in [`obs`].
 
 #![warn(missing_docs)]
 
@@ -22,16 +23,18 @@ pub mod dot;
 pub mod engine;
 pub mod graph;
 pub mod host;
+pub mod obs;
 pub mod path;
 pub mod rt;
 pub mod thread_driver;
 pub mod worker;
 
 pub use cost::CostModel;
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_with_metrics};
 pub use engine::{extract_outputs, run_sim, run_source_sim, EngineResult};
 pub use graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
+pub use obs::{Event, EventKind, ObsLevel, ObsReport};
 pub use path::{BagId, ExecutionPath, PathRules, SendDecision};
-pub use rt::{EngineConfig, Msg, RuntimeError};
+pub use rt::{EngineConfig, Msg, RuntimeError, NS_PER_MS};
 pub use thread_driver::run_threads;
 pub use worker::Worker;

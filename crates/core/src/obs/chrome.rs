@@ -1,0 +1,464 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the [Trace Event Format] consumed by `chrome://tracing` and
+//! Perfetto: one *process* per machine, one *thread lane* per operator
+//! (extra lanes appear when loop pipelining overlaps bag computations of
+//! the same operator). Each bag's open→finalize life is a paired `B`/`E`
+//! duration event; everything else (input selection, conditional send
+//! resolution, punctuations, decision broadcasts, …) renders as instant
+//! events on the operator's lane.
+//!
+//! The writer is dependency-free: JSON is emitted by hand, and
+//! [`validate_json`] provides a small self-contained checker used by the
+//! test-suite to prove the output parses.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use super::event::{EventKind, OP_NONE};
+use super::ObsReport;
+use crate::engine::OpStats;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Thread id used for worker-level (control-flow manager) events.
+const TID_CONTROL: u64 = u32::MAX as u64;
+/// Lane stride per operator: lanes `op*1024 .. op*1024+slots` hold the
+/// operator's (possibly pipelined-overlapping) bag computations.
+const LANES_PER_OP: u64 = 1024;
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microsecond timestamp with nanosecond fraction, as Chrome expects.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn args_json(kind: &EventKind) -> String {
+    match kind {
+        EventKind::BagOpened { pos, bag_len } => {
+            format!("{{\"pos\":{pos},\"bag_len\":{bag_len}}}")
+        }
+        EventKind::InputSelected { edge, bag_len, rule } => format!(
+            "{{\"edge\":{edge},\"bag_len\":{bag_len},\"rule\":\"{}\"}}",
+            rule.label()
+        ),
+        EventKind::HoistHit { pos, bag_len } => {
+            format!("{{\"pos\":{pos},\"bag_len\":{bag_len}}}")
+        }
+        EventKind::Emitted { bag_len, count } => {
+            format!("{{\"bag_len\":{bag_len},\"count\":{count}}}")
+        }
+        EventKind::SendResolved {
+            edge,
+            bag_len,
+            sent,
+            buffered,
+            latency_ns,
+        } => format!(
+            "{{\"edge\":{edge},\"bag_len\":{bag_len},\"sent\":{sent},\
+             \"buffered\":{buffered},\"latency_ns\":{latency_ns}}}"
+        ),
+        EventKind::BagFinalized { pos, bag_len } => {
+            format!("{{\"pos\":{pos},\"bag_len\":{bag_len}}}")
+        }
+        EventKind::PunctuationSent {
+            edge,
+            bag_len,
+            count,
+        } => format!("{{\"edge\":{edge},\"bag_len\":{bag_len},\"count\":{count}}}"),
+        EventKind::SinkWrote { count } => format!("{{\"count\":{count}}}"),
+        EventKind::DecisionBroadcast { pos, block } => {
+            format!("{{\"pos\":{pos},\"block\":{block}}}")
+        }
+        EventKind::PathAppended { pos, block } => {
+            format!("{{\"pos\":{pos},\"block\":{block}}}")
+        }
+        EventKind::IoStarted { delay_ns } => format!("{{\"delay_ns\":{delay_ns}}}"),
+        EventKind::IoFinished { count } => format!("{{\"count\":{count}}}"),
+        EventKind::StepReleased { pos } => format!("{{\"pos\":{pos}}}"),
+    }
+}
+
+/// One bag's open→finalize interval on a machine.
+struct Interval {
+    start: u64,
+    end: u64,
+    bag_len: u32,
+    pos: u32,
+}
+
+/// Renders the merged event stream as Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`). `ops` supplies operator names for the lane
+/// metadata; unknown operators fall back to `op<N>`.
+pub fn chrome_trace(report: &ObsReport, ops: &[OpStats]) -> String {
+    let mut names: HashMap<u32, String> = HashMap::new();
+    for s in ops {
+        names.insert(s.op, format!("{} [{}]", s.name, s.kind));
+    }
+    let op_name = |op: u32| -> String {
+        names
+            .get(&op)
+            .cloned()
+            .unwrap_or_else(|| format!("op{op}"))
+    };
+
+    let max_ts = report.events.iter().map(|e| e.t_ns).max().unwrap_or(0);
+
+    // Pair bag open/finalize into intervals per (machine, op). A machine
+    // hosts at most one instance per operator, so (machine, op, bag_len)
+    // identifies a bag computation.
+    let mut open: HashMap<(u16, u32, u32), (u64, u32)> = HashMap::new();
+    let mut intervals: HashMap<(u16, u32), Vec<Interval>> = HashMap::new();
+    for e in &report.events {
+        match e.kind {
+            EventKind::BagOpened { pos, bag_len } => {
+                open.insert((e.machine, e.op, bag_len), (e.t_ns, pos));
+            }
+            EventKind::BagFinalized { pos, bag_len } => {
+                let (start, _) = open
+                    .remove(&(e.machine, e.op, bag_len))
+                    .unwrap_or((e.t_ns, pos));
+                intervals.entry((e.machine, e.op)).or_default().push(Interval {
+                    start,
+                    // A zero-duration interval would tie its own B and E
+                    // timestamps, which viewers may reorder; stretch it to
+                    // 1 ns so every pair nests under any stable ts sort.
+                    end: e.t_ns.max(start + 1),
+                    bag_len,
+                    pos,
+                });
+            }
+            _ => {}
+        }
+    }
+    // Bags still open at the end of the run close at the last timestamp.
+    for ((machine, op, bag_len), (start, pos)) in open {
+        intervals.entry((machine, op)).or_default().push(Interval {
+            start,
+            end: max_ts.max(start + 1),
+            bag_len,
+            pos,
+        });
+    }
+
+    // Greedy lane assignment: overlapping intervals of one operator (loop
+    // pipelining) go to separate lanes so B/E events nest properly.
+    // records: (t_ns, order, json) — order breaks timestamp ties so an E
+    // always precedes a B sharing its timestamp within a lane.
+    let mut records: Vec<(u64, u8, String)> = Vec::new();
+    let mut lanes_used: HashMap<(u16, u32), u64> = HashMap::new();
+    for ((machine, op), mut ivs) in intervals {
+        ivs.sort_by_key(|iv| (iv.start, iv.end));
+        let mut lane_free_at: Vec<u64> = Vec::new();
+        for iv in ivs {
+            let slot = match lane_free_at.iter().position(|&f| f <= iv.start) {
+                Some(s) => s,
+                None => {
+                    lane_free_at.push(0);
+                    lane_free_at.len() - 1
+                }
+            };
+            lane_free_at[slot] = iv.end;
+            let tid = op as u64 * LANES_PER_OP + slot as u64;
+            let mut name = String::new();
+            esc(&mut name, &op_name(op));
+            records.push((
+                iv.start,
+                1,
+                format!(
+                    "{{\"ph\":\"B\",\"pid\":{machine},\"tid\":{tid},\"ts\":{},\
+                     \"name\":\"{name}\",\"args\":{{\"pos\":{},\"bag_len\":{}}}}}",
+                    ts_us(iv.start),
+                    iv.pos,
+                    iv.bag_len
+                ),
+            ));
+            records.push((
+                iv.end,
+                0,
+                format!(
+                    "{{\"ph\":\"E\",\"pid\":{machine},\"tid\":{tid},\"ts\":{}}}",
+                    ts_us(iv.end)
+                ),
+            ));
+            let used = lanes_used.entry((machine, op)).or_insert(0);
+            *used = (*used).max(slot as u64 + 1);
+        }
+    }
+
+    // Instant events on the operator's first lane (or the control lane).
+    let mut machines: Vec<u16> = Vec::new();
+    for e in &report.events {
+        if !machines.contains(&e.machine) {
+            machines.push(e.machine);
+        }
+        if matches!(
+            e.kind,
+            EventKind::BagOpened { .. } | EventKind::BagFinalized { .. }
+        ) {
+            continue;
+        }
+        let tid = if e.op == OP_NONE {
+            TID_CONTROL
+        } else {
+            lanes_used.entry((e.machine, e.op)).or_insert(1);
+            e.op as u64 * LANES_PER_OP
+        };
+        records.push((
+            e.t_ns,
+            2,
+            format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
+                 \"name\":\"{}\",\"args\":{}}}",
+                e.machine,
+                ts_us(e.t_ns),
+                e.kind.name(),
+                args_json(&e.kind)
+            ),
+        ));
+    }
+    records.sort_by_key(|r| (r.0, r.1));
+
+    // Metadata first: process names per machine, thread names per lane.
+    machines.sort_unstable();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, rec: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(rec);
+    };
+    for m in &machines {
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{m},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"machine {m}\"}}}}"
+            ),
+        );
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{m},\"tid\":{TID_CONTROL},\
+                 \"name\":\"thread_name\",\"args\":{{\"name\":\"control-flow\"}}}}"
+            ),
+        );
+    }
+    let mut lanes: Vec<(&(u16, u32), &u64)> = lanes_used.iter().collect();
+    lanes.sort();
+    for (&(machine, op), &n_lanes) in lanes {
+        for slot in 0..n_lanes {
+            let tid = op as u64 * LANES_PER_OP + slot;
+            let label = if slot == 0 {
+                op_name(op)
+            } else {
+                format!("{} (pipelined +{slot})", op_name(op))
+            };
+            let mut name = String::new();
+            esc(&mut name, &label);
+            push(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":{machine},\"tid\":{tid},\
+                     \"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+            );
+        }
+    }
+    for (_, _, rec) in &records {
+        push(&mut out, &mut first, rec);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+// --- Minimal JSON validator (tests; no external parser available) --------
+
+/// Checks that `s` is one well-formed JSON value. Returns the byte offset
+/// and a description on failure. Not a full RFC 8259 validator (accepts
+/// any non-control characters in strings) but strict about structure.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, "true"),
+        Some(b'f') => literal(b, i, "false"),
+        Some(b'n') => literal(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        other => Err(format!("unexpected {other:?} at byte {i}")),
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len() && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    if *i == start {
+        return Err(format!("empty number at byte {start}"));
+    }
+    std::str::from_utf8(&b[start..*i])
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .map(|_| ())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*i], b'"');
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        if b.len() < *i + 5
+                            || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {i}"));
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("control char in string at byte {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at byte {i}"));
+        }
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        *i += 1;
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{merge_bufs, ObsBuf, ObsLevel};
+    use super::*;
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\":[1,2.5,-3e2,true,null,\"x\\n\"]}").unwrap();
+        validate_json("[]").unwrap();
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("{\"a\"}").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let report = merge_bufs(ObsLevel::Trace, [ObsBuf::new(ObsLevel::Trace, 0)]);
+        let json = chrome_trace(&report, &[]);
+        validate_json(&json).unwrap();
+        assert!(json.contains("traceEvents"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Per-worker metrics: counters and latency histograms derived from the
+//! event vocabulary, aggregated across workers at join time.
+//!
+//! The registry is updated by [`super::ObsBuf::record`] — one `match` per
+//! event, no allocation on the hot path beyond amortized `Vec` growth the
+//! first time an operator or edge is seen.
+
+use super::event::{EventKind, InputRule, OP_NONE};
+
+/// Number of power-of-two latency buckets (covers 1 ns .. ~2 s and beyond;
+/// the last bucket absorbs everything larger).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A counter/sum/max latency accumulator with power-of-two buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+    /// `buckets[i]` counts samples in `[2^(i-1), 2^i)` (bucket 0: zero).
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyStats {
+    fn default() -> LatencyStats {
+        LatencyStats {
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+        let idx = (64 - u64::leading_zeros(ns) as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Counters for one logical operator (summed over instances and machines).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpMetrics {
+    /// Output bags scheduled ([`EventKind::BagOpened`]).
+    pub bags_opened: u64,
+    /// Output bags fully computed ([`EventKind::BagFinalized`]).
+    pub bags_finalized: u64,
+    /// Loop-invariant hoisting reuse hits (Sec. 5.3).
+    pub hoist_hits: u64,
+    /// Elements produced into output bags.
+    pub elements_emitted: u64,
+    /// Conditional-edge bags the path proved reachable and shipped (5.2.4).
+    pub cond_sent: u64,
+    /// Conditional-edge bags discarded because the consumer can never
+    /// select them (5.2.4).
+    pub cond_dropped: u64,
+    /// Elements buffered while undecided and later shipped.
+    pub elements_deferred: u64,
+    /// Elements buffered while undecided and then thrown away.
+    pub elements_discarded: u64,
+    /// End-of-bag punctuations sent.
+    pub punctuations: u64,
+    /// Elements appended to `out://` sinks.
+    pub sink_written: u64,
+    /// Asynchronous file reads issued.
+    pub io_reads: u64,
+    /// Elements delivered by file reads.
+    pub io_elements: u64,
+    /// Input selections resolved by the same-block rule (5.2.3).
+    pub sel_same_block: u64,
+    /// Input selections resolved by the latest-occurrence rule (5.2.3).
+    pub sel_latest: u64,
+    /// Φ input selections (latest alternative, 5.2.3).
+    pub sel_phi: u64,
+    /// Bag-open → send/drop decision latency on conditional edges.
+    /// Meaningful only at [`super::ObsLevel::Trace`] — the `Metrics` level
+    /// never reads the clock, so samples are recorded as zero there.
+    pub decision_latency: LatencyStats,
+}
+
+impl OpMetrics {
+    fn merge(&mut self, o: &OpMetrics) {
+        self.bags_opened += o.bags_opened;
+        self.bags_finalized += o.bags_finalized;
+        self.hoist_hits += o.hoist_hits;
+        self.elements_emitted += o.elements_emitted;
+        self.cond_sent += o.cond_sent;
+        self.cond_dropped += o.cond_dropped;
+        self.elements_deferred += o.elements_deferred;
+        self.elements_discarded += o.elements_discarded;
+        self.punctuations += o.punctuations;
+        self.sink_written += o.sink_written;
+        self.io_reads += o.io_reads;
+        self.io_elements += o.io_elements;
+        self.sel_same_block += o.sel_same_block;
+        self.sel_latest += o.sel_latest;
+        self.sel_phi += o.sel_phi;
+        self.decision_latency.merge(&o.decision_latency);
+    }
+}
+
+/// Counters for one logical edge (conditional sends, for the DOT overlay).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeMetrics {
+    /// Bags shipped on this edge after a send decision.
+    pub sent_bags: u64,
+    /// Bags discarded on this edge after a drop decision.
+    pub dropped_bags: u64,
+    /// Buffered elements thrown away by drop decisions.
+    pub elements_dropped: u64,
+}
+
+impl EdgeMetrics {
+    fn merge(&mut self, o: &EdgeMetrics) {
+        self.sent_bags += o.sent_bags;
+        self.dropped_bags += o.dropped_bags;
+        self.elements_dropped += o.elements_dropped;
+    }
+}
+
+/// The per-worker (and, after merging, per-run) metrics registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    /// Per-operator counters, indexed by operator id (grown on demand).
+    pub ops: Vec<OpMetrics>,
+    /// Per-edge counters, indexed by logical edge id (grown on demand).
+    pub edges: Vec<EdgeMetrics>,
+    /// Control-flow decisions broadcast by the control-flow managers.
+    pub decisions_broadcast: u64,
+    /// Block occurrences appended to local execution paths.
+    pub path_appends: u64,
+    /// Superstep barrier releases (non-pipelined mode).
+    pub steps_released: u64,
+}
+
+impl MetricsRegistry {
+    fn op_mut(&mut self, op: u32) -> &mut OpMetrics {
+        let i = op as usize;
+        if i >= self.ops.len() {
+            self.ops.resize_with(i + 1, OpMetrics::default);
+        }
+        &mut self.ops[i]
+    }
+
+    fn edge_mut(&mut self, edge: u32) -> &mut EdgeMetrics {
+        let i = edge as usize;
+        if i >= self.edges.len() {
+            self.edges.resize_with(i + 1, EdgeMetrics::default);
+        }
+        &mut self.edges[i]
+    }
+
+    /// Applies one event to the counters.
+    pub fn apply(&mut self, op: u32, kind: &EventKind) {
+        match kind {
+            EventKind::BagOpened { .. } => self.op_mut(op).bags_opened += 1,
+            EventKind::InputSelected { rule, .. } => {
+                let m = self.op_mut(op);
+                match rule {
+                    InputRule::SameBlock => m.sel_same_block += 1,
+                    InputRule::LatestOccurrence => m.sel_latest += 1,
+                    InputRule::PhiLatest => m.sel_phi += 1,
+                }
+            }
+            EventKind::HoistHit { .. } => self.op_mut(op).hoist_hits += 1,
+            EventKind::Emitted { count, .. } => self.op_mut(op).elements_emitted += count,
+            EventKind::SendResolved {
+                edge,
+                sent,
+                buffered,
+                latency_ns,
+                ..
+            } => {
+                {
+                    let m = self.op_mut(op);
+                    if *sent {
+                        m.cond_sent += 1;
+                        m.elements_deferred += buffered;
+                    } else {
+                        m.cond_dropped += 1;
+                        m.elements_discarded += buffered;
+                    }
+                    m.decision_latency.record(*latency_ns);
+                }
+                let em = self.edge_mut(*edge);
+                if *sent {
+                    em.sent_bags += 1;
+                } else {
+                    em.dropped_bags += 1;
+                    em.elements_dropped += buffered;
+                }
+            }
+            EventKind::BagFinalized { .. } => self.op_mut(op).bags_finalized += 1,
+            EventKind::PunctuationSent { .. } => self.op_mut(op).punctuations += 1,
+            EventKind::SinkWrote { count } => self.op_mut(op).sink_written += count,
+            EventKind::DecisionBroadcast { .. } => self.decisions_broadcast += 1,
+            EventKind::PathAppended { .. } => self.path_appends += 1,
+            EventKind::IoStarted { .. } => self.op_mut(op).io_reads += 1,
+            EventKind::IoFinished { count } => self.op_mut(op).io_elements += count,
+            EventKind::StepReleased { .. } => self.steps_released += 1,
+        }
+        debug_assert!(
+            op != OP_NONE
+                || matches!(
+                    kind,
+                    EventKind::DecisionBroadcast { .. }
+                        | EventKind::PathAppended { .. }
+                        | EventKind::StepReleased { .. }
+                ),
+            "operator event recorded with OP_NONE"
+        );
+    }
+
+    /// Folds another registry into this one (worker join).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        if self.ops.len() < other.ops.len() {
+            self.ops.resize_with(other.ops.len(), OpMetrics::default);
+        }
+        for (a, b) in self.ops.iter_mut().zip(other.ops.iter()) {
+            a.merge(b);
+        }
+        if self.edges.len() < other.edges.len() {
+            self.edges.resize_with(other.edges.len(), EdgeMetrics::default);
+        }
+        for (a, b) in self.edges.iter_mut().zip(other.edges.iter()) {
+            a.merge(b);
+        }
+        self.decisions_broadcast += other.decisions_broadcast;
+        self.path_appends += other.path_appends;
+        self.steps_released += other.steps_released;
+    }
+
+    /// Total elements emitted across all operators.
+    pub fn total_emitted(&self) -> u64 {
+        self.ops.iter().map(|m| m.elements_emitted).sum()
+    }
+
+    /// Total hoisting hits across all operators.
+    pub fn total_hoist_hits(&self) -> u64 {
+        self.ops.iter().map(|m| m.hoist_hits).sum()
+    }
+
+    /// Total elements appended to output sinks.
+    pub fn total_sink_written(&self) -> u64 {
+        self.ops.iter().map(|m| m.sink_written).sum()
+    }
+
+    /// Total bags discarded on conditional edges.
+    pub fn total_cond_dropped(&self) -> u64 {
+        self.ops.iter().map(|m| m.cond_dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_cover_range() {
+        let mut l = LatencyStats::default();
+        l.record(0);
+        l.record(1);
+        l.record(1_000_000);
+        l.record(u64::MAX);
+        assert_eq!(l.count, 4);
+        assert_eq!(l.buckets.iter().sum::<u64>(), 4);
+        assert_eq!(l.max_ns, u64::MAX);
+        assert_eq!(l.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(l.buckets[LATENCY_BUCKETS - 1], 1, "huge clamps to last");
+    }
+
+    #[test]
+    fn apply_and_merge_reconcile() {
+        let mut a = MetricsRegistry::default();
+        a.apply(2, &EventKind::BagOpened { pos: 0, bag_len: 1 });
+        a.apply(2, &EventKind::Emitted { bag_len: 1, count: 5 });
+        a.apply(
+            2,
+            &EventKind::SendResolved {
+                edge: 7,
+                bag_len: 1,
+                sent: false,
+                buffered: 5,
+                latency_ns: 100,
+            },
+        );
+        let mut b = MetricsRegistry::default();
+        b.apply(2, &EventKind::Emitted { bag_len: 2, count: 3 });
+        b.apply(
+            OP_NONE,
+            &EventKind::DecisionBroadcast { pos: 1, block: 2 },
+        );
+        a.merge(&b);
+        assert_eq!(a.ops[2].elements_emitted, 8);
+        assert_eq!(a.ops[2].cond_dropped, 1);
+        assert_eq!(a.ops[2].elements_discarded, 5);
+        assert_eq!(a.edges[7].dropped_bags, 1);
+        assert_eq!(a.decisions_broadcast, 1);
+        assert_eq!(a.total_emitted(), 8);
+    }
+}

@@ -1,0 +1,145 @@
+//! Structured runtime observability (tracing + metrics).
+//!
+//! The runtime emits one [`Event`] per observable step of the bag
+//! lifecycle — bag opened, input selected (and which prefix rule fired),
+//! elements emitted, conditional output sent or discarded, end-of-bag
+//! punctuation, hoisting hits, control-flow decision broadcasts — and
+//! keeps a per-worker [`MetricsRegistry`] of counters and histograms.
+//! Workers record into a private [`ObsBuf`]; the drivers merge buffers at
+//! join time into one [`ObsReport`] attached to
+//! [`crate::engine::EngineResult`].
+//!
+//! Timestamps come from [`crate::rt::Net::now_ns`]: virtual time under the
+//! simulator, monotonic wall-clock under the threaded driver. Recording
+//! charges **zero virtual time**, so tracing never perturbs simulated
+//! results; at [`ObsLevel::Off`] (the default) every record call is a
+//! single branch.
+//!
+//! Exporters: [`chrome::chrome_trace`] (Chrome `chrome://tracing` /
+//! Perfetto JSON), [`explain::explain_report`] (per-operator text table),
+//! and the count overlay in [`crate::dot::to_dot_with_metrics`].
+
+pub mod chrome;
+pub mod event;
+pub mod explain;
+pub mod metrics;
+
+pub use chrome::{chrome_trace, validate_json};
+pub use event::{Event, EventKind, InputRule, OP_NONE};
+pub use explain::{explain_parts, explain_report};
+pub use metrics::{EdgeMetrics, LatencyStats, MetricsRegistry, OpMetrics};
+
+use crate::rt::Net;
+
+/// How much the runtime records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ObsLevel {
+    /// Record nothing; every instrumentation site is a single branch.
+    #[default]
+    Off,
+    /// Update counters/histograms only (no per-event storage, no clock
+    /// reads).
+    Metrics,
+    /// Counters plus the full timestamped event stream.
+    Trace,
+}
+
+/// Per-worker recording buffer. One per [`crate::worker::Worker`]; never
+/// shared, so recording is lock-free.
+#[derive(Debug, Default)]
+pub struct ObsBuf {
+    level: ObsLevel,
+    machine: u16,
+    events: Vec<Event>,
+    /// Counters, updated on every recorded event.
+    pub metrics: MetricsRegistry,
+}
+
+impl ObsBuf {
+    /// Creates a buffer recording at `level` for `machine`.
+    pub fn new(level: ObsLevel, machine: u16) -> ObsBuf {
+        ObsBuf {
+            level,
+            machine,
+            events: Vec::new(),
+            metrics: MetricsRegistry::default(),
+        }
+    }
+
+    /// Whether anything is recorded at all. Hot call sites may use this to
+    /// skip argument construction entirely.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        !matches!(self.level, ObsLevel::Off)
+    }
+
+    /// Whether the full event stream (with timestamps) is recorded.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        matches!(self.level, ObsLevel::Trace)
+    }
+
+    /// Records one event attributed to operator `op` (or [`OP_NONE`]).
+    /// The clock is only read when tracing; counters always update when
+    /// enabled. No-op (one branch) when the level is [`ObsLevel::Off`].
+    #[inline]
+    pub fn record(&mut self, net: &mut dyn Net, op: u32, kind: EventKind) {
+        match self.level {
+            ObsLevel::Off => {}
+            ObsLevel::Metrics => self.metrics.apply(op, &kind),
+            ObsLevel::Trace => {
+                self.metrics.apply(op, &kind);
+                self.events.push(Event {
+                    t_ns: net.now_ns(),
+                    machine: self.machine,
+                    op,
+                    kind,
+                });
+            }
+        }
+    }
+
+    /// Recorded events (empty unless tracing).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Drains this buffer into `(events, metrics)`, leaving it empty.
+    pub fn take(&mut self) -> (Vec<Event>, MetricsRegistry) {
+        (
+            std::mem::take(&mut self.events),
+            std::mem::take(&mut self.metrics),
+        )
+    }
+}
+
+/// The merged observability output of one run.
+#[derive(Clone, Debug, Default)]
+pub struct ObsReport {
+    /// The level the run recorded at.
+    pub level: ObsLevel,
+    /// All events, sorted by timestamp (then machine); empty unless the
+    /// level was [`ObsLevel::Trace`].
+    pub events: Vec<Event>,
+    /// Counters aggregated across all workers.
+    pub metrics: MetricsRegistry,
+}
+
+/// Merges per-worker buffers (at join) into one report. Events are stably
+/// sorted by timestamp then machine, so per-machine relative order is
+/// preserved under timestamp ties (common in virtual time).
+pub fn merge_bufs(level: ObsLevel, bufs: impl IntoIterator<Item = ObsBuf>) -> ObsReport {
+    let mut events = Vec::new();
+    let mut metrics = MetricsRegistry::default();
+    for mut b in bufs {
+        let (ev, m) = b.take();
+        events.extend(ev);
+        metrics.merge(&m);
+    }
+    events.sort_by_key(|e| (e.t_ns, e.machine));
+    ObsReport {
+        level,
+        events,
+        metrics,
+    }
+}

@@ -265,7 +265,7 @@ mod tests {
         (g, r)
     }
 
-    fn edge_into<'g>(g: &'g LogicalGraph, dst_name: &str, input: usize) -> EdgeId {
+    fn edge_into(g: &LogicalGraph, dst_name: &str, input: usize) -> EdgeId {
         let dst = g
             .nodes
             .iter()

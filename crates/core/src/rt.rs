@@ -4,6 +4,7 @@
 
 use crate::cost::CostModel;
 use crate::graph::{EdgeId, LogicalGraph};
+use crate::obs::ObsLevel;
 use crate::path::PathRules;
 use mitos_fs::InMemoryFs;
 use mitos_ir::BlockId;
@@ -31,6 +32,11 @@ pub struct EngineConfig {
     /// Abort with an error once the execution path exceeds this many basic
     /// blocks (a runaway/non-terminating loop guard).
     pub max_path_len: u32,
+    /// Observability level: [`ObsLevel::Off`] (default, near-zero cost),
+    /// [`ObsLevel::Metrics`] (counters only), or [`ObsLevel::Trace`]
+    /// (counters plus the timestamped event stream). Recording charges no
+    /// virtual time, so simulated results are identical at every level.
+    pub obs: ObsLevel,
 }
 
 impl Default for EngineConfig {
@@ -41,9 +47,16 @@ impl Default for EngineConfig {
             cost: CostModel::default(),
             extra_step_overhead_ns: 0,
             max_path_len: 10_000_000,
+            obs: ObsLevel::Off,
         }
     }
 }
+
+/// Nanoseconds per millisecond: the runtime keeps **all** durations in
+/// nanoseconds (virtual time under the simulator, monotonic wall-clock
+/// under the threaded driver); reports divide by this exactly once, in
+/// [`crate::engine::EngineResult::millis`].
+pub const NS_PER_MS: u64 = 1_000_000;
 
 /// Immutable state shared by all workers of one job.
 pub struct EngineShared {
@@ -126,6 +139,10 @@ pub trait Net {
     /// Delivers `msg` to `machine` after `delay_ns` of virtual time without
     /// occupying the CPU (models asynchronous disk I/O).
     fn schedule(&mut self, delay_ns: u64, machine: u16, msg: Msg);
+    /// The current time in nanoseconds, used to timestamp trace events:
+    /// virtual time on the simulator, monotonic wall-clock since engine
+    /// start on real threads. Only consulted when tracing is enabled.
+    fn now_ns(&mut self) -> u64;
 }
 
 /// A fatal runtime error (lambda failures, protocol violations).

@@ -15,6 +15,7 @@
 //! all hosts are idle.
 
 use crate::engine::{extract_outputs, EngineResult};
+use crate::obs::{self, ObsLevel};
 use crate::rt::{EngineConfig, EngineShared, Msg, Net, RuntimeError};
 use crate::worker::Worker;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -24,6 +25,7 @@ use mitos_sim::SimReport;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 enum TMsg {
     M(Msg),
@@ -34,6 +36,8 @@ struct ThreadNet<'a> {
     senders: &'a [Sender<TMsg>],
     inflight: &'a AtomicI64,
     sent: u64,
+    /// Engine start; trace timestamps are monotonic ns since this point.
+    epoch: Instant,
 }
 
 impl Net for ThreadNet<'_> {
@@ -54,12 +58,18 @@ impl Net for ThreadNet<'_> {
         // Disk delays are not simulated on real threads; deliver directly.
         self.send(machine, msg, 0);
     }
+
+    fn now_ns(&mut self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
 }
 
 /// Runs a compiled SSA program on real threads (one worker thread per
 /// simulated machine). File effects land in `fs`; `output(..)` collections
-/// are extracted into the result. The returned `sim` report carries only
-/// message counts (no virtual time).
+/// are extracted into the result. The returned `sim` report carries the
+/// measured **wall-clock** duration in `end_time` (nanoseconds, same unit
+/// the simulator uses for virtual time — see [`crate::rt::NS_PER_MS`]);
+/// the other simulator counters stay zero.
 pub fn run_threads(
     func: &FuncIr,
     fs: &InMemoryFs,
@@ -78,6 +88,7 @@ pub fn run_threads(
         machines,
     });
 
+    let epoch = Instant::now();
     let channels: Vec<(Sender<TMsg>, Receiver<TMsg>)> =
         (0..machines).map(|_| unbounded()).collect();
     let senders: Vec<Sender<TMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
@@ -116,6 +127,7 @@ pub fn run_threads(
                         senders,
                         inflight,
                         sent: 0,
+                        epoch,
                     };
                     worker.handle(msg, &mut net);
                     if let Some(e) = &worker.error {
@@ -163,26 +175,40 @@ pub fn run_threads(
         }
     });
 
+    let wall_ns = epoch.elapsed().as_nanos() as u64;
     if let Some(e) = first_error.into_inner() {
         return Err(e);
     }
-    let workers: Vec<Worker> = workers
+    let mut workers: Vec<Worker> = workers
         .into_iter()
         .map(|w| w.into_inner().expect("worker returned"))
         .collect();
-    let w0 = &workers[0];
-    if !w0.path().exited() {
+    if !workers[0].path().exited() {
         return Err(RuntimeError::new("threaded run ended before program exit"));
     }
     let outputs = extract_outputs(fs);
     let op_stats = crate::engine::collect_op_stats(&shared.graph, &workers, machines);
+    let path = workers[0].path().blocks().to_vec();
+    let hoist_hits = workers.iter().map(Worker::hoist_hits).sum();
+    let decisions = workers.iter().map(|w| w.decisions_broadcast).sum();
+    let level = shared.config.obs;
+    let obs_report = (level != ObsLevel::Off)
+        .then(|| obs::merge_bufs(level, workers.iter_mut().map(Worker::take_obs)));
+    // One clock source end to end: the same epoch that timestamps trace
+    // events also yields the reported duration, in nanoseconds like the
+    // simulator's virtual end_time.
+    let sim = SimReport {
+        end_time: wall_ns,
+        ..SimReport::default()
+    };
     Ok(EngineResult {
         outputs,
-        path: w0.path().blocks().to_vec(),
-        sim: SimReport::default(),
-        hoist_hits: workers.iter().map(Worker::hoist_hits).sum(),
-        decisions: workers.iter().map(|w| w.decisions_broadcast).sum(),
+        path,
+        sim,
+        hoist_hits,
+        decisions,
         op_stats,
+        obs: obs_report,
     })
 }
 

@@ -9,6 +9,7 @@
 
 use crate::graph::OpId;
 use crate::host::{Host, HostOut};
+use crate::obs::{EventKind, ObsBuf, OP_NONE};
 use crate::path::ExecutionPath;
 use crate::rt::{EngineShared, Msg, Net, RuntimeError};
 use mitos_ir::nir::Terminator;
@@ -40,6 +41,9 @@ pub struct Worker {
     pub error: Option<RuntimeError>,
     /// Count of control-flow decisions this worker broadcast.
     pub decisions_broadcast: u64,
+    /// Observability buffer (events + metrics); drained at join via
+    /// [`Worker::take_obs`].
+    obs: ObsBuf,
 }
 
 impl Worker {
@@ -71,6 +75,7 @@ impl Worker {
         } else {
             None
         };
+        let obs = ObsBuf::new(shared.config.obs, machine);
         Worker {
             machine,
             shared,
@@ -81,7 +86,13 @@ impl Worker {
             barrier,
             error: None,
             decisions_broadcast: 0,
+            obs,
         }
+    }
+
+    /// Drains this worker's observability buffer (called once, at join).
+    pub fn take_obs(&mut self) -> ObsBuf {
+        std::mem::take(&mut self.obs)
     }
 
     /// Read access to the replicated execution path (tests compare it with
@@ -131,6 +142,8 @@ impl Worker {
             Msg::Start => {
                 let pos = self.path.append(0);
                 debug_assert_eq!(pos, 0);
+                self.obs
+                    .record(net, OP_NONE, EventKind::PathAppended { pos, block: 0 });
                 self.notify_append(pos, 0, net, &mut decisions, &mut computed)?;
                 self.advance(net, &mut decisions, &mut computed)?;
             }
@@ -153,6 +166,7 @@ impl Worker {
                     net,
                     decisions: &mut decisions,
                     computed: &mut computed,
+                    obs: &mut self.obs,
                 };
                 self.hosts[hi].on_data(edge, bag_len, elems, &self.path, &mut out)?;
             }
@@ -171,6 +185,7 @@ impl Worker {
                     net,
                     decisions: &mut decisions,
                     computed: &mut computed,
+                    obs: &mut self.obs,
                 };
                 self.hosts[hi].on_done(edge, bag_len, count, &self.path, &mut out)?;
             }
@@ -185,6 +200,7 @@ impl Worker {
                     net,
                     decisions: &mut decisions,
                     computed: &mut computed,
+                    obs: &mut self.obs,
                 };
                 self.hosts[hi].on_io_done(&self.path, &mut out)?;
             }
@@ -194,6 +210,7 @@ impl Worker {
                         net,
                         decisions: &mut decisions,
                         computed: &mut computed,
+                        obs: &mut self.obs,
                     };
                     self.hosts[hi].on_release(pos, &self.path, &mut out)?;
                 }
@@ -225,6 +242,11 @@ impl Worker {
             for (index, block) in std::mem::take(&mut decisions) {
                 // Broadcast to every other control-flow manager...
                 self.decisions_broadcast += 1;
+                self.obs.record(
+                    net,
+                    OP_NONE,
+                    EventKind::DecisionBroadcast { pos: index, block },
+                );
                 for m in 0..self.shared.machines {
                     if m != self.machine {
                         net.send(m, Msg::Decision { index, block }, 16);
@@ -259,6 +281,7 @@ impl Worker {
                             net,
                             decisions,
                             computed,
+                            obs: &mut self.obs,
                         };
                         self.hosts[hi].on_exit(&self.path, &mut out)?;
                     }
@@ -278,6 +301,8 @@ impl Worker {
                 )));
             }
             let pos = self.path.append(next);
+            self.obs
+                .record(net, OP_NONE, EventKind::PathAppended { pos, block: next });
             self.notify_append(pos, next, net, decisions, computed)?;
             if self.barrier.is_some() {
                 // Blocks without operators complete vacuously; let the
@@ -300,6 +325,7 @@ impl Worker {
                 net,
                 decisions,
                 computed,
+                obs: &mut self.obs,
             };
             self.hosts[hi].on_path_append(pos, block, &self.path, &mut out)?;
         }
@@ -347,6 +373,8 @@ impl Worker {
             // Models the per-superstep synchronization overhead
             // (Flink's FLINK-3322 constant when emulating Flink).
             net.charge(self.shared.config.extra_step_overhead_ns);
+            self.obs
+                .record(net, OP_NONE, EventKind::StepReleased { pos: f });
             for m in 0..self.shared.machines {
                 if m != self.machine {
                     net.send(m, Msg::Release { pos: f }, 16);
@@ -360,6 +388,7 @@ impl Worker {
                     net,
                     decisions: &mut decisions,
                     computed: &mut computed,
+                    obs: &mut self.obs,
                 };
                 self.hosts[hi].on_release(f, &self.path, &mut out)?;
             }

@@ -26,6 +26,9 @@ impl Net for BusNet {
     fn schedule(&mut self, _delay_ns: u64, machine: u16, msg: Msg) {
         self.outbox.push((machine, msg));
     }
+    fn now_ns(&mut self) -> u64 {
+        0
+    }
 }
 
 /// How the scheduler picks the next in-flight message.

@@ -324,7 +324,7 @@ mod tests {
 
     #[test]
     fn total_order_is_deterministic_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("b"),
             Value::I64(2),
             Value::Bool(true),

@@ -1,0 +1,18 @@
+// Even/odd partitioned accumulation — every loop step takes one of two
+// branches, so the conditional-output watchers (paper Sec. 5.2.4) get a
+// roughly even mix of send and discard decisions:
+//
+//   mitos run examples/branching_sums.mt --explain
+
+evens = 0;
+odds = 0;
+for i = 1 to 12 {
+    squares = bag(i).map(x => x * x);
+    if (i % 2 == 0) {
+        evens = evens + squares.sum();
+    } else {
+        odds = odds + squares.sum();
+    }
+}
+output(evens, "evens");
+output(odds, "odds");

@@ -1,0 +1,25 @@
+// Self-contained control-flow workout: nested loops over literal bags,
+// with a data-dependent branch in the inner loop. Good for watching the
+// bag lifecycle under loop pipelining:
+//
+//   mitos run examples/nested_loops.mt --trace trace.json --explain
+//   mitos explain examples/nested_loops.mt
+
+total = 0;
+i = 0;
+while (i < 4) {
+    base = bag((1, i), (2, i * 2), (3, i * 3));
+    j = 0;
+    while (j < 3) {
+        probe = bag((1, j), (2, j + 1));
+        hits = (base join probe).count();
+        if (hits % 2 == 0) {
+            total = total + hits;
+        } else {
+            total = total + 1;
+        }
+        j = j + 1;
+    }
+    i = i + 1;
+}
+output(total, "total");

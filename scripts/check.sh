@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full local gate: release build, the whole workspace test suite, and
+# clippy with warnings denied (the crates opt into #![warn(missing_docs)],
+# so undocumented public items fail here too). Everything runs --offline;
+# the repo has no crates.io dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"

@@ -55,6 +55,7 @@ pub use mitos_sim as sim;
 pub use mitos_workloads as workloads;
 
 use mitos_core::rt::EngineConfig;
+pub use mitos_core::{ObsLevel, ObsReport};
 use mitos_fs::InMemoryFs;
 use mitos_ir::{BlockId, FuncIr};
 use mitos_lang::Value;
@@ -107,17 +108,50 @@ pub struct Outcome {
     pub outputs: BTreeMap<String, Vec<Value>>,
     /// The execution path (sequence of basic blocks).
     pub path: Vec<BlockId>,
-    /// Virtual execution time in nanoseconds (0 for the reference
-    /// interpreter).
+    /// Execution time in nanoseconds: virtual time under the simulator,
+    /// measured wall-clock time under [`Engine::MitosThreads`], and 0 for
+    /// the reference interpreter (see [`mitos_core::NS_PER_MS`]).
     pub virtual_ns: u64,
     /// Per-operator statistics (Mitos engines only; empty otherwise).
     pub op_stats: Vec<mitos_core::engine::OpStats>,
+    /// Control-flow decisions broadcast by condition nodes (Mitos engines
+    /// only; 0 otherwise).
+    pub decisions: u64,
+    /// Structured observability report — populated by the Mitos engines
+    /// when the run was requested with [`ObsLevel::Metrics`] or
+    /// [`ObsLevel::Trace`] (see [`run_compiled_obs`]); `None` otherwise.
+    pub obs: Option<ObsReport>,
 }
 
 impl Outcome {
-    /// Virtual execution time in milliseconds.
+    /// Execution time in milliseconds (virtual or wall-clock, matching
+    /// [`Outcome::virtual_ns`]).
     pub fn millis(&self) -> f64 {
-        self.virtual_ns as f64 / 1e6
+        self.virtual_ns as f64 / mitos_core::NS_PER_MS as f64
+    }
+
+    /// Renders the `EXPLAIN`-style per-operator report (see
+    /// [`mitos_core::obs::explain_report`]): the full counter table when
+    /// the run collected observability data, a basic
+    /// [`mitos_core::engine::OpStats`] table otherwise.
+    pub fn explain(&self) -> String {
+        mitos_core::obs::explain_parts(
+            &self.op_stats,
+            self.obs.as_ref(),
+            self.path.len(),
+            self.op_stats.iter().map(|s| s.hoist_hits).sum(),
+            self.decisions,
+            self.millis(),
+        )
+    }
+
+    /// Renders the run's event stream as Chrome trace-event JSON (load in
+    /// `chrome://tracing` or Perfetto). Meaningful only when the run used
+    /// [`ObsLevel::Trace`]; returns `None` otherwise.
+    pub fn chrome_trace(&self) -> Option<String> {
+        let obs = self.obs.as_ref()?;
+        (obs.level == ObsLevel::Trace)
+            .then(|| mitos_core::obs::chrome_trace(obs, &self.op_stats))
     }
 }
 
@@ -172,11 +206,28 @@ pub fn run_compiled_on(
     engine: Engine,
     cluster: SimConfig,
 ) -> Result<Outcome, Error> {
+    run_compiled_obs(func, fs, engine, cluster, ObsLevel::Off)
+}
+
+/// Like [`run_compiled_on`], additionally collecting structured
+/// observability data at the requested [`ObsLevel`] (Mitos engines only —
+/// the baselines and the reference interpreter ignore `obs` and return
+/// `Outcome::obs = None`). At [`ObsLevel::Off`] this is identical to
+/// [`run_compiled_on`]; recording never charges virtual time, so simulated
+/// results are bit-identical at every level.
+pub fn run_compiled_obs(
+    func: &FuncIr,
+    fs: &InMemoryFs,
+    engine: Engine,
+    cluster: SimConfig,
+    obs: ObsLevel,
+) -> Result<Outcome, Error> {
     match engine {
         Engine::Mitos | Engine::MitosNoPipelining | Engine::MitosNoHoisting => {
             let config = EngineConfig {
                 pipelined: engine != Engine::MitosNoPipelining,
                 hoisting: engine != Engine::MitosNoHoisting,
+                obs,
                 ..EngineConfig::default()
             };
             let r = mitos_core::run_sim(func, fs, config, cluster)?;
@@ -185,6 +236,8 @@ pub fn run_compiled_on(
                 path: r.path,
                 virtual_ns: r.sim.end_time,
                 op_stats: r.op_stats,
+                decisions: r.decisions,
+                obs: r.obs,
             })
         }
         Engine::FlinkNative => {
@@ -194,6 +247,8 @@ pub fn run_compiled_on(
                 path: r.path,
                 virtual_ns: r.sim.end_time,
                 op_stats: r.op_stats,
+                decisions: 0,
+                obs: None,
             })
         }
         Engine::FlinkSeparateJobs => {
@@ -203,6 +258,8 @@ pub fn run_compiled_on(
                 path: r.path,
                 virtual_ns: r.sim.end_time,
                 op_stats: Vec::new(),
+                decisions: 0,
+                obs: None,
             })
         }
         Engine::Spark => {
@@ -217,15 +274,24 @@ pub fn run_compiled_on(
                 path: r.path,
                 virtual_ns: r.sim.end_time,
                 op_stats: Vec::new(),
+                decisions: 0,
+                obs: None,
             })
         }
         Engine::MitosThreads => {
-            let r = mitos_core::run_threads(func, fs, EngineConfig::default(), cluster.machines)?;
+            let config = EngineConfig {
+                obs,
+                ..EngineConfig::default()
+            };
+            let r = mitos_core::run_threads(func, fs, config, cluster.machines)?;
             Ok(Outcome {
                 outputs: r.outputs,
                 path: r.path,
-                virtual_ns: 0,
+                // Wall-clock ns, measured by the driver's single epoch.
+                virtual_ns: r.sim.end_time,
                 op_stats: r.op_stats,
+                decisions: r.decisions,
+                obs: r.obs,
             })
         }
         Engine::Reference => {
@@ -236,6 +302,8 @@ pub fn run_compiled_on(
                 path: r.path,
                 virtual_ns: 0,
                 op_stats: Vec::new(),
+                decisions: 0,
+                obs: None,
             })
         }
     }

@@ -13,14 +13,18 @@
 
 use mitos::fs::InMemoryFs;
 use mitos::lang::Value;
-use mitos::{baselines, compile, ir, run_compiled, Engine};
+use mitos::sim::SimConfig;
+use mitos::{baselines, compile, ir, run_compiled_obs, Engine, ObsLevel};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mitos run <program> [--machines N] [--engine mitos|mitos-nopipe|\
          mitos-nohoist|flink|flink-jobs|spark|threads|reference]\n             \
-         [--input name=path]... [--output-dir dir]\n  mitos ssa <program>\n  \
+         [--input name=path]... [--output-dir dir]\n             \
+         [--explain] [--trace out.json]\n  \
+         mitos explain <program> [run options]   # per-operator runtime report\n  \
+         mitos ssa <program>\n  \
          mitos graph <program>   # DOT dataflow (Figure 3b style)\n  \
          mitos check <program>"
     );
@@ -117,12 +121,14 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "run" => {
+        "run" | "explain" => {
+            let explain_cmd = command == "explain";
             let mut machines: u16 = 4;
             let mut engine = Engine::Mitos;
             let mut inputs: Vec<(String, String)> = Vec::new();
             let mut output_dir: Option<String> = None;
-            let mut explain = false;
+            let mut explain = explain_cmd;
+            let mut trace_path: Option<String> = None;
             let mut combiners = false;
             let mut i = 2;
             while i < args.len() {
@@ -156,11 +162,24 @@ fn main() -> ExitCode {
                         output_dir = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
                     "--explain" => explain = true,
+                    "--trace" => {
+                        i += 1;
+                        trace_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
                     "--combiners" => combiners = true,
                     _ => usage(),
                 }
                 i += 1;
             }
+            // Tracing needs timestamps; a bare --explain only needs the
+            // counters.
+            let obs = if trace_path.is_some() {
+                ObsLevel::Trace
+            } else if explain {
+                ObsLevel::Metrics
+            } else {
+                ObsLevel::Off
+            };
             let fs = InMemoryFs::new();
             for (name, path) in &inputs {
                 let text = match std::fs::read_to_string(path) {
@@ -191,19 +210,38 @@ fn main() -> ExitCode {
                 func
             };
             let start = std::time::Instant::now();
-            match run_compiled(&func, &fs, engine, machines) {
+            match run_compiled_obs(&func, &fs, engine, SimConfig::with_machines(machines), obs) {
                 Ok(outcome) => {
-                    if explain && !outcome.op_stats.is_empty() {
-                        eprintln!(
-                            "{:<24} {:<12} {:>5} {:>12} {:>8}",
-                            "operator", "kind", "inst", "emitted", "hoists"
-                        );
-                        for s in &outcome.op_stats {
-                            eprintln!(
-                                "{:<24} {:<12} {:>5} {:>12} {:>8}",
-                                s.name, s.kind, s.instances, s.emitted, s.hoist_hits
-                            );
+                    if explain {
+                        // The subcommand's report is the product: stdout.
+                        // As a flag on `run` it is diagnostics: stderr.
+                        if explain_cmd {
+                            print!("{}", outcome.explain());
+                        } else {
+                            eprint!("{}", outcome.explain());
                         }
+                    }
+                    if let Some(path) = &trace_path {
+                        match outcome.chrome_trace() {
+                            Some(json) => {
+                                if let Err(e) = std::fs::write(path, json) {
+                                    eprintln!("error: cannot write trace {path}: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                                eprintln!(
+                                    "wrote Chrome trace {path} ({} events) — open in \
+                                     chrome://tracing or https://ui.perfetto.dev",
+                                    outcome.obs.as_ref().map_or(0, |o| o.events.len())
+                                );
+                            }
+                            None => eprintln!(
+                                "warning: --trace requires a Mitos engine \
+                                 (mitos/mitos-nopipe/mitos-nohoist/threads); no trace written"
+                            ),
+                        }
+                    }
+                    if explain_cmd {
+                        return ExitCode::SUCCESS;
                     }
                     for (tag, values) in &outcome.outputs {
                         println!("== output {tag} ({} values) ==", values.len());
@@ -230,8 +268,13 @@ fn main() -> ExitCode {
                             }
                         }
                     }
+                    let clock = if engine == Engine::MitosThreads {
+                        "measured"
+                    } else {
+                        "virtual"
+                    };
                     eprintln!(
-                        "[{engine}] {} machines, {:.2} virtual ms, {:.0} ms wall",
+                        "[{engine}] {} machines, {:.2} {clock} ms, {:.0} ms wall",
                         machines,
                         outcome.millis(),
                         start.elapsed().as_secs_f64() * 1000.0

@@ -11,7 +11,6 @@
 use mitos::fs::InMemoryFs;
 use mitos::lang::ast::{Lambda, Program, Stmt, SurfExpr};
 use mitos::lang::expr::BinOp;
-use mitos::lang::Value;
 use mitos::sim::SimConfig;
 use mitos::{run_compiled_on, Engine};
 use proptest::prelude::*;
