@@ -193,9 +193,6 @@ mod tests {
         let func = compile_str(src).unwrap();
         let fs = InMemoryFs::new();
         let r = run_flink_native(&func, &fs, SimConfig::with_machines(3)).unwrap();
-        assert_eq!(
-            r.outputs["s"],
-            vec![mitos_lang::Value::I64(15)]
-        );
+        assert_eq!(r.outputs["s"], vec![mitos_lang::Value::I64(15)]);
     }
 }

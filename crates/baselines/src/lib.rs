@@ -21,7 +21,10 @@ pub mod naiad;
 pub mod spark;
 pub mod tensorflow;
 
-pub use flink::{flink_driver_config, flink_mode, flink_step_overhead_ns, run_flink_native, run_flink_native_with, run_flink_separate_jobs, FlinkMode};
+pub use flink::{
+    flink_driver_config, flink_mode, flink_step_overhead_ns, run_flink_native,
+    run_flink_native_with, run_flink_separate_jobs, FlinkMode,
+};
 pub use naiad::{run_naiad_loop, NaiadConfig};
 pub use spark::{run_driver_loop, DriverConfig, DriverResult};
 pub use tensorflow::{run_tf_loop, TfConfig};

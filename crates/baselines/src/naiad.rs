@@ -40,7 +40,9 @@ impl Default for NaiadConfig {
 enum Msg {
     Start,
     /// Pointstamp delta: a worker retired its capability at `t`.
-    Progress { t: u32 },
+    Progress {
+        t: u32,
+    },
 }
 
 struct NaiadWorker {

@@ -103,20 +103,34 @@ enum Dist {
 
 #[derive(Clone)]
 enum StageOp {
-    ReadFile { name: String },
+    ReadFile {
+        name: String,
+    },
     /// Driver-provided literal elements; task `m` keeps every
     /// `machines`-th element (Spark's `parallelize`).
-    Parallelize { elems: Vec<Value> },
-    Map { expr: Expr },
-    FlatMap { expr: Expr },
-    Filter { expr: Expr },
+    Parallelize {
+        elems: Vec<Value>,
+    },
+    Map {
+        expr: Expr,
+    },
+    FlatMap {
+        expr: Expr,
+    },
+    Filter {
+        expr: Expr,
+    },
     Union,
     Join,
-    ReduceByKey { expr: Expr },
+    ReduceByKey {
+        expr: Expr,
+    },
     Distinct,
     Cross,
     Collect,
-    WriteFile { name: String },
+    WriteFile {
+        name: String,
+    },
 }
 
 #[derive(Clone)]
@@ -241,20 +255,17 @@ impl Driver {
                 Expr::List(es) => {
                     Expr::List(es.iter().map(|x| subst(x, data_params, captured)).collect())
                 }
-                Expr::Index(x, i) => {
-                    Expr::Index(Box::new(subst(x, data_params, captured)), *i)
-                }
-                Expr::Unary(op, x) => {
-                    Expr::Unary(*op, Box::new(subst(x, data_params, captured)))
-                }
+                Expr::Index(x, i) => Expr::Index(Box::new(subst(x, data_params, captured)), *i),
+                Expr::Unary(op, x) => Expr::Unary(*op, Box::new(subst(x, data_params, captured))),
                 Expr::Binary(op, a, b) => Expr::Binary(
                     *op,
                     Box::new(subst(a, data_params, captured)),
                     Box::new(subst(b, data_params, captured)),
                 ),
-                Expr::Call(f, es) => {
-                    Expr::Call(*f, es.iter().map(|x| subst(x, data_params, captured)).collect())
-                }
+                Expr::Call(f, es) => Expr::Call(
+                    *f,
+                    es.iter().map(|x| subst(x, data_params, captured)).collect(),
+                ),
                 Expr::If(c, t, f) => Expr::If(
                     Box::new(subst(c, data_params, captured)),
                     Box::new(subst(t, data_params, captured)),
@@ -322,9 +333,9 @@ impl Driver {
                 self.env[target as usize] = Some(Handle::Scalar(v));
             }
             Op::Phi { inputs } => {
-                let pred = self.came_from.ok_or_else(|| {
-                    RuntimeError::new("driver: phi in entry block".to_string())
-                })?;
+                let pred = self
+                    .came_from
+                    .ok_or_else(|| RuntimeError::new("driver: phi in entry block".to_string()))?;
                 let (_, chosen) = inputs
                     .iter()
                     .find(|(p, _)| *p == pred)
@@ -459,12 +470,11 @@ impl Driver {
                 let result = match &node.op {
                     Op::ReadFile { .. } => {
                         let name = match &node.inputs[0] {
-                            Handle::Scalar(v) => v
-                                .as_str()
-                                .map(str::to_string)
-                                .ok_or_else(|| {
+                            Handle::Scalar(v) => {
+                                v.as_str().map(str::to_string).ok_or_else(|| {
                                     RuntimeError::new("readFile: non-string name".to_string())
-                                })?,
+                                })?
+                            }
                             _ => {
                                 return Err(RuntimeError::new(
                                     "readFile: name must be a driver scalar".to_string(),
@@ -493,9 +503,7 @@ impl Driver {
                             .collect::<Result<_, _>>()?;
                         let vals: Result<Vec<Value>, RuntimeError> = elems
                             .iter()
-                            .map(|e| {
-                                eval(e, &caps).map_err(|e| RuntimeError::new(e.message))
-                            })
+                            .map(|e| eval(e, &caps).map_err(|e| RuntimeError::new(e.message)))
                             .collect();
                         stages.push(StageSpec {
                             op: StageOp::Parallelize { elems: vals? },
@@ -509,7 +517,8 @@ impl Driver {
                         captured,
                         expr,
                     } => {
-                        let (in_id, by_key) = self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
+                        let (in_id, by_key) =
+                            self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
                         let caps = self.lazy_captured(&node.inputs, 1, captured.len())?;
                         stages.push(StageSpec {
                             op: StageOp::Map {
@@ -543,7 +552,8 @@ impl Driver {
                         captured,
                         expr,
                     } => {
-                        let (in_id, by_key) = self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
+                        let (in_id, by_key) =
+                            self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
                         let caps = self.lazy_captured(&node.inputs, 1, captured.len())?;
                         stages.push(StageSpec {
                             op: StageOp::Filter {
@@ -555,7 +565,8 @@ impl Driver {
                         (out_id, by_key) // filter preserves partitioning
                     }
                     Op::Alias { .. } => {
-                        let (in_id, by_key) = self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
+                        let (in_id, by_key) =
+                            self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
                         (in_id, by_key)
                     }
                     Op::Union { .. } => {
@@ -569,8 +580,10 @@ impl Driver {
                         (out_id, false)
                     }
                     Op::Join { .. } => {
-                        let (l, l_by_key) = self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
-                        let (r, r_by_key) = self.plan(&node.inputs[1].clone(), stages, memo, ctx)?;
+                        let (l, l_by_key) =
+                            self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
+                        let (r, r_by_key) =
+                            self.plan(&node.inputs[1].clone(), stages, memo, ctx)?;
                         stages.push(StageSpec {
                             op: StageOp::Join,
                             inputs: vec![
@@ -586,16 +599,14 @@ impl Driver {
                         captured,
                         expr,
                     } => {
-                        let (in_id, by_key) = self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
+                        let (in_id, by_key) =
+                            self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
                         let caps = self.lazy_captured(&node.inputs, 1, captured.len())?;
                         stages.push(StageSpec {
                             op: StageOp::ReduceByKey {
                                 expr: Self::bind_captured(expr, 2, &caps),
                             },
-                            inputs: vec![(
-                                in_id,
-                                if by_key { Dist::Keep } else { Dist::Shuffle },
-                            )],
+                            inputs: vec![(in_id, if by_key { Dist::Keep } else { Dist::Shuffle })],
                             output: Some(out_id),
                         });
                         (out_id, true)
@@ -607,7 +618,8 @@ impl Driver {
                     } => {
                         // Map-side combine: aggregate within the partition,
                         // no shuffle.
-                        let (in_id, by_key) = self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
+                        let (in_id, by_key) =
+                            self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
                         let caps = self.lazy_captured(&node.inputs, 1, captured.len())?;
                         stages.push(StageSpec {
                             op: StageOp::ReduceByKey {
@@ -619,13 +631,11 @@ impl Driver {
                         (out_id, by_key)
                     }
                     Op::Distinct { .. } => {
-                        let (in_id, by_key) = self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
+                        let (in_id, by_key) =
+                            self.plan(&node.inputs[0].clone(), stages, memo, ctx)?;
                         stages.push(StageSpec {
                             op: StageOp::Distinct,
-                            inputs: vec![(
-                                in_id,
-                                if by_key { Dist::Keep } else { Dist::Shuffle },
-                            )],
+                            inputs: vec![(in_id, if by_key { Dist::Keep } else { Dist::Shuffle })],
                             output: Some(out_id),
                         });
                         (out_id, by_key)
@@ -753,11 +763,12 @@ impl Driver {
                 init,
             } => {
                 ctx.charge(
-                    self.config.cost.eval_cost(expr.node_count(), collected.len()),
+                    self.config
+                        .cost
+                        .eval_cost(expr.node_count(), collected.len()),
                 );
-                let folded =
-                    kernel::reduce(&expr, &captured, init.as_ref(), &collected)
-                        .map_err(|e| RuntimeError::new(e.message))?;
+                let folded = kernel::reduce(&expr, &captured, init.as_ref(), &collected)
+                    .map_err(|e| RuntimeError::new(e.message))?;
                 let v = folded.ok_or_else(|| {
                     RuntimeError::new("reduce on empty bag with no init".to_string())
                 })?;
@@ -814,11 +825,9 @@ impl Executor {
                     })?;
                     ctx.charge(self.cost.ser_cost(local.len()));
                     if *dist == Dist::Shuffle {
-                        let mut parts: Vec<Vec<Value>> =
-                            vec![Vec::new(); self.machines as usize];
+                        let mut parts: Vec<Vec<Value>> = vec![Vec::new(); self.machines as usize];
                         for v in local {
-                            let d = (mitos_core::graph::stable_hash(v.key())
-                                % self.machines as u64)
+                            let d = (mitos_core::graph::stable_hash(v.key()) % self.machines as u64)
                                 as usize;
                             parts[d].push(v);
                         }
@@ -864,7 +873,8 @@ impl Executor {
                 }
             }
         }
-        self.pending.insert(stage_seq, PendingTask { spec, shuffle_in });
+        self.pending
+            .insert(stage_seq, PendingTask { spec, shuffle_in });
         self.try_run(stage_seq, ctx)?;
         let _ = any_shuffle;
         Ok(())
@@ -945,10 +955,7 @@ impl Executor {
             }
             StageOp::Map { expr } => {
                 ctx.charge(cost.eval_cost(expr.node_count(), inputs[0].len()));
-                Some(
-                    kernel::map(expr, &[], &inputs[0])
-                        .map_err(|e| RuntimeError::new(e.message))?,
-                )
+                Some(kernel::map(expr, &[], &inputs[0]).map_err(|e| RuntimeError::new(e.message))?)
             }
             StageOp::FlatMap { expr } => {
                 ctx.charge(cost.eval_cost(expr.node_count(), inputs[0].len()));
@@ -1054,7 +1061,9 @@ impl World for SparkWorld {
                     input_idx,
                     elems,
                 } => ex.on_shuffle_block(stage_seq, input_idx, elems, ctx),
-                _ => Err(RuntimeError::new("executor: unexpected message".to_string())),
+                _ => Err(RuntimeError::new(
+                    "executor: unexpected message".to_string(),
+                )),
             }
         };
         if let Err(e) = result {

@@ -206,11 +206,7 @@ pub fn run_tf_loop(config: TfConfig, cluster: SimConfig) -> (SimReport, Value) {
         ),
     );
     let report = sim.run();
-    let result = sim
-        .world()
-        .result
-        .clone()
-        .expect("loop must exit");
+    let result = sim.world().result.clone().expect("loop must exit");
     (report, result)
 }
 

@@ -6,7 +6,9 @@ use mitos_fs::InMemoryFs;
 use mitos_ir::{interpret, InterpConfig};
 use mitos_lang::Value;
 use mitos_sim::SimConfig;
-use mitos_workloads::{generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec};
+use mitos_workloads::{
+    generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec,
+};
 
 fn reference(src: &str, setup: &dyn Fn(&InMemoryFs)) -> (mitos_ir::RunResult, InMemoryFs) {
     let fs = InMemoryFs::new();
@@ -21,8 +23,13 @@ fn check_spark(src: &str, machines: u16, setup: &dyn Fn(&InMemoryFs)) {
     let fs = InMemoryFs::new();
     setup(&fs);
     let func = mitos_ir::compile_str(src).unwrap();
-    let r = run_driver_loop(&func, &fs, DriverConfig::default(), SimConfig::with_machines(machines))
-        .unwrap();
+    let r = run_driver_loop(
+        &func,
+        &fs,
+        DriverConfig::default(),
+        SimConfig::with_machines(machines),
+    )
+    .unwrap();
     assert_eq!(r.path, reference.path, "driver path");
     assert_eq!(r.outputs, reference.canonical_outputs(), "outputs");
     assert_eq!(fs.snapshot(), ref_fs.snapshot(), "file effects");

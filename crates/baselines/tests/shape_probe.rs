@@ -9,21 +9,49 @@ use mitos_workloads::*;
 #[ignore]
 fn probe_visit_count() {
     let days = 30;
-    let spec = VisitCountSpec { days, visits_per_day: 2000, pages: 500, seed: 1 };
+    let spec = VisitCountSpec {
+        days,
+        visits_per_day: 2000,
+        pages: 500,
+        seed: 1,
+    };
     let src = visit_count_program(days, false);
     let func = mitos_ir::compile_str(&src).unwrap();
     for machines in [4u16, 16] {
         let cluster = SimConfig::with_machines(machines);
         let t0 = std::time::Instant::now();
-        let fs = InMemoryFs::new(); generate_visit_logs(&fs, &spec);
+        let fs = InMemoryFs::new();
+        generate_visit_logs(&fs, &spec);
         let mitos = mitos_core::run_sim(&func, &fs, EngineConfig::default(), cluster).unwrap();
         let t1 = std::time::Instant::now();
-        let fs = InMemoryFs::new(); generate_visit_logs(&fs, &spec);
-        let nopipe = mitos_core::run_sim(&func, &fs, EngineConfig { pipelined: false, ..Default::default() }, cluster).unwrap();
-        let fs = InMemoryFs::new(); generate_visit_logs(&fs, &spec);
-        let flink = mitos_core::run_sim(&func, &fs, EngineConfig { pipelined: false, extra_step_overhead_ns: 4_000_000, ..Default::default() }, cluster).unwrap();
+        let fs = InMemoryFs::new();
+        generate_visit_logs(&fs, &spec);
+        let nopipe = mitos_core::run_sim(
+            &func,
+            &fs,
+            EngineConfig {
+                pipelined: false,
+                ..Default::default()
+            },
+            cluster,
+        )
+        .unwrap();
+        let fs = InMemoryFs::new();
+        generate_visit_logs(&fs, &spec);
+        let flink = mitos_core::run_sim(
+            &func,
+            &fs,
+            EngineConfig {
+                pipelined: false,
+                extra_step_overhead_ns: 4_000_000,
+                ..Default::default()
+            },
+            cluster,
+        )
+        .unwrap();
         let t2 = std::time::Instant::now();
-        let fs = InMemoryFs::new(); generate_visit_logs(&fs, &spec);
+        let fs = InMemoryFs::new();
+        generate_visit_logs(&fs, &spec);
         let spark = run_driver_loop(&func, &fs, DriverConfig::default(), cluster).unwrap();
         let t3 = std::time::Instant::now();
         println!("machines={machines}: mitos={:.1}ms nopipe={:.1}ms flinkish={:.1}ms spark={:.1}ms | wall: mitos={:?} flink={:?} spark={:?}",

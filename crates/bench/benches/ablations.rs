@@ -7,21 +7,25 @@
 //! * garbage collection — peak inbox depth stays bounded as loops get
 //!   longer, demonstrating the input-bag GC of Sec. 5.2.4.
 
-use mitos_bench::Table;
+use mitos_bench::{BenchReport, Table};
 use mitos_core::rt::EngineConfig;
 use mitos_core::run_sim;
 use mitos_fs::InMemoryFs;
 use mitos_sim::SimConfig;
-use mitos_workloads::{generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec};
+use mitos_workloads::{
+    generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec,
+};
 
 fn main() {
-    decision_broadcast();
-    hoisting_hits();
-    gc_bounded_state();
-    combiners();
+    let mut report = BenchReport::new("ablations", "runtime-mechanism ablations");
+    decision_broadcast(&mut report);
+    hoisting_hits(&mut report);
+    gc_bounded_state(&mut report);
+    combiners(&mut report);
+    report.write();
 }
 
-fn decision_broadcast() {
+fn decision_broadcast(report: &mut BenchReport) {
     println!("\n=== Ablation: control-flow decision broadcast ===");
     let days = 30;
     let spec = VisitCountSpec {
@@ -35,20 +39,32 @@ fn decision_broadcast() {
     for machines in [2u16, 8, 25] {
         let fs = InMemoryFs::new();
         generate_visit_logs(&fs, &spec);
-        let r = run_sim(&func, &fs, EngineConfig::default(), SimConfig::with_machines(machines))
-            .unwrap();
+        let r = run_sim(
+            &func,
+            &fs,
+            EngineConfig::default(),
+            SimConfig::with_machines(machines),
+        )
+        .unwrap();
         table.row(vec![
             machines.to_string(),
             r.decisions.to_string(),
             r.sim.messages.to_string(),
             (r.sim.remote_bytes / 1024).to_string(),
         ]);
+        report.row(vec![
+            ("section", "decision_broadcast".into()),
+            ("machines", machines.into()),
+            ("decisions", r.decisions.into()),
+            ("messages", r.sim.messages.into()),
+            ("remote_kb", (r.sim.remote_bytes / 1024).into()),
+        ]);
     }
     table.print();
     println!("(decisions are independent of cluster size; messages grow with it)");
 }
 
-fn hoisting_hits() {
+fn hoisting_hits(report: &mut BenchReport) {
     println!("\n=== Ablation: hoisting reuse hits ===");
     let days = 20;
     let spec = VisitCountSpec {
@@ -59,6 +75,7 @@ fn hoisting_hits() {
     };
     let func = mitos_ir::compile_str(&visit_count_program(days, true)).unwrap();
     let mut table = Table::new(&["hoisting", "hits", "time (vms)"]);
+    let mut times = Vec::new();
     for hoisting in [true, false] {
         let fs = InMemoryFs::new();
         generate_visit_logs(&fs, &spec);
@@ -78,12 +95,20 @@ fn hoisting_hits() {
             r.hoist_hits.to_string(),
             format!("{:.1}", r.sim.end_time as f64 / 1e6),
         ]);
+        report.row(vec![
+            ("section", "hoisting_hits".into()),
+            ("hoisting", if hoisting { "on" } else { "off" }.into()),
+            ("hits", r.hoist_hits.into()),
+            ("ms", (r.sim.end_time as f64 / 1e6).into()),
+        ]);
+        times.push(r.sim.end_time as f64 / 1e6);
     }
     table.print();
+    report.factor("nohoist_vs_hoist", times[1] / times[0]);
     println!("(the pageTypes join reuses its hash table on every step after the first)");
 }
 
-fn combiners() {
+fn combiners(report: &mut BenchReport) {
     println!("\n=== Ablation: map-side combiners (reduceByKey) ===");
     let src = r#"
         total = 0;
@@ -96,27 +121,39 @@ fn combiners() {
     let plain = mitos_ir::compile_str(src).unwrap();
     let combined = mitos_ir::passes::insert_combiners(&plain);
     let mut table = Table::new(&["combiners", "time (vms)", "shuffle KB"]);
+    let mut shuffle = Vec::new();
     for (label, func) in [("off", &plain), ("on", &combined)] {
         let fs = InMemoryFs::new();
         fs.put(
             "log",
-            (0..20_000)
-                .map(mitos_lang::Value::I64)
-                .collect::<Vec<_>>(),
+            (0..20_000).map(mitos_lang::Value::I64).collect::<Vec<_>>(),
         );
-        let r = run_sim(func, &fs, EngineConfig::default(), SimConfig::with_machines(8))
-            .unwrap();
+        let r = run_sim(
+            func,
+            &fs,
+            EngineConfig::default(),
+            SimConfig::with_machines(8),
+        )
+        .unwrap();
         table.row(vec![
             label.to_string(),
             format!("{:.1}", r.sim.end_time as f64 / 1e6),
             (r.sim.remote_bytes / 1024).to_string(),
         ]);
+        report.row(vec![
+            ("section", "combiners".into()),
+            ("combiners", label.into()),
+            ("ms", (r.sim.end_time as f64 / 1e6).into()),
+            ("shuffle_kb", (r.sim.remote_bytes / 1024).into()),
+        ]);
+        shuffle.push(r.sim.remote_bytes as f64);
     }
     table.print();
+    report.factor("combiner_shuffle_reduction", shuffle[0] / shuffle[1]);
     println!("(pre-aggregating within partitions before the hash shuffle)");
 }
 
-fn gc_bounded_state() {
+fn gc_bounded_state(report: &mut BenchReport) {
     println!("\n=== Ablation: input-bag GC keeps buffering bounded ===");
     let mut table = Table::new(&["loop steps", "peak inbox depth"]);
     for days in [10u32, 40, 160] {
@@ -129,8 +166,19 @@ fn gc_bounded_state() {
         let func = mitos_ir::compile_str(&visit_count_program(days, false)).unwrap();
         let fs = InMemoryFs::new();
         generate_visit_logs(&fs, &spec);
-        let r = run_sim(&func, &fs, EngineConfig::default(), SimConfig::with_machines(4)).unwrap();
+        let r = run_sim(
+            &func,
+            &fs,
+            EngineConfig::default(),
+            SimConfig::with_machines(4),
+        )
+        .unwrap();
         table.row(vec![days.to_string(), r.sim.max_inbox.to_string()]);
+        report.row(vec![
+            ("section", "gc_bounded_state".into()),
+            ("loop_steps", days.into()),
+            ("peak_inbox", r.sim.max_inbox.into()),
+        ]);
     }
     table.print();
     println!("(peak queueing is independent of loop length: superseded bags are");

@@ -3,13 +3,17 @@
 //! iterations, fast) on the Visit Count task at a fixed cluster size.
 //! The paper reports Spark ~11x slower than Flink on 24 machines.
 
-use mitos_bench::{fmt_factor, fmt_ms, full_scale, visit_cost, System, Table};
+use mitos_bench::{fmt_factor, fmt_ms, full_scale, visit_cost, BenchReport, System, Table};
 use mitos_fs::InMemoryFs;
 use mitos_sim::SimConfig;
 use mitos_workloads::{generate_visit_logs, visit_count_program, VisitCountSpec};
 
 fn main() {
-    let (days, visits) = if full_scale() { (120, 20_000) } else { (40, 5_000) };
+    let (days, visits) = if full_scale() {
+        (120, 20_000)
+    } else {
+        (40, 5_000)
+    };
     let machines = 24;
     let spec = VisitCountSpec {
         days,
@@ -22,7 +26,9 @@ fn main() {
     println!("\n=== Figure 1: imperative vs functional control flow ===");
     println!("Visit Count, {days} days x {visits} visits, {machines} machines\n");
     let mut table = Table::new(&["system", "time", "vs Flink"]);
+    let mut report = BenchReport::new("fig1", "imperative vs functional control flow");
     let mut flink_ms = 0.0;
+    let mut spark_ms = 0.0;
     // Flink here plays the paper's "functional control flow" role (native
     // iterations); Spark is the imperative driver loop.
     for system in [System::FlinkNative, System::Spark] {
@@ -31,14 +37,24 @@ fn main() {
         let ms = system.run_with(&func, &fs, SimConfig::with_machines(machines), visit_cost());
         if system == System::FlinkNative {
             flink_ms = ms;
+        } else {
+            spark_ms = ms;
         }
         table.row(vec![
             system.label().to_string(),
             fmt_ms(ms),
             fmt_factor(ms / flink_ms),
         ]);
+        report.row(vec![
+            ("system", system.label().into()),
+            ("machines", machines.into()),
+            ("days", days.into()),
+            ("ms", ms.into()),
+        ]);
     }
     table.print();
+    report.factor("spark_vs_flink", spark_ms / flink_ms);
+    report.write();
     println!("\npaper: Spark ~11x slower than Flink (imperative control flow");
     println!("costs a job launch per iteration step; functional control flow");
     println!("runs as one job but is hard to use).");

@@ -4,10 +4,12 @@
 //! (separate jobs), with the largest Flink factors at SMALL inputs where
 //! Flink's per-step overhead dominates.
 
-use mitos_bench::{fmt_factor, fmt_ms, full_scale, visit_cost, System, Table};
+use mitos_bench::{fmt_factor, fmt_ms, full_scale, visit_cost, BenchReport, System, Table};
 use mitos_fs::InMemoryFs;
 use mitos_sim::SimConfig;
-use mitos_workloads::{generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec};
+use mitos_workloads::{
+    generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec,
+};
 
 fn main() {
     let days = if full_scale() { 60 } else { 30 };
@@ -30,6 +32,9 @@ fn main() {
         "Spark/Mitos",
         "Flink/Mitos",
     ]);
+    let mut report = BenchReport::new("fig6", "input-size sweep (Visit Count + pageTypes)");
+    let mut max_spark = 0.0f64;
+    let mut max_flink = 0.0f64;
     for &visits in sizes {
         // The paper scales the WHOLE input, pageTypes included; the
         // loop-invariant dataset grows with the visits, which is what
@@ -54,8 +59,19 @@ fn main() {
         cells.push(fmt_factor(times[0] / times[2]));
         cells.push(fmt_factor(times[1] / times[2]));
         table.row(cells);
+        report.row(vec![
+            ("visits_per_day", visits.into()),
+            ("spark_ms", times[0].into()),
+            ("flink_sep_ms", times[1].into()),
+            ("mitos_ms", times[2].into()),
+        ]);
+        max_spark = max_spark.max(times[0] / times[2]);
+        max_flink = max_flink.max(times[1] / times[2]);
     }
     table.print();
+    report.factor("spark_vs_mitos_max", max_spark);
+    report.factor("flink_sep_vs_mitos_max", max_flink);
+    report.write();
     println!("\npaper: Mitos 23x -> >100x vs Spark (growing with size, due to");
     println!("hoisting); 3.1x-10.5x vs Flink separate jobs (largest at small");
     println!("inputs, where the per-step overhead dominates).");

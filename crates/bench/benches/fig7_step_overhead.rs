@@ -4,8 +4,8 @@
 //! magnitude above the native-iteration systems (Mitos, Flink, TensorFlow,
 //! Naiad), with the job-launch overhead growing linearly in machines.
 
-use mitos_bench::{full_scale, trivial_loop_program, System, Table};
 use mitos_baselines::{run_naiad_loop, run_tf_loop, NaiadConfig, TfConfig};
+use mitos_bench::{full_scale, trivial_loop_program, BenchReport, System, Table};
 use mitos_fs::InMemoryFs;
 use mitos_sim::SimConfig;
 
@@ -24,22 +24,26 @@ fn main() {
         "Naiad",
         "TensorFlow",
     ]);
+    let mut report = BenchReport::new("fig7", "per-step overhead microbenchmark");
+    let mut max_spark = 0.0f64;
     for machines in [1u16, 3, 5, 9, 13, 19, 25] {
         let cluster = SimConfig::with_machines(machines);
-        let per_step = |total_ms: f64| format!("{:.2}", total_ms / steps as f64);
+        let per_step = |total_ms: f64| total_ms / steps as f64;
         let run = |s: System| {
             let fs = InMemoryFs::new();
-            s.run(&func, &fs, cluster)
+            per_step(s.run(&func, &fs, cluster))
         };
-        let naiad = run_naiad_loop(
-            NaiadConfig {
-                steps,
-                ..NaiadConfig::default()
-            },
-            cluster,
-        )
-        .end_time as f64
-            / 1e6;
+        let naiad = per_step(
+            run_naiad_loop(
+                NaiadConfig {
+                    steps,
+                    ..NaiadConfig::default()
+                },
+                cluster,
+            )
+            .end_time as f64
+                / 1e6,
+        );
         let (tf_report, _) = run_tf_loop(
             TfConfig {
                 steps,
@@ -47,18 +51,35 @@ fn main() {
             },
             cluster,
         );
-        let tf = tf_report.end_time as f64 / 1e6;
+        let tf = per_step(tf_report.end_time as f64 / 1e6);
+        let spark = run(System::Spark);
+        let flink_sep = run(System::FlinkSeparateJobs);
+        let flink = run(System::FlinkNative);
+        let mitos = run(System::Mitos);
+        let cell = |ms: f64| format!("{ms:.2}");
         table.row(vec![
             machines.to_string(),
-            per_step(run(System::Spark)),
-            per_step(run(System::FlinkSeparateJobs)),
-            per_step(run(System::FlinkNative)),
-            per_step(run(System::Mitos)),
-            per_step(naiad),
-            per_step(tf),
+            cell(spark),
+            cell(flink_sep),
+            cell(flink),
+            cell(mitos),
+            cell(naiad),
+            cell(tf),
         ]);
+        report.row(vec![
+            ("machines", machines.into()),
+            ("spark_step_ms", spark.into()),
+            ("flink_sep_step_ms", flink_sep.into()),
+            ("flink_step_ms", flink.into()),
+            ("mitos_step_ms", mitos.into()),
+            ("naiad_step_ms", naiad.into()),
+            ("tf_step_ms", tf.into()),
+        ]);
+        max_spark = max_spark.max(spark / mitos);
     }
     table.print();
+    report.factor("spark_vs_mitos_step_max", max_spark);
+    report.write();
     println!("\npaper: job-per-step systems grow linearly with machines and sit");
     println!("~100x above the native-iteration systems, which stay flat.");
 }

@@ -2,13 +2,17 @@
 //! pageTypes join) on Mitos with and without pipelining, sweeping machine
 //! count. The paper reports pipelining winning by 1.1x up to ~4.2x.
 
-use mitos_bench::{fmt_factor, fmt_ms, full_scale, visit_cost, System, Table};
+use mitos_bench::{fmt_factor, fmt_ms, full_scale, visit_cost, BenchReport, System, Table};
 use mitos_fs::InMemoryFs;
 use mitos_sim::SimConfig;
 use mitos_workloads::{generate_visit_logs, visit_count_program, VisitCountSpec};
 
 fn main() {
-    let (days, visits) = if full_scale() { (120, 20_000) } else { (40, 8_000) };
+    let (days, visits) = if full_scale() {
+        (120, 20_000)
+    } else {
+        (40, 8_000)
+    };
     let spec = VisitCountSpec {
         days,
         visits_per_day: visits,
@@ -20,21 +24,37 @@ fn main() {
     println!("\n=== Figure 9: loop pipelining ablation ===");
     println!("{days} days x {visits} visits/day\n");
     let mut table = Table::new(&["machines", "Mitos (not pipelined)", "Mitos", "speedup"]);
+    let mut report = BenchReport::new("fig9", "loop pipelining ablation");
+    let mut max_speedup = 0.0f64;
     for machines in [2u16, 4, 8, 16, 25] {
         let fs = InMemoryFs::new();
         generate_visit_logs(&fs, &spec);
-        let no_pipe = System::MitosNoPipelining.run_with(&func, &fs, SimConfig::with_machines(machines), visit_cost());
+        let no_pipe = System::MitosNoPipelining.run_with(
+            &func,
+            &fs,
+            SimConfig::with_machines(machines),
+            visit_cost(),
+        );
         let fs = InMemoryFs::new();
         generate_visit_logs(&fs, &spec);
-        let pipe = System::Mitos.run_with(&func, &fs, SimConfig::with_machines(machines), visit_cost());
+        let pipe =
+            System::Mitos.run_with(&func, &fs, SimConfig::with_machines(machines), visit_cost());
         table.row(vec![
             machines.to_string(),
             fmt_ms(no_pipe),
             fmt_ms(pipe),
             fmt_factor(no_pipe / pipe),
         ]);
+        report.row(vec![
+            ("machines", machines.into()),
+            ("nopipe_ms", no_pipe.into()),
+            ("mitos_ms", pipe.into()),
+        ]);
+        max_speedup = max_speedup.max(no_pipe / pipe);
     }
     table.print();
+    report.factor("pipelining_speedup_max", max_speedup);
+    report.write();
     println!("\npaper: pipelining 1.1x-4.2x faster (overlapping iteration");
     println!("steps hides per-step latency and file-read time).");
 }

@@ -11,9 +11,7 @@
 
 #![warn(missing_docs)]
 
-use mitos_baselines::{
-    flink_driver_config, run_driver_loop, run_flink_native_with, DriverConfig,
-};
+use mitos_baselines::{flink_driver_config, run_driver_loop, run_flink_native_with, DriverConfig};
 use mitos_core::rt::EngineConfig;
 use mitos_core::{run_sim, CostModel};
 use mitos_fs::InMemoryFs;
@@ -70,48 +68,56 @@ impl System {
         cost: CostModel,
     ) -> f64 {
         let ns = match self {
-            System::Mitos => run_sim(
-                func,
-                fs,
-                EngineConfig {
-                    cost,
-                    ..EngineConfig::default()
-                },
-                cluster,
-            )
-            .expect("mitos run")
-            .sim
-            .end_time,
-            System::MitosNoPipelining => run_sim(
-                func,
-                fs,
-                EngineConfig {
-                    pipelined: false,
-                    cost,
-                    ..EngineConfig::default()
-                },
-                cluster,
-            )
-            .expect("mitos nopipe run")
-            .sim
-            .end_time,
-            System::MitosNoHoisting => run_sim(
-                func,
-                fs,
-                EngineConfig {
-                    hoisting: false,
-                    cost,
-                    ..EngineConfig::default()
-                },
-                cluster,
-            )
-            .expect("mitos nohoist run")
-            .sim
-            .end_time,
-            System::FlinkNative => run_flink_native_with(func, fs, cluster, cost)
-                .expect("flink native run")
+            System::Mitos => {
+                run_sim(
+                    func,
+                    fs,
+                    EngineConfig {
+                        cost,
+                        ..EngineConfig::default()
+                    },
+                    cluster,
+                )
+                .expect("mitos run")
                 .sim
-                .end_time,
+                .end_time
+            }
+            System::MitosNoPipelining => {
+                run_sim(
+                    func,
+                    fs,
+                    EngineConfig {
+                        pipelined: false,
+                        cost,
+                        ..EngineConfig::default()
+                    },
+                    cluster,
+                )
+                .expect("mitos nopipe run")
+                .sim
+                .end_time
+            }
+            System::MitosNoHoisting => {
+                run_sim(
+                    func,
+                    fs,
+                    EngineConfig {
+                        hoisting: false,
+                        cost,
+                        ..EngineConfig::default()
+                    },
+                    cluster,
+                )
+                .expect("mitos nohoist run")
+                .sim
+                .end_time
+            }
+            System::FlinkNative => {
+                run_flink_native_with(func, fs, cluster, cost)
+                    .expect("flink native run")
+                    .sim
+                    .end_time
+            }
             System::FlinkSeparateJobs => {
                 let mut config = flink_driver_config();
                 config.cost = cost;
@@ -219,6 +225,175 @@ impl Table {
     }
 }
 
+/// One cell value in a [`BenchReport`] row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// A floating-point measurement (virtual ms, a speedup factor, ...).
+    /// Non-finite values serialize as JSON `null`.
+    Num(f64),
+    /// An integer parameter (machine count, input size, ...).
+    Int(u64),
+    /// A label (system name, ablation section, ...).
+    Str(String),
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Cell {
+        Cell::Num(v)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::Int(v)
+    }
+}
+
+impl From<u32> for Cell {
+    fn from(v: u32) -> Cell {
+        Cell::Int(v as u64)
+    }
+}
+
+impl From<u16> for Cell {
+    fn from(v: u16) -> Cell {
+        Cell::Int(v as u64)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Cell {
+        Cell::Int(v as u64)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Cell {
+        Cell::Str(v.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Cell {
+        Cell::Str(v)
+    }
+}
+
+impl Cell {
+    fn to_json(&self) -> String {
+        match self {
+            Cell::Num(v) if v.is_finite() => format!("{v}"),
+            Cell::Num(_) => "null".to_string(),
+            Cell::Int(v) => format!("{v}"),
+            Cell::Str(s) => json_str(s),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A machine-readable summary of one figure's bench run — the measured
+/// series plus the headline factors the paper reports, written as
+/// `BENCH_<fig>.json` so the bench trajectory can be tracked across
+/// commits without scraping stdout. The output directory is
+/// `MITOS_BENCH_DIR` (default: the current directory); see
+/// `scripts/bench.sh`.
+pub struct BenchReport {
+    fig: String,
+    title: String,
+    rows: Vec<Vec<(String, Cell)>>,
+    factors: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Starts a report for figure `fig` (e.g. `"fig7"`; names the output
+    /// file `BENCH_<fig>.json`).
+    pub fn new(fig: &str, title: &str) -> BenchReport {
+        BenchReport {
+            fig: fig.to_string(),
+            title: title.to_string(),
+            rows: Vec::new(),
+            factors: Vec::new(),
+        }
+    }
+
+    /// Records one row of the measured series as named cells; keys are
+    /// preserved in order. Rows need not share a schema (the ablation
+    /// report mixes sections).
+    pub fn row(&mut self, cells: Vec<(&str, Cell)>) {
+        self.rows
+            .push(cells.into_iter().map(|(k, v)| (k.to_string(), v)).collect());
+    }
+
+    /// Records a derived headline factor (e.g. the max Spark/Mitos
+    /// slowdown across the sweep).
+    pub fn factor(&mut self, name: &str, value: f64) {
+        self.factors.push((name.to_string(), value));
+    }
+
+    /// Serializes the report as deterministic JSON (insertion order kept).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"figure\":{},\"title\":{},\"full_scale\":{},\"rows\":[",
+            json_str(&self.fig),
+            json_str(&self.title),
+            full_scale()
+        ));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (j, (k, v)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json_str(k), v.to_json()));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"factors\":{");
+        for (i, (k, v)) in self.factors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let val = if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!("{}:{}", json_str(k), val));
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Writes `BENCH_<fig>.json` into `MITOS_BENCH_DIR` (default `.`) and
+    /// prints the path. Panics on I/O errors — a bench run that cannot
+    /// record its trajectory should fail loudly.
+    pub fn write(&self) {
+        let dir = std::env::var("MITOS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.fig));
+        std::fs::write(&path, self.to_json()).expect("write bench report");
+        println!("wrote {}", path.display());
+    }
+}
+
 /// Formats a virtual-millisecond value compactly.
 pub fn fmt_ms(ms: f64) -> String {
     if ms >= 10_000.0 {
@@ -289,5 +464,67 @@ mod tests {
         let mut t = Table::new(&["x", "a", "b"]);
         t.row(vec!["1".into(), "10.0ms".into(), "2.0x".into()]);
         t.print();
+    }
+
+    #[test]
+    fn bench_report_serializes_rows_and_factors() {
+        let mut r = BenchReport::new("figX", "example sweep");
+        r.row(vec![
+            ("machines", 4u16.into()),
+            ("mitos_ms", 12.5f64.into()),
+            ("system", "Mitos".into()),
+        ]);
+        r.factor("spark_vs_mitos_max", 10.0);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"figure\":\"figX\""), "{json}");
+        assert!(json.contains("\"title\":\"example sweep\""), "{json}");
+        assert!(
+            json.contains("{\"machines\":4,\"mitos_ms\":12.5,\"system\":\"Mitos\"}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"factors\":{\"spark_vs_mitos_max\":10}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn bench_report_nulls_non_finite() {
+        let mut r = BenchReport::new("figY", "nan handling");
+        r.row(vec![("bad", Cell::Num(f64::NAN))]);
+        r.factor("inf", f64::INFINITY);
+        let json = r.to_json();
+        assert!(json.contains("{\"bad\":null}"), "{json}");
+        assert!(json.contains("\"inf\":null"), "{json}");
+    }
+
+    #[test]
+    fn bench_report_escapes_strings() {
+        let mut r = BenchReport::new("figZ", "a \"quoted\"\ntitle");
+        r.row(vec![("label", "back\\slash".into())]);
+        let json = r.to_json();
+        assert!(json.contains("\"a \\\"quoted\\\"\\ntitle\""), "{json}");
+        assert!(json.contains("\"back\\\\slash\""), "{json}");
+    }
+
+    #[test]
+    fn bench_report_writes_to_dir() {
+        let dir = std::env::temp_dir().join("mitos_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Env vars are process-global; this is the only test touching
+        // MITOS_BENCH_DIR, and it restores the prior state.
+        let prev = std::env::var_os("MITOS_BENCH_DIR");
+        std::env::set_var("MITOS_BENCH_DIR", &dir);
+        let mut r = BenchReport::new("figtest", "write test");
+        r.row(vec![("x", 1u64.into())]);
+        r.write();
+        match prev {
+            Some(v) => std::env::set_var("MITOS_BENCH_DIR", v),
+            None => std::env::remove_var("MITOS_BENCH_DIR"),
+        }
+        let path = dir.join("BENCH_figtest.json");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"figure\":\"figtest\""), "{written}");
+        std::fs::remove_file(&path).unwrap();
     }
 }

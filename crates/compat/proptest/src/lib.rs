@@ -750,7 +750,12 @@ mod tests {
     fn collection_vec_honors_size_forms() {
         let mut rng = crate::test_runner::rng_for_test("self", "vec");
         for _ in 0..50 {
-            assert_eq!(prop::collection::vec(0i64..5, 3usize).generate(&mut rng).len(), 3);
+            assert_eq!(
+                prop::collection::vec(0i64..5, 3usize)
+                    .generate(&mut rng)
+                    .len(),
+                3
+            );
             let bounded = prop::collection::vec(0i64..5, 1..4).generate(&mut rng);
             assert!((1..=3).contains(&bounded.len()));
         }

@@ -56,9 +56,7 @@ impl CostModel {
     /// Cost of evaluating an expression with `nodes` nodes over `n`
     /// elements.
     pub fn eval_cost(&self, nodes: usize, n: usize) -> u64 {
-        (self.per_element_ns + self.per_expr_node_ns * nodes as u64)
-            * n as u64
-            * self.record_weight
+        (self.per_element_ns + self.per_expr_node_ns * nodes as u64) * n as u64 * self.record_weight
     }
 
     /// Base handling cost for `n` elements.

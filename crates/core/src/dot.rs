@@ -8,8 +8,9 @@
 //! their send/drop tallies — a visual form of the explain report.
 
 use crate::graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
-use crate::obs::MetricsRegistry;
+use crate::obs::{CriticalPath, MetricsRegistry};
 use crate::path::PathRules;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Colors assigned to condition nodes (cycled).
@@ -25,6 +26,24 @@ pub fn to_dot(graph: &LogicalGraph) -> String {
 /// given: per-node `bags`/`emitted`/`hoists`, per-conditional-edge
 /// `sent`/`drop`.
 pub fn to_dot_with_metrics(graph: &LogicalGraph, metrics: Option<&MetricsRegistry>) -> String {
+    to_dot_annotated(graph, metrics, None)
+}
+
+/// [`to_dot_with_metrics`] plus critical-path highlighting: operators and
+/// logical edges on a traced run's critical path
+/// ([`crate::obs::critical_path`]) render bold red with their exclusive
+/// time contribution, so the bottleneck chain is visible at a glance.
+pub fn to_dot_annotated(
+    graph: &LogicalGraph,
+    metrics: Option<&MetricsRegistry>,
+    critical: Option<&CriticalPath>,
+) -> String {
+    let crit_ops: BTreeMap<u32, u64> = critical
+        .map(|c| c.op_contrib.iter().copied().collect())
+        .unwrap_or_default();
+    let crit_edges: BTreeMap<u32, u64> = critical
+        .map(|c| c.edge_contrib.iter().copied().collect())
+        .unwrap_or_default();
     let rules = PathRules::build(graph);
     let mut out = String::new();
     let _ = writeln!(out, "digraph mitos {{");
@@ -90,11 +109,14 @@ pub fn to_dot_with_metrics(graph: &LogicalGraph, metrics: Option<&MetricsRegistr
                     let _ = write!(label, " hoists={}", m.hoist_hits);
                 }
             }
-            let _ = writeln!(
-                out,
-                "    n{id} [label=\"{label}\", {}];",
-                attrs.join(", ")
-            );
+            if let Some(&ns) = crit_ops.get(&id) {
+                // Last color/penwidth wins in DOT, so the highlight
+                // overrides any styling pushed above.
+                attrs.push("color=red".to_string());
+                attrs.push("penwidth=3".to_string());
+                let _ = write!(label, "\\ncrit={}", crate::obs::fmt_ns(ns));
+            }
+            let _ = writeln!(out, "    n{id} [label=\"{label}\", {}];", attrs.join(", "));
         }
         let _ = writeln!(out, "  }}");
     }
@@ -127,6 +149,11 @@ pub fn to_dot_with_metrics(graph: &LogicalGraph, metrics: Option<&MetricsRegistr
             Partitioning::Gather => label_parts.insert(0, "gather".to_string()),
             Partitioning::Forward => {}
         }
+        if let Some(&ns) = crit_edges.get(&(eid as u32)) {
+            attrs.push("color=red".to_string());
+            attrs.push("penwidth=3".to_string());
+            label_parts.push(format!("crit={}", crate::obs::fmt_ns(ns)));
+        }
         if !label_parts.is_empty() {
             attrs.push(format!("label=\"{}\"", label_parts.join("\\n")));
         }
@@ -153,9 +180,7 @@ mod tests {
 
     #[test]
     fn renders_clusters_and_edges() {
-        let dot = dot_of(
-            "i = 0; while (i < 3) { b = bag((i, 1)); i = i + 1; } output(i, \"i\");",
-        );
+        let dot = dot_of("i = 0; while (i < 3) { b = bag((i, 1)); i = i + 1; } output(i, \"i\");");
         assert!(dot.starts_with("digraph mitos {"));
         assert!(dot.contains("cluster_block0"), "{dot}");
         assert!(dot.contains("fillcolor=black"), "phi present: {dot}");
@@ -171,9 +196,8 @@ mod tests {
 
     #[test]
     fn hash_edges_are_labelled() {
-        let dot = dot_of(
-            "a = bag((1, 2)); b = bag((1, 3)); c = a join b; output(c.count(), \"n\");",
-        );
+        let dot =
+            dot_of("a = bag((1, 2)); b = bag((1, 3)); c = a join b; output(c.count(), \"n\");");
         assert!(dot.contains("label=\"hash\""), "{dot}");
         assert!(dot.contains("label=\"gather\""), "{dot}");
     }
@@ -223,5 +247,43 @@ mod tests {
             dot.contains("sent=") || dot.contains("drop="),
             "conditional edge overlay: {dot}"
         );
+    }
+
+    #[test]
+    fn critical_path_overlay_highlights_bottleneck() {
+        use crate::obs::{critical_path, ObsLevel};
+        use crate::rt::EngineConfig;
+        use mitos_fs::InMemoryFs;
+        use mitos_sim::SimConfig;
+
+        let src = r#"
+            total = 0;
+            i = 0;
+            while (i < 3) {
+                b = bag((1, i), (2, i));
+                total = total + b.count();
+                i = i + 1;
+            }
+            output(total, "t");
+        "#;
+        let func = mitos_ir::compile_str(src).unwrap();
+        let graph = LogicalGraph::build(&func).unwrap();
+        let fs = InMemoryFs::new();
+        let r = crate::engine::run_sim(
+            &func,
+            &fs,
+            EngineConfig {
+                obs: ObsLevel::Trace,
+                ..EngineConfig::default()
+            },
+            SimConfig::with_machines(2),
+        )
+        .unwrap();
+        let obs = r.obs.expect("trace collected");
+        let critical = critical_path(&obs, r.sim.end_time);
+        assert!(!critical.steps.is_empty(), "critical path found");
+        let dot = to_dot_annotated(&graph, Some(&obs.metrics), Some(&critical));
+        assert!(dot.contains("crit="), "critical overlay present: {dot}");
+        assert!(dot.contains("color=red"), "highlight present: {dot}");
     }
 }

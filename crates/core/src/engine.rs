@@ -158,8 +158,11 @@ pub fn run_sim(
     let hoist_hits = world.workers.iter().map(Worker::hoist_hits).sum();
     let decisions = world.workers.iter().map(|w| w.decisions_broadcast).sum();
     let level = shared.config.obs;
-    let obs_report = (level != ObsLevel::Off)
-        .then(|| obs::merge_bufs(level, world.workers.iter_mut().map(Worker::take_obs)));
+    let obs_report = (level != ObsLevel::Off).then(|| {
+        let mut report = obs::merge_bufs(level, world.workers.iter_mut().map(Worker::take_obs));
+        obs::attach_topology(&mut report, &shared.graph);
+        report
+    });
     Ok(EngineResult {
         outputs,
         path,
@@ -231,12 +234,10 @@ mod tests {
         // Engine run.
         let fs = InMemoryFs::new();
         setup(&fs);
-        let result =
-            run_sim(&func, &fs, EngineConfig::default(), cluster(machines)).unwrap();
+        let result = run_sim(&func, &fs, EngineConfig::default(), cluster(machines)).unwrap();
 
         assert_eq!(
-            result.path,
-            reference.path,
+            result.path, reference.path,
             "distributed path must equal the sequential path"
         );
         assert_eq!(result.outputs, reference.canonical_outputs(), "outputs");
@@ -384,15 +385,23 @@ mod tests {
             } while (day <= 3);
         "#;
         let setup = |fs: &InMemoryFs| {
-            fs.put("pageVisitLog1", (0..20).map(|i| Value::I64(i % 5)).collect());
-            fs.put("pageVisitLog2", (0..20).map(|i| Value::I64(i % 4)).collect());
-            fs.put("pageVisitLog3", (0..20).map(|i| Value::I64(i % 3)).collect());
+            fs.put(
+                "pageVisitLog1",
+                (0..20).map(|i| Value::I64(i % 5)).collect(),
+            );
+            fs.put(
+                "pageVisitLog2",
+                (0..20).map(|i| Value::I64(i % 4)).collect(),
+            );
+            fs.put(
+                "pageVisitLog3",
+                (0..20).map(|i| Value::I64(i % 3)).collect(),
+            );
         };
         let func = mitos_ir::compile_str(src).unwrap();
         let fs1 = InMemoryFs::new();
         setup(&fs1);
-        let pipelined =
-            run_sim(&func, &fs1, EngineConfig::default(), cluster(4)).unwrap();
+        let pipelined = run_sim(&func, &fs1, EngineConfig::default(), cluster(4)).unwrap();
         let fs2 = InMemoryFs::new();
         setup(&fs2);
         let nonpipe = run_sim(
@@ -556,8 +565,13 @@ mod op_stats_tests {
         "#;
         let func = mitos_ir::compile_str(src).unwrap();
         let fs = InMemoryFs::new();
-        let r = run_sim(&func, &fs, EngineConfig::default(), SimConfig::with_machines(2))
-            .unwrap();
+        let r = run_sim(
+            &func,
+            &fs,
+            EngineConfig::default(),
+            SimConfig::with_machines(2),
+        )
+        .unwrap();
         let join = r
             .op_stats
             .iter()

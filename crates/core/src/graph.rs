@@ -116,9 +116,7 @@ impl NodeKind {
     /// Number of *data* inputs (captured scalar inputs come after these).
     pub fn data_arity(&self) -> usize {
         match self {
-            NodeKind::ReadFile
-            | NodeKind::Singleton { .. }
-            | NodeKind::LiteralBag { .. } => 0,
+            NodeKind::ReadFile | NodeKind::Singleton { .. } | NodeKind::LiteralBag { .. } => 0,
             NodeKind::Map { .. }
             | NodeKind::FlatMap { .. }
             | NodeKind::Filter { .. }
@@ -128,10 +126,7 @@ impl NodeKind {
             | NodeKind::Distinct
             | NodeKind::Alias
             | NodeKind::OutputSink { .. } => 1,
-            NodeKind::WriteFile
-            | NodeKind::Join
-            | NodeKind::Cross
-            | NodeKind::Union => 2,
+            NodeKind::WriteFile | NodeKind::Join | NodeKind::Cross | NodeKind::Union => 2,
             NodeKind::Phi => usize::MAX, // all inputs are data
         }
     }
@@ -549,8 +544,7 @@ mod tests {
     #[test]
     fn condition_nodes_are_marked() {
         let g = graph("i = 0; while (i < 2) { i = i + 1; } output(i, \"i\");");
-        let conds: Vec<&LogicalNode> =
-            g.nodes.iter().filter(|n| n.condition.is_some()).collect();
+        let conds: Vec<&LogicalNode> = g.nodes.iter().filter(|n| n.condition.is_some()).collect();
         assert_eq!(conds.len(), 1);
         let cond = conds[0].condition.unwrap();
         assert_ne!(cond.then_blk, cond.else_blk);

@@ -242,11 +242,7 @@ impl Host {
     }
 
     /// The path will never be extended again.
-    pub fn on_exit(
-        &mut self,
-        path: &ExecutionPath,
-        out: &mut HostOut,
-    ) -> Result<(), RuntimeError> {
+    pub fn on_exit(&mut self, path: &ExecutionPath, out: &mut HostOut) -> Result<(), RuntimeError> {
         self.advance_watchers(path, out)?;
         self.progress(path, out)
     }
@@ -312,18 +308,20 @@ impl Host {
             .pending_io
             .take()
             .ok_or_else(|| RuntimeError::new("IoDone without a pending read".to_string()))?;
-        {
+        let bag_len = {
             let active = self
                 .current
                 .as_mut()
                 .ok_or_else(|| RuntimeError::new("IoDone without an active bag".to_string()))?;
             active.gate_done[0] = true;
             active.gates_left -= 1;
-        }
+            active.len
+        };
         out.obs.record(
             out.net,
             self.op,
             EventKind::IoFinished {
+                bag_len,
                 count: elems.len() as u64,
             },
         );
@@ -568,7 +566,11 @@ impl Host {
                 });
             } else {
                 // The clock is only consulted when tracing records latency.
-                let opened_ns = if out.obs.tracing() { out.net.now_ns() } else { 0 };
+                let opened_ns = if out.obs.tracing() {
+                    out.net.now_ns()
+                } else {
+                    0
+                };
                 edges.push(EdgeSend::Undecided {
                     cursor: len,
                     buffer: Vec::new(),
@@ -666,7 +668,11 @@ impl Host {
                     .fs
                     .read_partition(&name, part, parts)
                     .map_err(|e| RuntimeError::new(e.to_string()))?;
-                let bytes = self.shared.fs.partition_bytes(&name, part, parts).unwrap_or(0);
+                let bytes = self
+                    .shared
+                    .fs
+                    .partition_bytes(&name, part, parts)
+                    .unwrap_or(0);
                 // Disk I/O proceeds asynchronously: the CPU pays only a
                 // deserialization share now; the data arrives after the
                 // disk delay (loop pipelining overlaps this with compute
@@ -676,9 +682,16 @@ impl Host {
                 debug_assert!(self.pending_io.is_none(), "one read at a time");
                 self.pending_io = Some(elems);
                 let machine = self.shared.graph.placement(self.op, self.inst);
-                out.obs
-                    .record(out.net, self.op, EventKind::IoStarted { delay_ns: delay });
-                out.net.schedule(delay, machine, Msg::IoDone { op: self.op });
+                out.obs.record(
+                    out.net,
+                    self.op,
+                    EventKind::IoStarted {
+                        bag_len: self.current.as_ref().expect("active").len,
+                        delay_ns: delay,
+                    },
+                );
+                out.net
+                    .schedule(delay, machine, Msg::IoDone { op: self.op });
                 return Ok(());
             }
             (NodeKind::WriteFile, 1) => {
@@ -808,7 +821,8 @@ impl Host {
         let captured = self.current.as_ref().expect("active").captured.clone();
         match &kind {
             NodeKind::Map { expr } => {
-                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                out.net
+                    .charge(cost.eval_cost(expr.node_count(), elems.len()));
                 let mut params = Vec::with_capacity(1 + captured.len());
                 params.push(Value::Unit);
                 params.extend(captured);
@@ -820,7 +834,8 @@ impl Host {
                 self.emit_all(outv, out)?;
             }
             NodeKind::FlatMap { expr } => {
-                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                out.net
+                    .charge(cost.eval_cost(expr.node_count(), elems.len()));
                 let mut params = Vec::with_capacity(1 + captured.len());
                 params.push(Value::Unit);
                 params.extend(captured);
@@ -840,7 +855,8 @@ impl Host {
                 self.emit_all(outv, out)?;
             }
             NodeKind::Filter { expr } => {
-                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                out.net
+                    .charge(cost.eval_cost(expr.node_count(), elems.len()));
                 let mut params = Vec::with_capacity(1 + captured.len());
                 params.push(Value::Unit);
                 params.extend(captured);
@@ -884,7 +900,9 @@ impl Host {
                 {
                     let active = self.current.as_ref().expect("active");
                     let OpState::CrossRight(right) = &active.state else {
-                        return Err(RuntimeError::new("cross streaming before collect".to_string()));
+                        return Err(RuntimeError::new(
+                            "cross streaming before collect".to_string(),
+                        ));
                     };
                     out.net
                         .charge(cost.elem_cost(elems.len() * right.len().max(1)));
@@ -901,7 +919,8 @@ impl Host {
                 self.emit_all(elems, out)?;
             }
             NodeKind::ReduceByKey { expr } | NodeKind::ReduceByKeyLocal { expr } => {
-                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                out.net
+                    .charge(cost.eval_cost(expr.node_count(), elems.len()));
                 let active = self.current.as_mut().expect("active");
                 let OpState::Agg(map) = &mut active.state else {
                     return Err(RuntimeError::new("reduceByKey state mismatch".to_string()));
@@ -933,7 +952,8 @@ impl Host {
                 }
             }
             NodeKind::Reduce { expr, .. } => {
-                out.net.charge(cost.eval_cost(expr.node_count(), elems.len()));
+                out.net
+                    .charge(cost.eval_cost(expr.node_count(), elems.len()));
                 let active = self.current.as_mut().expect("active");
                 let OpState::Fold(acc) = &mut active.state else {
                     return Err(RuntimeError::new("reduce state mismatch".to_string()));
@@ -977,6 +997,7 @@ impl Host {
                     out.net,
                     self.op,
                     EventKind::SinkWrote {
+                        bag_len: self.current.as_ref().expect("active").len,
                         count: elems.len() as u64,
                     },
                 );

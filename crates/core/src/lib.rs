@@ -30,11 +30,14 @@ pub mod thread_driver;
 pub mod worker;
 
 pub use cost::CostModel;
-pub use dot::{to_dot, to_dot_with_metrics};
+pub use dot::{to_dot, to_dot_annotated, to_dot_with_metrics};
 pub use engine::{extract_outputs, run_sim, run_source_sim, EngineResult};
 pub use graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
-pub use obs::{Event, EventKind, ObsLevel, ObsReport};
-pub use path::{BagId, ExecutionPath, PathRules, SendDecision};
+pub use obs::{
+    build_profile, critical_path, BagNode, CriticalPath, Event, EventKind, ObsLevel, ObsReport,
+    Profile,
+};
+pub use path::{BagId, ExecutionPath, LoopInfo, LoopNest, PathRules, SendDecision};
 pub use rt::{EngineConfig, Msg, RuntimeError, NS_PER_MS};
 pub use thread_driver::run_threads;
 pub use worker::Worker;

@@ -4,9 +4,10 @@
 //! Perfetto: one *process* per machine, one *thread lane* per operator
 //! (extra lanes appear when loop pipelining overlaps bag computations of
 //! the same operator). Each bag's open→finalize life is a paired `B`/`E`
-//! duration event; everything else (input selection, conditional send
-//! resolution, punctuations, decision broadcasts, …) renders as instant
-//! events on the operator's lane.
+//! duration event; producer→consumer bag dependencies render as `s`/`f`
+//! flow arrows between the slices; everything else (input selection,
+//! conditional send resolution, punctuations, decision broadcasts, …)
+//! renders as instant events on the operator's lane.
 //!
 //! The writer is dependency-free: JSON is emitted by hand, and
 //! [`validate_json`] provides a small self-contained checker used by the
@@ -52,7 +53,11 @@ fn args_json(kind: &EventKind) -> String {
         EventKind::BagOpened { pos, bag_len } => {
             format!("{{\"pos\":{pos},\"bag_len\":{bag_len}}}")
         }
-        EventKind::InputSelected { edge, bag_len, rule } => format!(
+        EventKind::InputSelected {
+            edge,
+            bag_len,
+            rule,
+        } => format!(
             "{{\"edge\":{edge},\"bag_len\":{bag_len},\"rule\":\"{}\"}}",
             rule.label()
         ),
@@ -80,15 +85,21 @@ fn args_json(kind: &EventKind) -> String {
             bag_len,
             count,
         } => format!("{{\"edge\":{edge},\"bag_len\":{bag_len},\"count\":{count}}}"),
-        EventKind::SinkWrote { count } => format!("{{\"count\":{count}}}"),
+        EventKind::SinkWrote { bag_len, count } => {
+            format!("{{\"bag_len\":{bag_len},\"count\":{count}}}")
+        }
         EventKind::DecisionBroadcast { pos, block } => {
             format!("{{\"pos\":{pos},\"block\":{block}}}")
         }
         EventKind::PathAppended { pos, block } => {
             format!("{{\"pos\":{pos},\"block\":{block}}}")
         }
-        EventKind::IoStarted { delay_ns } => format!("{{\"delay_ns\":{delay_ns}}}"),
-        EventKind::IoFinished { count } => format!("{{\"count\":{count}}}"),
+        EventKind::IoStarted { bag_len, delay_ns } => {
+            format!("{{\"bag_len\":{bag_len},\"delay_ns\":{delay_ns}}}")
+        }
+        EventKind::IoFinished { bag_len, count } => {
+            format!("{{\"bag_len\":{bag_len},\"count\":{count}}}")
+        }
         EventKind::StepReleased { pos } => format!("{{\"pos\":{pos}}}"),
     }
 }
@@ -109,12 +120,8 @@ pub fn chrome_trace(report: &ObsReport, ops: &[OpStats]) -> String {
     for s in ops {
         names.insert(s.op, format!("{} [{}]", s.name, s.kind));
     }
-    let op_name = |op: u32| -> String {
-        names
-            .get(&op)
-            .cloned()
-            .unwrap_or_else(|| format!("op{op}"))
-    };
+    let op_name =
+        |op: u32| -> String { names.get(&op).cloned().unwrap_or_else(|| format!("op{op}")) };
 
     let max_ts = report.events.iter().map(|e| e.t_ns).max().unwrap_or(0);
 
@@ -132,15 +139,18 @@ pub fn chrome_trace(report: &ObsReport, ops: &[OpStats]) -> String {
                 let (start, _) = open
                     .remove(&(e.machine, e.op, bag_len))
                     .unwrap_or((e.t_ns, pos));
-                intervals.entry((e.machine, e.op)).or_default().push(Interval {
-                    start,
-                    // A zero-duration interval would tie its own B and E
-                    // timestamps, which viewers may reorder; stretch it to
-                    // 1 ns so every pair nests under any stable ts sort.
-                    end: e.t_ns.max(start + 1),
-                    bag_len,
-                    pos,
-                });
+                intervals
+                    .entry((e.machine, e.op))
+                    .or_default()
+                    .push(Interval {
+                        start,
+                        // A zero-duration interval would tie its own B and E
+                        // timestamps, which viewers may reorder; stretch it to
+                        // 1 ns so every pair nests under any stable ts sort.
+                        end: e.t_ns.max(start + 1),
+                        bag_len,
+                        pos,
+                    });
             }
             _ => {}
         }
@@ -157,10 +167,12 @@ pub fn chrome_trace(report: &ObsReport, ops: &[OpStats]) -> String {
 
     // Greedy lane assignment: overlapping intervals of one operator (loop
     // pipelining) go to separate lanes so B/E events nest properly.
-    // records: (t_ns, order, json) — order breaks timestamp ties so an E
-    // always precedes a B sharing its timestamp within a lane.
+    // records: (t_ns, order, json) — order breaks timestamp ties so, within
+    // a lane, a flow start precedes the E it binds to, an E precedes a B
+    // sharing its timestamp, and a flow finish lands after the consumer's B.
     let mut records: Vec<(u64, u8, String)> = Vec::new();
     let mut lanes_used: HashMap<(u16, u32), u64> = HashMap::new();
+    let mut bag_lane: HashMap<(u16, u32, u32), (u64, u64, u64)> = HashMap::new();
     for ((machine, op), mut ivs) in intervals {
         ivs.sort_by_key(|iv| (iv.start, iv.end));
         let mut lane_free_at: Vec<u64> = Vec::new();
@@ -174,11 +186,12 @@ pub fn chrome_trace(report: &ObsReport, ops: &[OpStats]) -> String {
             };
             lane_free_at[slot] = iv.end;
             let tid = op as u64 * LANES_PER_OP + slot as u64;
+            bag_lane.insert((machine, op, iv.bag_len), (tid, iv.start, iv.end));
             let mut name = String::new();
             esc(&mut name, &op_name(op));
             records.push((
                 iv.start,
-                1,
+                2,
                 format!(
                     "{{\"ph\":\"B\",\"pid\":{machine},\"tid\":{tid},\"ts\":{},\
                      \"name\":\"{name}\",\"args\":{{\"pos\":{},\"bag_len\":{}}}}}",
@@ -189,7 +202,7 @@ pub fn chrome_trace(report: &ObsReport, ops: &[OpStats]) -> String {
             ));
             records.push((
                 iv.end,
-                0,
+                1,
                 format!(
                     "{{\"ph\":\"E\",\"pid\":{machine},\"tid\":{tid},\"ts\":{}}}",
                     ts_us(iv.end)
@@ -198,6 +211,93 @@ pub fn chrome_trace(report: &ObsReport, ops: &[OpStats]) -> String {
             let used = lanes_used.entry((machine, op)).or_insert(0);
             *used = (*used).max(slot as u64 + 1);
         }
+    }
+
+    // Flow events: one arrow per producer→consumer bag dependency,
+    // reconstructed the same way the critical-path analyzer does it
+    // (each `InputSelected` belongs to the bag its operator opened last
+    // on that machine; the producing operator comes from the edge table).
+    // The arrow starts inside the producer's slice (at its E, which the
+    // `s` order key precedes) and binds to the consumer's enclosing
+    // slice at its B (`"bp":"e"`).
+    // A bag occurrence on a worker: (machine, operator, bag id length).
+    type BagRef = (u16, u32, u32);
+    let mut open_now: HashMap<(u16, u32), u32> = HashMap::new();
+    let mut selections: Vec<(BagRef, u32, u32)> = Vec::new();
+    for e in &report.events {
+        match e.kind {
+            EventKind::BagOpened { bag_len, .. } => {
+                open_now.insert((e.machine, e.op), bag_len);
+            }
+            EventKind::InputSelected { edge, bag_len, .. } => {
+                if let Some(&cur) = open_now.get(&(e.machine, e.op)) {
+                    selections.push(((e.machine, e.op, cur), edge, bag_len));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut producer_machines: Vec<((u32, u32), u16)> = bag_lane
+        .keys()
+        .map(|&(m, op, len)| ((op, len), m))
+        .collect();
+    producer_machines.sort_unstable();
+    let mut arrows: Vec<(BagRef, BagRef)> = Vec::new();
+    for &(consumer, edge, sel_len) in &selections {
+        let Some(&(src_op, _)) = report.edges.get(edge as usize) else {
+            continue;
+        };
+        let lo = producer_machines.partition_point(|&(k, _)| k < (src_op, sel_len));
+        for &(k, m) in &producer_machines[lo..] {
+            if k != (src_op, sel_len) {
+                break;
+            }
+            let producer = (m, src_op, sel_len);
+            if producer != consumer {
+                arrows.push((producer, consumer));
+            }
+        }
+    }
+    arrows.sort_unstable();
+    arrows.dedup();
+    for (id, (producer, consumer)) in arrows.into_iter().enumerate() {
+        let (Some(&(p_tid, p_start, p_end)), Some(&(c_tid, c_start, c_end))) =
+            (bag_lane.get(&producer), bag_lane.get(&consumer))
+        else {
+            continue;
+        };
+        // Flow timestamps must not decrease and each endpoint must lie
+        // inside its slice; under loop pipelining a consumer can open
+        // before its (streaming) producer finalizes, so clamp both ends.
+        let s_ts = p_end.min(c_start).max(p_start);
+        let f_ts = c_start.max(s_ts);
+        if f_ts > c_end {
+            continue;
+        }
+        // Order keys keep the endpoints inside their B..E pairs when
+        // timestamps tie with a slice boundary on the same lane.
+        let s_order = if s_ts == p_end { 0 } else { 3 };
+        let f_order = if f_ts == c_end { 0 } else { 3 };
+        let common = format!("\"cat\":\"bag-dep\",\"name\":\"bag\",\"id\":{id}");
+        records.push((
+            s_ts,
+            s_order,
+            format!(
+                "{{\"ph\":\"s\",{common},\"pid\":{},\"tid\":{p_tid},\"ts\":{}}}",
+                producer.0,
+                ts_us(s_ts)
+            ),
+        ));
+        records.push((
+            f_ts,
+            f_order,
+            format!(
+                "{{\"ph\":\"f\",\"bp\":\"e\",{common},\"pid\":{},\"tid\":{c_tid},\
+                 \"ts\":{}}}",
+                consumer.0,
+                ts_us(f_ts)
+            ),
+        ));
     }
 
     // Instant events on the operator's first lane (or the control lane).
@@ -220,7 +320,7 @@ pub fn chrome_trace(report: &ObsReport, ops: &[OpStats]) -> String {
         };
         records.push((
             e.t_ns,
-            2,
+            3,
             format!(
                 "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
                  \"name\":\"{}\",\"args\":{}}}",
@@ -342,7 +442,8 @@ fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
     if b.get(*i) == Some(&b'-') {
         *i += 1;
     }
-    while *i < b.len() && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    while *i < b.len()
+        && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
     {
         *i += 1;
     }
@@ -370,8 +471,7 @@ fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
                 match b.get(*i) {
                     Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
                     Some(b'u') => {
-                        if b.len() < *i + 5
-                            || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                        if b.len() < *i + 5 || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
                         {
                             return Err(format!("bad \\u escape at byte {i}"));
                         }

@@ -1,0 +1,326 @@
+//! Bag-dependency DAG reconstruction and critical-path analysis.
+//!
+//! A traced run contains, per `(machine, operator, bag identifier)`
+//! triple, one **bag computation**: the interval from its
+//! [`EventKind::BagOpened`] to its [`EventKind::BagFinalized`] event.
+//! [`EventKind::InputSelected`] events say which producer bag each
+//! computation consumed and [`EventKind::SendResolved`] events say when a
+//! conditional producer's send decision became known (Sec. 5.2.4) — so
+//! the event stream determines a dependency DAG in which an input is
+//! **available** to a consumer only once the producer finished *and* the
+//! send decision resolved. The critical path is the dependency chain with
+//! the largest total of *exclusive* contributions: each step counts only
+//! the time between its inputs becoming available and its own finish.
+//!
+//! Two invariants follow from that definition (and are pinned by property
+//! tests): the path length never exceeds the makespan (contributions
+//! telescope inside finish times, since an input is never available
+//! before its producer finishes), and it never undercuts the longest
+//! single bag computation (every node may start a chain by itself).
+//!
+//! Everything here is deterministic: state lives in `BTreeMap`s and ties
+//! break toward the smallest key, so the same event stream always yields
+//! the same path.
+
+use super::event::EventKind;
+use super::{Event, ObsReport};
+use std::collections::BTreeMap;
+
+/// Identity of one bag computation: `(machine, operator, bag prefix
+/// length)` — the bag identifier of Sec. 5.2.1 plus the machine that
+/// hosts this instance of the operator.
+pub type BagKey = (u16, u32, u32);
+
+/// One bag computation: an operator instance computing one bag, with its
+/// observed interval and (after analysis) its scheduling slack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BagNode {
+    /// Machine the computation ran on.
+    pub machine: u16,
+    /// Logical operator id.
+    pub op: u32,
+    /// Bag identifier prefix length (`pos + 1`).
+    pub bag_len: u32,
+    /// When the bag was opened (scheduled, inputs selected).
+    pub start_ns: u64,
+    /// When the bag was finalized — or the last trace timestamp for bags
+    /// still open when the run ended.
+    pub end_ns: u64,
+    /// How much later this computation could have finished without
+    /// delaying any consumer's latest input (for terminal bags: without
+    /// extending the makespan).
+    pub slack_ns: u64,
+}
+
+impl BagNode {
+    /// Busy duration of this computation.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// The key of this node.
+    pub fn key(&self) -> BagKey {
+        (self.machine, self.op, self.bag_len)
+    }
+}
+
+/// One step of the critical path, in execution order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalStep {
+    /// The bag computation on the path.
+    pub node: BagNode,
+    /// Logical edge the chain arrived on (`None` for the first step).
+    pub via_edge: Option<u32>,
+    /// Exclusive contribution of this step to the path length: time from
+    /// its inputs becoming available (or its own start) to its finish.
+    pub contribution_ns: u64,
+}
+
+/// The critical path of one traced run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Total path length in nanoseconds (0 for empty traces).
+    pub length_ns: u64,
+    /// The chain of bag computations, in execution order.
+    pub steps: Vec<CriticalStep>,
+    /// Exclusive contribution summed per operator, largest first (ties
+    /// broken toward the smaller operator id).
+    pub op_contrib: Vec<(u32, u64)>,
+    /// Exclusive contribution summed per logical edge the chain
+    /// traversed, largest first (ties broken toward the smaller edge id).
+    pub edge_contrib: Vec<(u32, u64)>,
+    /// Every bag computation with its slack, sorted by key.
+    pub nodes: Vec<BagNode>,
+}
+
+/// Extracts bag-computation intervals from a trace: for every
+/// `(machine, op, bag_len)`, the `BagOpened`‥`BagFinalized` span. Bags
+/// still open when the trace ends are closed at the last observed
+/// timestamp (never before their own start).
+pub fn bag_intervals(events: &[Event]) -> BTreeMap<BagKey, (u64, u64)> {
+    let mut spans: BTreeMap<BagKey, (u64, Option<u64>)> = BTreeMap::new();
+    let mut max_ts = 0u64;
+    for e in events {
+        max_ts = max_ts.max(e.t_ns);
+        match e.kind {
+            EventKind::BagOpened { bag_len, .. } => {
+                spans
+                    .entry((e.machine, e.op, bag_len))
+                    .or_insert((e.t_ns, None));
+            }
+            EventKind::BagFinalized { bag_len, .. } => {
+                if let Some(s) = spans.get_mut(&(e.machine, e.op, bag_len)) {
+                    s.1 = Some(e.t_ns);
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+        .into_iter()
+        .map(|(k, (start, end))| (k, (start, end.unwrap_or(max_ts).max(start))))
+        .collect()
+}
+
+/// Reconstructs the bag-dependency DAG from a traced run and computes its
+/// critical path, per-node slack, and per-operator/per-edge contribution
+/// totals. `makespan_ns` is the run's end time (virtual or wall-clock) and
+/// only feeds the slack of terminal bags. Requires a report produced at
+/// [`super::ObsLevel::Trace`] with topology attached
+/// ([`super::attach_topology`]); anything less yields an empty path.
+pub fn critical_path(report: &ObsReport, makespan_ns: u64) -> CriticalPath {
+    let intervals = bag_intervals(&report.events);
+    if intervals.is_empty() {
+        return CriticalPath::default();
+    }
+
+    // Which machines computed each logical bag (op, len).
+    let mut producers: BTreeMap<(u32, u32), Vec<u16>> = BTreeMap::new();
+    for &(m, op, len) in intervals.keys() {
+        producers.entry((op, len)).or_default().push(m);
+    }
+
+    // Scan the (time-sorted) stream once: attribute each `InputSelected`
+    // to the bag its operator opened last on that machine (selection is
+    // recorded while the bag is being opened), and note when each
+    // conditional edge's send decision resolved positively.
+    let mut open: BTreeMap<(u16, u32), u32> = BTreeMap::new();
+    let mut dep_specs: BTreeMap<BagKey, Vec<(u32, u32)>> = BTreeMap::new();
+    let mut resolved: BTreeMap<(u16, u32, u32), u64> = BTreeMap::new();
+    for e in &report.events {
+        match e.kind {
+            EventKind::BagOpened { bag_len, .. } => {
+                open.insert((e.machine, e.op), bag_len);
+            }
+            EventKind::InputSelected { edge, bag_len, .. } => {
+                if let Some(&cur) = open.get(&(e.machine, e.op)) {
+                    dep_specs
+                        .entry((e.machine, e.op, cur))
+                        .or_default()
+                        .push((edge, bag_len));
+                }
+            }
+            EventKind::SendResolved {
+                edge,
+                bag_len,
+                sent: true,
+                ..
+            } => {
+                resolved.entry((e.machine, edge, bag_len)).or_insert(e.t_ns);
+            }
+            _ => {}
+        }
+    }
+
+    // Concrete dependencies: consumer → [(producer, via edge, arrival)].
+    // A consumer depends on every machine's instance of the selected bag;
+    // the input arrives no earlier than the producer's finish and, on
+    // conditional edges, no earlier than the send decision.
+    let mut deps: BTreeMap<BagKey, Vec<(BagKey, u32, u64)>> = BTreeMap::new();
+    for (consumer, specs) in &dep_specs {
+        let list = deps.entry(*consumer).or_default();
+        for &(edge, sel_len) in specs {
+            let Some(&(src_op, _)) = report.edges.get(edge as usize) else {
+                continue;
+            };
+            let Some(machines) = producers.get(&(src_op, sel_len)) else {
+                continue;
+            };
+            for &m in machines {
+                let p: BagKey = (m, src_op, sel_len);
+                if p == *consumer {
+                    continue;
+                }
+                let p_end = intervals[&p].1;
+                let arrival = match resolved.get(&(m, edge, sel_len)) {
+                    Some(&ts) => p_end.max(ts),
+                    None => p_end,
+                };
+                list.push((p, edge, arrival));
+            }
+        }
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // Longest exclusive-contribution chain ending at each node, by
+    // memoized iterative DFS. A malformed stream could cycle; an on-stack
+    // dependency is simply not taken.
+    const ON_STACK: u8 = 1;
+    const DONE: u8 = 2;
+    let keys: Vec<BagKey> = intervals.keys().copied().collect();
+    let mut state: BTreeMap<BagKey, u8> = BTreeMap::new();
+    let mut lval: BTreeMap<BagKey, u64> = BTreeMap::new();
+    let mut best: BTreeMap<BagKey, Option<(BagKey, u32)>> = BTreeMap::new();
+    let empty: Vec<(BagKey, u32, u64)> = Vec::new();
+    for &root in &keys {
+        if state.get(&root) == Some(&DONE) {
+            continue;
+        }
+        let mut stack = vec![root];
+        while let Some(&k) = stack.last() {
+            if state.get(&k) == Some(&DONE) {
+                stack.pop();
+                continue;
+            }
+            state.insert(k, ON_STACK);
+            let ds = deps.get(&k).unwrap_or(&empty);
+            if let Some(&(p, _, _)) = ds.iter().find(|&&(p, _, _)| !state.contains_key(&p)) {
+                stack.push(p);
+                continue;
+            }
+            let (start, end) = intervals[&k];
+            let mut l = end - start;
+            let mut b: Option<(BagKey, u32)> = None;
+            for &(p, edge, arrival) in ds {
+                if state.get(&p) != Some(&DONE) {
+                    continue;
+                }
+                let cand = lval[&p] + end.saturating_sub(start.max(arrival));
+                if cand > l {
+                    l = cand;
+                    b = Some((p, edge));
+                }
+            }
+            lval.insert(k, l);
+            best.insert(k, b);
+            state.insert(k, DONE);
+            stack.pop();
+        }
+    }
+
+    // Per-node slack: how much later it could finish without pushing any
+    // consumer past its *latest* input; never consumed → against the
+    // makespan.
+    let mut slack: BTreeMap<BagKey, u64> = BTreeMap::new();
+    for ds in deps.values() {
+        let Some(latest) = ds.iter().map(|&(_, _, a)| a).max() else {
+            continue;
+        };
+        for &(p, _, a) in ds {
+            let room = latest - a;
+            slack
+                .entry(p)
+                .and_modify(|s| *s = (*s).min(room))
+                .or_insert(room);
+        }
+    }
+    let node_of = |k: BagKey| -> BagNode {
+        let (start, end) = intervals[&k];
+        BagNode {
+            machine: k.0,
+            op: k.1,
+            bag_len: k.2,
+            start_ns: start,
+            end_ns: end,
+            slack_ns: slack
+                .get(&k)
+                .copied()
+                .unwrap_or_else(|| makespan_ns.saturating_sub(end)),
+        }
+    };
+
+    // The path ends at the node with the largest chain value (smallest
+    // key on ties); recover the chain by walking predecessors.
+    let mut tail = keys[0];
+    for &k in &keys {
+        if lval[&k] > lval[&tail] {
+            tail = k;
+        }
+    }
+    let length_ns = lval[&tail];
+    let mut steps: Vec<CriticalStep> = Vec::new();
+    let mut cur = Some(tail);
+    while let Some(k) = cur {
+        let pred = best[&k];
+        steps.push(CriticalStep {
+            node: node_of(k),
+            via_edge: pred.map(|(_, e)| e),
+            contribution_ns: lval[&k] - pred.map_or(0, |(p, _)| lval[&p]),
+        });
+        cur = pred.map(|(p, _)| p);
+    }
+    steps.reverse();
+
+    let mut op_tot: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut edge_tot: BTreeMap<u32, u64> = BTreeMap::new();
+    for s in &steps {
+        *op_tot.entry(s.node.op).or_default() += s.contribution_ns;
+        if let Some(e) = s.via_edge {
+            *edge_tot.entry(e).or_default() += s.contribution_ns;
+        }
+    }
+    let by_contrib = |m: BTreeMap<u32, u64>| -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = m.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    };
+
+    CriticalPath {
+        length_ns,
+        steps,
+        op_contrib: by_contrib(op_tot),
+        edge_contrib: by_contrib(edge_tot),
+        nodes: keys.iter().map(|&k| node_of(k)).collect(),
+    }
+}

@@ -119,6 +119,8 @@ pub enum EventKind {
     },
     /// An output sink appended elements to its `out://` collection.
     SinkWrote {
+        /// The sink's active bag (ties the write to a loop iteration).
+        bag_len: u32,
         /// Elements appended.
         count: u64,
     },
@@ -139,11 +141,16 @@ pub enum EventKind {
     },
     /// A simulated/asynchronous file read started.
     IoStarted {
+        /// The reading operator's active bag (ties the read to a loop
+        /// iteration).
+        bag_len: u32,
         /// Modeled disk delay until the data arrives.
         delay_ns: u64,
     },
     /// A pending file read delivered its elements.
     IoFinished {
+        /// The reading operator's active bag.
+        bag_len: u32,
         /// Elements read.
         count: u64,
     },

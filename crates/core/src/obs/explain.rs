@@ -7,20 +7,12 @@
 //! rules fired (Sec. 5.2.3), end-of-bag punctuations, and the
 //! open→decision latency on conditional edges.
 
+use super::critical::bag_intervals;
+use super::fmt_ns;
 use super::metrics::OpMetrics;
-use crate::engine::EngineResult;
-use crate::rt::NS_PER_MS;
+use crate::engine::{EngineResult, OpStats};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
-
-fn fmt_ns(ns: u64) -> String {
-    if ns >= NS_PER_MS {
-        format!("{:.2}ms", ns as f64 / NS_PER_MS as f64)
-    } else if ns >= 1_000 {
-        format!("{:.1}us", ns as f64 / 1e3)
-    } else {
-        format!("{ns}ns")
-    }
-}
 
 fn rules_cell(m: &OpMetrics) -> String {
     let mut parts = Vec::new();
@@ -44,7 +36,9 @@ fn rules_cell(m: &OpMetrics) -> String {
 /// enabled (`--explain` / `--trace`, or [`crate::rt::EngineConfig::obs`]
 /// at [`super::ObsLevel::Metrics`] or above) the table carries the full
 /// counter set; otherwise it falls back to the always-collected
-/// [`crate::engine::OpStats`] columns.
+/// [`crate::engine::OpStats`] columns. Rows are ordered by total busy
+/// time (traced runs; with a per-machine max/mean skew column) or by
+/// emitted elements (metrics-only runs), largest first.
 pub fn explain_report(result: &EngineResult) -> String {
     explain_parts(
         &result.op_stats,
@@ -70,20 +64,42 @@ pub fn explain_parts(
     let obs = obs.filter(|o| o.level != super::ObsLevel::Off);
     match obs {
         Some(obs) => {
+            // Per-operator busy time and machine skew are derivable only
+            // from the traced bag intervals; at Metrics level the columns
+            // render as "-" and the emitted count orders the rows instead.
+            let tracing = obs.level == super::ObsLevel::Trace;
+            let mut busy_per_op: BTreeMap<u32, BTreeMap<u16, u64>> = BTreeMap::new();
+            if tracing {
+                for (&(machine, op, _), &(start, end)) in &bag_intervals(&obs.events) {
+                    *busy_per_op
+                        .entry(op)
+                        .or_default()
+                        .entry(machine)
+                        .or_default() += end - start;
+                }
+            }
+            let total_busy =
+                |op: u32| -> u64 { busy_per_op.get(&op).map_or(0, |m| m.values().sum()) };
+            let mut order: Vec<&OpStats> = op_stats.iter().collect();
+            if tracing {
+                order.sort_by(|a, b| {
+                    total_busy(b.op)
+                        .cmp(&total_busy(a.op))
+                        .then(a.op.cmp(&b.op))
+                });
+            } else {
+                order.sort_by(|a, b| b.emitted.cmp(&a.emitted).then(a.op.cmp(&b.op)));
+            }
             let _ = writeln!(
                 out,
-                "{:<24} {:<10} {:>4} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6} {:>14}  input rules",
-                "operator", "kind", "inst", "emitted", "hoists", "opened",
+                "{:<24} {:<10} {:>4} {:>10} {:>10} {:>5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6} {:>14}  input rules",
+                "operator", "kind", "inst", "emitted", "busy", "skew", "hoists", "opened",
                 "closed", "c.sent", "c.drop", "discard", "punct",
                 "lat mean/max",
             );
             let empty = OpMetrics::default();
-            for s in op_stats {
-                let m = obs
-                    .metrics
-                    .ops
-                    .get(s.op as usize)
-                    .unwrap_or(&empty);
+            for s in order {
+                let m = obs.metrics.ops.get(s.op as usize).unwrap_or(&empty);
                 let lat = if m.decision_latency.count == 0 {
                     "-".to_string()
                 } else {
@@ -93,13 +109,28 @@ pub fn explain_parts(
                         fmt_ns(m.decision_latency.max_ns)
                     )
                 };
+                // Skew = max over mean of per-machine busy time (1.00 =
+                // perfectly balanced); meaningful only when several
+                // machines hosted the operator.
+                let (busy_cell, skew_cell) = match busy_per_op.get(&s.op) {
+                    Some(per_machine) if !per_machine.is_empty() => {
+                        let total: u64 = per_machine.values().sum();
+                        let max = per_machine.values().copied().max().unwrap_or(0);
+                        let mean = total as f64 / per_machine.len() as f64;
+                        let skew = if total == 0 { 0.0 } else { max as f64 / mean };
+                        (fmt_ns(total), format!("{skew:.2}"))
+                    }
+                    _ => ("-".to_string(), "-".to_string()),
+                };
                 let _ = writeln!(
                     out,
-                    "{:<24} {:<10} {:>4} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6} {:>14}  {}",
+                    "{:<24} {:<10} {:>4} {:>10} {:>10} {:>5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6} {:>14}  {}",
                     s.name,
                     s.kind,
                     s.instances,
                     s.emitted,
+                    busy_cell,
+                    skew_cell,
                     s.hoist_hits,
                     m.bags_opened,
                     m.bags_finalized,

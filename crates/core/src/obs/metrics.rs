@@ -215,11 +215,11 @@ impl MetricsRegistry {
             }
             EventKind::BagFinalized { .. } => self.op_mut(op).bags_finalized += 1,
             EventKind::PunctuationSent { .. } => self.op_mut(op).punctuations += 1,
-            EventKind::SinkWrote { count } => self.op_mut(op).sink_written += count,
+            EventKind::SinkWrote { count, .. } => self.op_mut(op).sink_written += count,
             EventKind::DecisionBroadcast { .. } => self.decisions_broadcast += 1,
             EventKind::PathAppended { .. } => self.path_appends += 1,
             EventKind::IoStarted { .. } => self.op_mut(op).io_reads += 1,
-            EventKind::IoFinished { count } => self.op_mut(op).io_elements += count,
+            EventKind::IoFinished { count, .. } => self.op_mut(op).io_elements += count,
             EventKind::StepReleased { .. } => self.steps_released += 1,
         }
         debug_assert!(
@@ -243,7 +243,8 @@ impl MetricsRegistry {
             a.merge(b);
         }
         if self.edges.len() < other.edges.len() {
-            self.edges.resize_with(other.edges.len(), EdgeMetrics::default);
+            self.edges
+                .resize_with(other.edges.len(), EdgeMetrics::default);
         }
         for (a, b) in self.edges.iter_mut().zip(other.edges.iter()) {
             a.merge(b);
@@ -296,7 +297,13 @@ mod tests {
     fn apply_and_merge_reconcile() {
         let mut a = MetricsRegistry::default();
         a.apply(2, &EventKind::BagOpened { pos: 0, bag_len: 1 });
-        a.apply(2, &EventKind::Emitted { bag_len: 1, count: 5 });
+        a.apply(
+            2,
+            &EventKind::Emitted {
+                bag_len: 1,
+                count: 5,
+            },
+        );
         a.apply(
             2,
             &EventKind::SendResolved {
@@ -308,11 +315,14 @@ mod tests {
             },
         );
         let mut b = MetricsRegistry::default();
-        b.apply(2, &EventKind::Emitted { bag_len: 2, count: 3 });
         b.apply(
-            OP_NONE,
-            &EventKind::DecisionBroadcast { pos: 1, block: 2 },
+            2,
+            &EventKind::Emitted {
+                bag_len: 2,
+                count: 3,
+            },
         );
+        b.apply(OP_NONE, &EventKind::DecisionBroadcast { pos: 1, block: 2 });
         a.merge(&b);
         assert_eq!(a.ops[2].elements_emitted, 8);
         assert_eq!(a.ops[2].cond_dropped, 1);

@@ -20,16 +20,33 @@
 //! and the count overlay in [`crate::dot::to_dot_with_metrics`].
 
 pub mod chrome;
+pub mod critical;
 pub mod event;
 pub mod explain;
 pub mod metrics;
+pub mod profile;
 
 pub use chrome::{chrome_trace, validate_json};
+pub use critical::{critical_path, BagNode, CriticalPath};
 pub use event::{Event, EventKind, InputRule, OP_NONE};
 pub use explain::{explain_parts, explain_report};
 pub use metrics::{EdgeMetrics, LatencyStats, MetricsRegistry, OpMetrics};
+pub use profile::{build_profile, Profile};
 
+use crate::path::LoopNest;
 use crate::rt::Net;
+
+/// Human-readable nanoseconds (`1.23ms` / `4.5us` / `678ns`), shared by
+/// the text reports.
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns >= crate::rt::NS_PER_MS {
+        format!("{:.2}ms", ns as f64 / crate::rt::NS_PER_MS as f64)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
 
 /// How much the runtime records.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -123,6 +140,15 @@ pub struct ObsReport {
     pub events: Vec<Event>,
     /// Counters aggregated across all workers.
     pub metrics: MetricsRegistry,
+    /// The program's loop-nesting structure, attached by the drivers so
+    /// the analysis layer ([`profile`], [`critical`]) can decode bag
+    /// identifiers into iteration coordinates without the compiled
+    /// function.
+    pub loops: LoopNest,
+    /// `(src op, dst op)` per logical edge id, attached by the drivers —
+    /// events carry edge ids, and the analyzers need their endpoints to
+    /// reconstruct the bag-dependency DAG.
+    pub edges: Vec<(u32, u32)>,
 }
 
 /// Merges per-worker buffers (at join) into one report. Events are stably
@@ -141,5 +167,14 @@ pub fn merge_bufs(level: ObsLevel, bufs: impl IntoIterator<Item = ObsBuf>) -> Ob
         level,
         events,
         metrics,
+        loops: LoopNest::default(),
+        edges: Vec::new(),
     }
+}
+
+/// Attaches the static program topology (loop nest + edge endpoints) the
+/// analysis layer needs. Called by the drivers right after [`merge_bufs`].
+pub fn attach_topology(report: &mut ObsReport, graph: &crate::graph::LogicalGraph) {
+    report.loops = LoopNest::build(&graph.func);
+    report.edges = graph.edges.iter().map(|e| (e.src, e.dst)).collect();
 }

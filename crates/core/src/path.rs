@@ -21,7 +21,8 @@
 //!   paper's static early-discard rule).
 
 use crate::graph::{EdgeId, LogicalGraph, OpId};
-use mitos_ir::BlockId;
+use mitos_ir::nir::FuncIr;
+use mitos_ir::{BlockId, Dominators};
 
 /// A bag identifier: the producing operator and the length of the
 /// execution-path prefix at creation (Sec. 5.2.1).
@@ -92,6 +93,186 @@ impl ExecutionPath {
             .iter()
             .rposition(|&b| b == block)
             .map(|i| i as u32)
+    }
+}
+
+/// One natural loop of the control-flow graph, identified by its header
+/// block (the target of at least one back edge `u → h` with `h`
+/// dominating `u`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// The loop header block.
+    pub header: BlockId,
+    /// Index (into [`LoopNest::loops`]) of the innermost enclosing loop,
+    /// or `None` for a top-level loop.
+    pub parent: Option<usize>,
+    /// Nesting depth: 1 for top-level loops, 2 for loops inside them, …
+    pub depth: u32,
+}
+
+/// The loop-nesting structure of a compiled program, used to decode an
+/// execution path (and therefore every path-prefix bag identifier) back
+/// into **loop-iteration coordinates**.
+///
+/// A bag identifier stores only `(operator, prefix length)`; the prefix
+/// ends at the block occurrence the bag belongs to. Replaying the path
+/// while counting header occurrences per nesting level assigns every
+/// position a coordinate vector — e.g. `[2, 0]` = third outer iteration,
+/// first inner iteration — which is how the profiler attributes events to
+/// iterations without any extra runtime tagging.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoopNest {
+    /// All natural loops, ordered by header block id (deterministic).
+    pub loops: Vec<LoopInfo>,
+    /// `loop_of_block[b]` = innermost loop whose body contains block `b`.
+    pub loop_of_block: Vec<Option<usize>>,
+}
+
+impl LoopNest {
+    /// Detects the natural loops of `func` from its back edges (an edge
+    /// `u → h` where `h` dominates `u`) and computes their nesting.
+    pub fn build(func: &FuncIr) -> LoopNest {
+        let n = func.block_count();
+        if n == 0 {
+            return LoopNest::default();
+        }
+        let dom = Dominators::compute(func);
+        let preds = func.predecessors();
+        let succs = func.successors();
+
+        // Collect back edges grouped by header, headers in ascending order.
+        let mut latches: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for u in 0..n as BlockId {
+            for &h in &succs[u as usize] {
+                if dom.dominates(h, u) {
+                    match latches.binary_search_by_key(&h, |&(hh, _)| hh) {
+                        Ok(i) => latches[i].1.push(u),
+                        Err(i) => latches.insert(i, (h, vec![u])),
+                    }
+                }
+            }
+        }
+
+        // Natural loop body of header h: h plus everything that reaches a
+        // latch backwards without passing through h.
+        let mut bodies: Vec<Vec<bool>> = Vec::with_capacity(latches.len());
+        for (h, ls) in &latches {
+            let mut body = vec![false; n];
+            body[*h as usize] = true;
+            let mut stack: Vec<BlockId> = ls.clone();
+            while let Some(b) = stack.pop() {
+                if body[b as usize] {
+                    continue;
+                }
+                body[b as usize] = true;
+                stack.extend(preds[b as usize].iter().copied());
+            }
+            bodies.push(body);
+        }
+
+        // Parent = the smallest strictly-containing loop body.
+        let body_size = |i: usize| -> usize { bodies[i].iter().filter(|&&x| x).count() };
+        let mut loops: Vec<LoopInfo> = latches
+            .iter()
+            .map(|&(header, _)| LoopInfo {
+                header,
+                parent: None,
+                depth: 1,
+            })
+            .collect();
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for (j, body) in bodies.iter().enumerate().take(loops.len()) {
+                if i != j
+                    && body[loops[i].header as usize]
+                    && (best.is_none() || body_size(j) < body_size(best.unwrap()))
+                {
+                    best = Some(j);
+                }
+            }
+            loops[i].parent = best;
+        }
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut p = loops[i].parent;
+            while let Some(j) = p {
+                d += 1;
+                p = loops[j].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // Innermost loop per block = the containing loop of maximal depth
+        // (ties broken toward the smaller body, which cannot happen for
+        // distinct-header natural loops at equal depth containing the same
+        // block unless they share the body anyway).
+        let mut loop_of_block = vec![None; n];
+        for (b, slot) in loop_of_block.iter_mut().enumerate() {
+            let mut best: Option<usize> = None;
+            for (i, body) in bodies.iter().enumerate() {
+                if body[b] && (best.is_none() || loops[i].depth > loops[best.unwrap()].depth) {
+                    best = Some(i);
+                }
+            }
+            *slot = best;
+        }
+        LoopNest {
+            loops,
+            loop_of_block,
+        }
+    }
+
+    /// The chain of loops containing `block`, outermost first.
+    pub fn chain_of_block(&self, block: BlockId) -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut cur = self.loop_of_block.get(block as usize).copied().flatten();
+        while let Some(i) = cur {
+            chain.push(i);
+            cur = self.loops[i].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Maximum nesting depth (0 for loop-free programs).
+    pub fn max_depth(&self) -> u32 {
+        self.loops.iter().map(|l| l.depth).max().unwrap_or(0)
+    }
+
+    /// Decodes an execution path into per-position **iteration
+    /// coordinates**: for every path position, the vector of 0-based
+    /// iteration counters of the loops enclosing that block occurrence,
+    /// outermost first (empty for blocks outside all loops).
+    ///
+    /// A new occurrence of a loop's header while that loop is active
+    /// starts its next iteration; entering a loop (its header appearing
+    /// when the loop is not active) starts iteration 0; leaving a loop's
+    /// body pops its counter. Re-entering a loop therefore restarts at 0 —
+    /// coordinates are relative to the current activation, matching how
+    /// input selection treats recurring blocks (Sec. 5.2.3).
+    pub fn coords(&self, path: &[BlockId]) -> Vec<Vec<u32>> {
+        let mut stack: Vec<(usize, u32)> = Vec::new();
+        let mut out = Vec::with_capacity(path.len());
+        for &b in path {
+            let chain = self.chain_of_block(b);
+            let mut common = 0;
+            while common < stack.len() && common < chain.len() && stack[common].0 == chain[common] {
+                common += 1;
+            }
+            stack.truncate(common);
+            for &l in &chain[common..] {
+                stack.push((l, 0));
+            }
+            if let Some(&innermost) = chain.last() {
+                if self.loops[innermost].header == b && common == chain.len() {
+                    // The loop was already active: a fresh header
+                    // occurrence begins its next iteration.
+                    stack.last_mut().expect("active loop").1 += 1;
+                }
+            }
+            out.push(stack.iter().map(|&(_, it)| it).collect());
+        }
+        out
     }
 }
 
@@ -172,7 +353,8 @@ impl PathRules {
         } else {
             out_pos
         };
-        path.last_occurrence_before(r.src_block, limit).map(|i| i + 1)
+        path.last_occurrence_before(r.src_block, limit)
+            .map(|i| i + 1)
     }
 
     /// Conditional-output decision (5.2.4) for a bag produced over `edge`
@@ -385,13 +567,23 @@ mod tests {
                 .find(|&&b| b != inner_body)
                 .unwrap()
         };
-        for &b in &[0, 1, outer_body, inner_header, inner_body, inner_header, inner_body] {
+        for &b in &[
+            0,
+            1,
+            outer_body,
+            inner_header,
+            inner_body,
+            inner_header,
+            inner_body,
+        ] {
             p.append(b);
         }
         let first_inner_pos = 4;
         let second_inner_pos = 6;
         let sel1 = r.select_input_len(build_edge, &p, first_inner_pos).unwrap();
-        let sel2 = r.select_input_len(build_edge, &p, second_inner_pos).unwrap();
+        let sel2 = r
+            .select_input_len(build_edge, &p, second_inner_pos)
+            .unwrap();
         assert_eq!(sel1, sel2, "same x bag reused across inner iterations");
         assert_eq!(p.get(sel1 - 1), x_block);
     }
@@ -418,7 +610,9 @@ mod tests {
         let phi = g
             .nodes
             .iter()
-            .position(|n| matches!(n.kind, crate::graph::NodeKind::Phi) && n.name.starts_with("yesterday"))
+            .position(|n| {
+                matches!(n.kind, crate::graph::NodeKind::Phi) && n.name.starts_with("yesterday")
+            })
             .unwrap() as OpId;
         let carried_edge = g
             .edges
@@ -457,7 +651,9 @@ mod tests {
         let phi = g
             .nodes
             .iter()
-            .position(|n| matches!(n.kind, crate::graph::NodeKind::Phi) && n.name.starts_with("yesterday"))
+            .position(|n| {
+                matches!(n.kind, crate::graph::NodeKind::Phi) && n.name.starts_with("yesterday")
+            })
             .unwrap() as OpId;
         let carried_edge = g
             .edges
@@ -486,6 +682,86 @@ mod tests {
         let (g, r) = setup("a = bag(1); b = a.map(x => x); output(b, \"b\");");
         let e = edge_into(&g, "b", 0);
         assert!(r.edges[e as usize].immediate);
+    }
+
+    #[test]
+    fn loop_nest_detects_nesting_and_coords() {
+        // Outer while + inner while: two loops, inner nested in outer.
+        let func = mitos_ir::compile_str(
+            r#"
+            i = 0;
+            while (i < 2) {
+                j = 0;
+                while (j < 3) { j = j + 1; }
+                i = i + 1;
+            }
+            output(i, "i");
+            "#,
+        )
+        .unwrap();
+        let nest = LoopNest::build(&func);
+        assert_eq!(nest.loops.len(), 2, "{nest:?}");
+        assert_eq!(nest.max_depth(), 2);
+        let inner = nest.loops.iter().position(|l| l.depth == 2).unwrap();
+        let outer = nest.loops.iter().position(|l| l.depth == 1).unwrap();
+        assert_eq!(nest.loops[inner].parent, Some(outer));
+        assert_eq!(nest.loops[outer].parent, None);
+
+        // Replay the real path from the reference interpreter and check
+        // coordinate structure.
+        let fs = mitos_fs::InMemoryFs::new();
+        let run = mitos_ir::interpret(&func, &fs, mitos_ir::InterpConfig::default()).unwrap();
+        let coords = nest.coords(&run.path);
+        assert_eq!(coords.len(), run.path.len());
+        // Entry block: outside all loops.
+        assert!(coords[0].is_empty());
+        // Depth-2 coordinates appear, and the innermost counter reaches 2
+        // (three inner iterations) while the outer counter reaches 1.
+        assert!(coords.iter().any(|c| c == &vec![0, 0]), "{coords:?}");
+        assert!(coords.iter().any(|c| c == &vec![0, 2]), "{coords:?}");
+        assert!(coords.iter().any(|c| c == &vec![1, 2]), "{coords:?}");
+        assert!(!coords.iter().any(|c| c.len() > 2));
+        // Inner counters restart at 0 on every outer iteration.
+        assert!(coords.iter().any(|c| c == &vec![1, 0]), "{coords:?}");
+        // Coordinates are monotone per nesting level along the path:
+        // the outer counter never decreases.
+        let mut last_outer = 0;
+        for c in &coords {
+            if let Some(&o) = c.first() {
+                assert!(o >= last_outer, "{coords:?}");
+                last_outer = o;
+            }
+        }
+    }
+
+    #[test]
+    fn loop_nest_single_block_do_while() {
+        // do-while with a single-block body: the header is its own latch.
+        let func =
+            mitos_ir::compile_str("i = 0; do { i = i + 1; } while (i < 3); output(i, \"i\");")
+                .unwrap();
+        let nest = LoopNest::build(&func);
+        assert_eq!(nest.loops.len(), 1);
+        let fs = mitos_fs::InMemoryFs::new();
+        let run = mitos_ir::interpret(&func, &fs, mitos_ir::InterpConfig::default()).unwrap();
+        let coords = nest.coords(&run.path);
+        // Three body occurrences: iterations 0, 1, 2.
+        let iters: Vec<u32> = coords
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| c[0])
+            .collect();
+        assert_eq!(iters, vec![0, 1, 2], "{coords:?}");
+    }
+
+    #[test]
+    fn loop_free_program_has_empty_nest() {
+        let func = mitos_ir::compile_str("a = bag(1, 2); output(a.sum(), \"s\");").unwrap();
+        let nest = LoopNest::build(&func);
+        assert!(nest.loops.is_empty());
+        assert_eq!(nest.max_depth(), 0);
+        let coords = nest.coords(&[0, 1]);
+        assert!(coords.iter().all(Vec::is_empty));
     }
 
     #[test]

@@ -192,8 +192,11 @@ pub fn run_threads(
     let hoist_hits = workers.iter().map(Worker::hoist_hits).sum();
     let decisions = workers.iter().map(|w| w.decisions_broadcast).sum();
     let level = shared.config.obs;
-    let obs_report = (level != ObsLevel::Off)
-        .then(|| obs::merge_bufs(level, workers.iter_mut().map(Worker::take_obs)));
+    let obs_report = (level != ObsLevel::Off).then(|| {
+        let mut report = obs::merge_bufs(level, workers.iter_mut().map(Worker::take_obs));
+        obs::attach_topology(&mut report, &shared.graph);
+        report
+    });
     // One clock source end to end: the same epoch that timestamps trace
     // events also yields the reported duration, in nanoseconds like the
     // simulator's virtual end_time.

@@ -93,8 +93,7 @@ fn check_all_policies(src: &str, machines: u16, setup: impl Fn(&InMemoryFs)) {
     let ref_fs = InMemoryFs::new();
     setup(&ref_fs);
     let func = mitos_ir::compile_str(src).unwrap();
-    let reference =
-        mitos_ir::interpret(&func, &ref_fs, mitos_ir::InterpConfig::default()).unwrap();
+    let reference = mitos_ir::interpret(&func, &ref_fs, mitos_ir::InterpConfig::default()).unwrap();
 
     let policies: Vec<(&str, Policy)> = vec![
         ("fifo", Policy::Fifo),

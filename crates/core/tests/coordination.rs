@@ -90,8 +90,7 @@ fn distributed_path_matches_reference_interpreter() {
     "#;
     let func = mitos_ir::compile_str(src).unwrap();
     let ref_fs = InMemoryFs::new();
-    let reference =
-        mitos_ir::interpret(&func, &ref_fs, mitos_ir::InterpConfig::default()).unwrap();
+    let reference = mitos_ir::interpret(&func, &ref_fs, mitos_ir::InterpConfig::default()).unwrap();
     let fs = InMemoryFs::new();
     let r = run_sim(
         &func,

@@ -9,7 +9,7 @@ use mitos_core::{run_sim, run_threads, EngineResult};
 use mitos_fs::InMemoryFs;
 use mitos_lang::Value;
 use mitos_sim::SimConfig;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 const PROGRAM: &str = r#"
     total = 0;
@@ -76,9 +76,9 @@ fn normalize(report: &ObsReport) -> BTreeMap<(u16, u32), Vec<String>> {
                     .entry((e.machine, e.op, format!("emitted len{bag_len}")))
                     .or_default() += count;
             }
-            EventKind::SinkWrote { count } => {
+            EventKind::SinkWrote { bag_len, count } => {
                 *folded
-                    .entry((e.machine, e.op, "sink_wrote".to_string()))
+                    .entry((e.machine, e.op, format!("sink_wrote len{bag_len}")))
                     .or_default() += count;
             }
             EventKind::SendResolved {
@@ -91,7 +91,10 @@ fn normalize(report: &ObsReport) -> BTreeMap<(u16, u32), Vec<String>> {
                 .or_default()
                 .push(format!("send_resolved e{edge} len{bag_len} sent={sent}")),
             EventKind::IoStarted { .. } => {
-                by_host.entry(key).or_default().push("io_started".to_string());
+                by_host
+                    .entry(key)
+                    .or_default()
+                    .push("io_started".to_string());
             }
             other => by_host.entry(key).or_default().push(format!(
                 "{} {:?}",
@@ -228,11 +231,12 @@ fn split_records(json: &str) -> Vec<String> {
 
 fn field<'a>(record: &'a str, name: &str) -> &'a str {
     let pat = format!("\"{name}\":");
-    let at = record.find(&pat).unwrap_or_else(|| panic!("{name} in {record}")) + pat.len();
+    let at = record
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{name} in {record}"))
+        + pat.len();
     let rest = &record[at..];
-    let len = rest
-        .find([',', '}'])
-        .unwrap_or(rest.len());
+    let len = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..len].trim_matches('"')
 }
 
@@ -249,6 +253,8 @@ fn chrome_trace_is_valid_json_with_paired_durations() {
     let mut depth: BTreeMap<(String, String), i64> = BTreeMap::new();
     let mut b_count = 0u64;
     let mut e_count = 0u64;
+    let mut flow_starts: BTreeSet<String> = BTreeSet::new();
+    let mut flow_finishes: BTreeSet<String> = BTreeSet::new();
     for rec in split_records(&json) {
         let ph = field(&rec, "ph");
         if ph == "M" {
@@ -256,7 +262,10 @@ fn chrome_trace_is_valid_json_with_paired_durations() {
         }
         let ts: f64 = field(&rec, "ts").parse().expect("numeric ts");
         assert!(ts >= 0.0);
-        let lane = (field(&rec, "pid").to_string(), field(&rec, "tid").to_string());
+        let lane = (
+            field(&rec, "pid").to_string(),
+            field(&rec, "tid").to_string(),
+        );
         match ph {
             "B" => {
                 b_count += 1;
@@ -269,12 +278,28 @@ fn chrome_trace_is_valid_json_with_paired_durations() {
                 assert!(*d >= 0, "E without open B on lane {lane:?}");
             }
             "i" => {}
+            "s" => {
+                flow_starts.insert(field(&rec, "id").to_string());
+            }
+            "f" => {
+                assert_eq!(field(&rec, "bp"), "e", "flow finish binds enclosing slice");
+                assert!(
+                    flow_starts.contains(field(&rec, "id")),
+                    "flow finish after its start"
+                );
+                flow_finishes.insert(field(&rec, "id").to_string());
+            }
             other => panic!("unexpected phase {other}"),
         }
     }
     assert!(b_count > 0, "durations present");
     assert_eq!(b_count, e_count, "every B has an E");
     assert!(depth.values().all(|&d| d == 0), "all lanes balance");
+    assert!(
+        !flow_starts.is_empty(),
+        "producer→consumer flow arrows present"
+    );
+    assert_eq!(flow_starts, flow_finishes, "every flow start has a finish");
 
     // Lane metadata names machines and operators.
     assert!(json.contains("\"process_name\""));
@@ -342,7 +367,10 @@ fn explain_report_renders_counters_and_fallback() {
     assert!(report.contains("input rules"), "{report}");
     assert!(report.contains("decisions broadcast"), "{report}");
     assert!(report.contains("events recorded"), "{report}");
-    assert!(report.contains("same-block") || report.contains("latest"), "{report}");
+    assert!(
+        report.contains("same-block") || report.contains("latest"),
+        "{report}"
+    );
 
     let plain = run_sim_at(ObsLevel::Off, 3);
     let fallback = mitos_core::obs::explain_report(&plain);

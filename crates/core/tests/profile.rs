@@ -1,0 +1,380 @@
+//! Tests for the iteration profiler and critical-path analysis: hand-built
+//! event streams with known answers, property tests pinning the two
+//! critical-path invariants (length ≤ makespan, length ≥ longest single
+//! bag computation) on random dependency DAGs, and end-to-end checks that
+//! profiling a simulated run is deterministic and charges zero virtual
+//! time.
+
+use mitos_core::obs::event::InputRule;
+use mitos_core::obs::{critical_path, ObsLevel, ObsReport};
+use mitos_core::rt::EngineConfig;
+use mitos_core::{build_profile, run_sim, Event, EventKind};
+use mitos_fs::InMemoryFs;
+use mitos_sim::SimConfig;
+use proptest::prelude::*;
+
+/// Builds a Trace-level report from hand-written events and edge
+/// endpoints. Events are given in timestamp order (as `merge_bufs` would
+/// produce).
+fn report_of(events: Vec<Event>, edges: Vec<(u32, u32)>) -> ObsReport {
+    ObsReport {
+        level: ObsLevel::Trace,
+        events,
+        edges,
+        ..ObsReport::default()
+    }
+}
+
+fn ev(t_ns: u64, op: u32, kind: EventKind) -> Event {
+    Event {
+        t_ns,
+        machine: 0,
+        op,
+        kind,
+    }
+}
+
+fn opened(t_ns: u64, op: u32, bag_len: u32) -> Event {
+    ev(
+        t_ns,
+        op,
+        EventKind::BagOpened {
+            pos: bag_len - 1,
+            bag_len,
+        },
+    )
+}
+
+fn finalized(t_ns: u64, op: u32, bag_len: u32) -> Event {
+    ev(
+        t_ns,
+        op,
+        EventKind::BagFinalized {
+            pos: bag_len - 1,
+            bag_len,
+        },
+    )
+}
+
+fn selected(t_ns: u64, op: u32, edge: u32, bag_len: u32) -> Event {
+    ev(
+        t_ns,
+        op,
+        EventKind::InputSelected {
+            edge,
+            bag_len,
+            rule: InputRule::LatestOccurrence,
+        },
+    )
+}
+
+/// op0 computes [0, 100]; op1 opens at 50, consumes op0's bag over edge 0,
+/// and finishes at 250. The chain is worth 100 (op0) + 150 (op1 after the
+/// input arrived at 100) = 250, beating op1's own 200ns span.
+#[test]
+fn chain_critical_path_has_known_length() {
+    let report = report_of(
+        vec![
+            opened(0, 0, 1),
+            opened(50, 1, 2),
+            selected(50, 1, 0, 1),
+            finalized(100, 0, 1),
+            finalized(250, 1, 2),
+        ],
+        vec![(0, 1)],
+    );
+    let critical = critical_path(&report, 250);
+    assert_eq!(critical.length_ns, 250);
+    assert_eq!(critical.steps.len(), 2);
+    assert_eq!(critical.steps[0].node.op, 0);
+    assert_eq!(critical.steps[0].via_edge, None);
+    assert_eq!(critical.steps[0].contribution_ns, 100);
+    assert_eq!(critical.steps[1].node.op, 1);
+    assert_eq!(critical.steps[1].via_edge, Some(0));
+    assert_eq!(critical.steps[1].contribution_ns, 150);
+    assert_eq!(critical.op_contrib, vec![(1, 150), (0, 100)]);
+    assert_eq!(critical.edge_contrib, vec![(0, 150)]);
+    // Both nodes are tight: op0 feeds op1's only input, op1 ends the run.
+    for node in &critical.nodes {
+        assert_eq!(node.slack_ns, 0, "node {node:?}");
+    }
+}
+
+/// Same chain, but the conditional send decision resolves only at t=180.
+/// The input is then available for just 70ns of op1's work — the chain
+/// through op0 (100 + 70 = 170) loses to op1's own 200ns span, so the
+/// critical path is op1 alone.
+#[test]
+fn late_send_decision_removes_producer_from_critical_path() {
+    let report = report_of(
+        vec![
+            opened(0, 0, 1),
+            opened(50, 1, 2),
+            selected(50, 1, 0, 1),
+            finalized(100, 0, 1),
+            ev(
+                180,
+                0,
+                EventKind::SendResolved {
+                    edge: 0,
+                    bag_len: 1,
+                    sent: true,
+                    buffered: 0,
+                    latency_ns: 180,
+                },
+            ),
+            finalized(250, 1, 2),
+        ],
+        vec![(0, 1)],
+    );
+    let critical = critical_path(&report, 250);
+    assert_eq!(critical.length_ns, 200);
+    assert_eq!(critical.steps.len(), 1);
+    assert_eq!(critical.steps[0].node.op, 1);
+    assert_eq!(critical.steps[0].contribution_ns, 200);
+}
+
+/// Two producers feed one consumer: op0 finishes at 100, op1 at 30. The
+/// consumer waits for the slower input, so the fast producer has
+/// 100 − 30 = 70ns of slack and the slow one none.
+#[test]
+fn slack_measures_room_until_latest_input() {
+    let report = report_of(
+        vec![
+            opened(0, 0, 1),
+            opened(0, 1, 1),
+            finalized(30, 1, 1),
+            opened(40, 2, 2),
+            selected(40, 2, 0, 1),
+            selected(40, 2, 1, 1),
+            finalized(100, 0, 1),
+            finalized(300, 2, 2),
+        ],
+        vec![(0, 2), (1, 2)],
+    );
+    let critical = critical_path(&report, 300);
+    let slack_of = |op: u32| {
+        critical
+            .nodes
+            .iter()
+            .find(|n| n.op == op)
+            .map(|n| n.slack_ns)
+            .unwrap()
+    };
+    assert_eq!(slack_of(0), 0, "slow producer is tight");
+    assert_eq!(slack_of(1), 70, "fast producer could finish 70ns later");
+    assert_eq!(slack_of(2), 0, "terminal bag ends the makespan");
+    // The path runs through the slow producer: 100 + (300 − 100) = 300.
+    assert_eq!(critical.length_ns, 300);
+    assert_eq!(
+        critical.steps.iter().map(|s| s.node.op).collect::<Vec<_>>(),
+        vec![0, 2]
+    );
+}
+
+/// A bag still open when the trace ends is closed at the last observed
+/// timestamp, never before its own start.
+#[test]
+fn unclosed_bags_close_at_trace_end() {
+    let report = report_of(
+        vec![opened(100, 0, 1), finalized(150, 9, 7), opened(200, 1, 1)],
+        vec![],
+    );
+    let critical = critical_path(&report, 400);
+    let node = |op: u32| critical.nodes.iter().find(|n| n.op == op).unwrap();
+    assert_eq!((node(0).start_ns, node(0).end_ns), (100, 200));
+    // Opened after every other timestamp: clamped to a zero-length span.
+    assert_eq!((node(1).start_ns, node(1).end_ns), (200, 200));
+}
+
+/// An `InputSelected` whose edge or producer never appears in the trace is
+/// ignored rather than crashing or corrupting the path.
+#[test]
+fn dangling_dependencies_are_ignored() {
+    let report = report_of(
+        vec![
+            opened(0, 0, 1),
+            selected(0, 0, 7, 99),
+            selected(0, 0, 0, 42),
+            finalized(80, 0, 1),
+        ],
+        vec![(5, 0)],
+    );
+    let critical = critical_path(&report, 80);
+    assert_eq!(critical.length_ns, 80);
+    assert_eq!(critical.steps.len(), 1);
+}
+
+/// Random single-machine dependency DAGs: bag i (op i) gets a random
+/// interval, and each dependency i → j (i < j) becomes an
+/// `InputSelected` on its own edge. The spec says arrivals never precede
+/// producer finishes, so contributions telescope inside finish times.
+type DagCase = (Vec<(u64, u64)>, Vec<(usize, usize)>);
+
+fn arb_dag() -> impl Strategy<Value = DagCase> {
+    (2usize..8).prop_flat_map(|n| {
+        (
+            prop::collection::vec((0u64..1_000, 1u64..500), n),
+            prop::collection::vec((0usize..n, 0usize..n), 0..12),
+        )
+            .prop_map(|(bags, pairs)| {
+                let deps = pairs
+                    .into_iter()
+                    .filter(|&(i, j)| i < j)
+                    .collect::<Vec<_>>();
+                (bags, deps)
+            })
+    })
+}
+
+fn dag_report(bags: &[(u64, u64)], deps: &[(usize, usize)]) -> ObsReport {
+    let mut events = Vec::new();
+    for (i, &(start, dur)) in bags.iter().enumerate() {
+        events.push(opened(start, i as u32, 1));
+        events.push(finalized(start + dur, i as u32, 1));
+    }
+    let mut edges = Vec::new();
+    for &(i, j) in deps {
+        let edge = edges.len() as u32;
+        edges.push((i as u32, j as u32));
+        // Selection is recorded while the consumer's bag is open; the scan
+        // attributes it to the consumer's latest open, so emit it at (and
+        // stably after) the consumer's BagOpened.
+        events.push(selected(bags[j].0, j as u32, edge, 1));
+    }
+    events.sort_by_key(|e| (e.t_ns, e.machine));
+    report_of(events, edges)
+}
+
+proptest! {
+    /// Invariants from the module spec: the critical path never exceeds
+    /// the makespan and never undercuts the longest single bag
+    /// computation; the analysis is deterministic.
+    #[test]
+    fn critical_path_bounds_hold((bags, deps) in arb_dag()) {
+        let report = dag_report(&bags, &deps);
+        let makespan = bags.iter().map(|&(s, d)| s + d).max().unwrap();
+        let critical = critical_path(&report, makespan);
+        prop_assert!(
+            critical.length_ns <= makespan,
+            "length {} > makespan {makespan}",
+            critical.length_ns
+        );
+        let longest = bags.iter().map(|&(_, d)| d).max().unwrap();
+        prop_assert!(
+            critical.length_ns >= longest,
+            "length {} < longest bag {longest}",
+            critical.length_ns
+        );
+        // Contributions sum to the total length, and every step's node
+        // really exists in the trace.
+        let sum: u64 = critical.steps.iter().map(|s| s.contribution_ns).sum();
+        prop_assert_eq!(sum, critical.length_ns);
+        prop_assert_eq!(critical_path(&report, makespan), critical);
+    }
+}
+
+const NESTED: &str = r#"
+    total = 0;
+    i = 0;
+    while (i < 3) {
+        j = 0;
+        while (j < 2) {
+            b = bag((i, 1), (j, 1));
+            total = total + b.count();
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    output(total, "t");
+"#;
+
+fn traced_run(obs: ObsLevel) -> mitos_core::EngineResult {
+    let func = mitos_ir::compile_str(NESTED).unwrap();
+    let fs = InMemoryFs::new();
+    run_sim(
+        &func,
+        &fs,
+        EngineConfig {
+            obs,
+            ..EngineConfig::default()
+        },
+        SimConfig::with_machines(3),
+    )
+    .unwrap()
+}
+
+/// Profiling a simulated run is a pure post-hoc analysis: two traced runs
+/// produce byte-identical profiles, and tracing itself charges zero
+/// virtual time (same end time and outputs as an unobserved run).
+#[test]
+fn sim_profile_is_deterministic_and_free() {
+    let a = traced_run(ObsLevel::Trace);
+    let b = traced_run(ObsLevel::Trace);
+    let off = traced_run(ObsLevel::Off);
+    assert_eq!(a.sim.end_time, off.sim.end_time, "tracing charged time");
+    assert_eq!(a.outputs, off.outputs, "tracing changed results");
+    assert_eq!(a.sim.end_time, b.sim.end_time);
+
+    let pa = build_profile(a.obs.as_ref().unwrap(), &a.path, a.sim.end_time);
+    let pb = build_profile(b.obs.as_ref().unwrap(), &b.path, b.sim.end_time);
+    assert_eq!(
+        pa.to_json(&a.op_stats),
+        pb.to_json(&b.op_stats),
+        "profile not bit-identical across runs"
+    );
+    assert_eq!(pa, pb);
+}
+
+/// End-to-end sanity on a real nested-loop trace: the critical path obeys
+/// its bounds, iteration coordinates reach the nesting depth, and the
+/// warmup/steady split accounts for every in-loop iteration row.
+#[test]
+fn sim_profile_attributes_iterations() {
+    let r = traced_run(ObsLevel::Trace);
+    let obs = r.obs.as_ref().unwrap();
+    let profile = build_profile(obs, &r.path, r.sim.end_time);
+
+    assert!(profile.critical.length_ns <= r.sim.end_time);
+    let longest = profile
+        .critical
+        .nodes
+        .iter()
+        .map(|n| n.end_ns - n.start_ns)
+        .max()
+        .unwrap();
+    assert!(profile.critical.length_ns >= longest);
+
+    assert_eq!(profile.max_depth, 2);
+    assert!(
+        profile.rows.iter().any(|row| row.coords.len() == 2),
+        "no inner-loop iteration row: {:?}",
+        profile
+            .rows
+            .iter()
+            .map(|r| r.coords.clone())
+            .collect::<Vec<_>>()
+    );
+    // Inner iterations: (i, j) for i in 0..3, j in 0..2 → 3 warmup rows
+    // (j = 0) and 3 steady rows (j = 1), plus outer-only rows.
+    let in_loop = profile
+        .rows
+        .iter()
+        .filter(|row| !row.coords.is_empty())
+        .count() as u64;
+    assert_eq!(profile.warmup.rows + profile.steady.rows, in_loop);
+    assert!(profile.warmup.rows >= 3, "warmup {:?}", profile.warmup);
+    assert!(profile.steady.rows >= 3, "steady {:?}", profile.steady);
+
+    // Busy time is conserved across the three groupings.
+    let by_rows: u64 = profile.rows.iter().map(|row| row.busy_ns).sum();
+    let by_machines: u64 = profile.machines.iter().map(|m| m.busy_ns).sum();
+    assert_eq!(by_rows, by_machines);
+
+    let rendered = profile.render(&r.op_stats);
+    assert!(rendered.contains("critical path"), "{rendered}");
+    assert!(rendered.contains("[0.1]"), "{rendered}");
+    assert!(rendered.contains("warmup:"), "{rendered}");
+    mitos_core::obs::validate_json(&profile.to_json(&r.op_stats))
+        .unwrap_or_else(|e| panic!("profile JSON invalid: {e}"));
+}

@@ -131,7 +131,10 @@ impl InMemoryFs {
         part: usize,
         parts: usize,
     ) -> Result<Vec<Value>, FsError> {
-        assert!(parts > 0 && part < parts, "invalid partition {part}/{parts}");
+        assert!(
+            parts > 0 && part < parts,
+            "invalid partition {part}/{parts}"
+        );
         let guard = self.inner.read();
         let file = guard
             .get(name)
@@ -144,7 +147,10 @@ impl InMemoryFs {
 
     /// The size in bytes of one read partition (proportional share).
     pub fn partition_bytes(&self, name: &str, part: usize, parts: usize) -> Result<u64, FsError> {
-        assert!(parts > 0 && part < parts, "invalid partition {part}/{parts}");
+        assert!(
+            parts > 0 && part < parts,
+            "invalid partition {part}/{parts}"
+        );
         let guard = self.inner.read();
         let file = guard
             .get(name)

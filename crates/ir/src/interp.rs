@@ -131,17 +131,13 @@ fn get_bag<'a>(
     env: &'a [Option<Vec<Value>>],
     v: VarId,
 ) -> Result<&'a [Value], InterpError> {
-    env[v as usize]
-        .as_deref()
-        .ok_or_else(|| InterpError::new(format!("variable `{}` read before write", func.var_name(v))))
+    env[v as usize].as_deref().ok_or_else(|| {
+        InterpError::new(format!("variable `{}` read before write", func.var_name(v)))
+    })
 }
 
 /// Extracts the single element of a wrapped scalar.
-fn get_scalar(
-    func: &FuncIr,
-    env: &[Option<Vec<Value>>],
-    v: VarId,
-) -> Result<Value, InterpError> {
+fn get_scalar(func: &FuncIr, env: &[Option<Vec<Value>>], v: VarId) -> Result<Value, InterpError> {
     let bag = get_bag(func, env, v)?;
     if bag.len() != 1 {
         return Err(InterpError::new(format!(
@@ -158,10 +154,7 @@ fn get_captured(
     env: &[Option<Vec<Value>>],
     captured: &[VarId],
 ) -> Result<Vec<Value>, InterpError> {
-    captured
-        .iter()
-        .map(|&c| get_scalar(func, env, c))
-        .collect()
+    captured.iter().map(|&c| get_scalar(func, env, c)).collect()
 }
 
 fn read_condition(
@@ -280,15 +273,11 @@ fn eval_stmt(
         }
         Op::Alias { input } => get_bag(func, env, *input)?.to_vec(),
         Op::Phi { inputs } => {
-            let pred = came_from.ok_or_else(|| {
-                InterpError::new("phi in the entry block (invalid SSA)")
+            let pred = came_from
+                .ok_or_else(|| InterpError::new("phi in the entry block (invalid SSA)"))?;
+            let (_, chosen) = inputs.iter().find(|(p, _)| *p == pred).ok_or_else(|| {
+                InterpError::new(format!("phi has no operand for predecessor {pred}"))
             })?;
-            let (_, chosen) = inputs
-                .iter()
-                .find(|(p, _)| *p == pred)
-                .ok_or_else(|| {
-                    InterpError::new(format!("phi has no operand for predecessor {pred}"))
-                })?;
             get_bag(func, env, *chosen)?.to_vec()
         }
     })
@@ -323,7 +312,10 @@ mod tests {
             "b = bag(1, 2, 3).map(x => x * 2).filter(x => x > 2); output(b, \"b\");",
             &fs,
         );
-        assert_eq!(r.outputs["b"], ints(4..7).iter().step_by(2).cloned().collect::<Vec<_>>());
+        assert_eq!(
+            r.outputs["b"],
+            ints(4..7).iter().step_by(2).cloned().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -369,9 +361,18 @@ mod tests {
     fn visit_count_end_to_end() {
         let fs = InMemoryFs::new();
         // Three days of visits: day1 {1,1,2}, day2 {1,2,2}, day3 {2}.
-        fs.put("pageVisitLog1", vec![1, 1, 2].into_iter().map(Value::I64).collect());
-        fs.put("pageVisitLog2", vec![1, 2, 2].into_iter().map(Value::I64).collect());
-        fs.put("pageVisitLog3", vec![2].into_iter().map(Value::I64).collect());
+        fs.put(
+            "pageVisitLog1",
+            vec![1, 1, 2].into_iter().map(Value::I64).collect(),
+        );
+        fs.put(
+            "pageVisitLog2",
+            vec![1, 2, 2].into_iter().map(Value::I64).collect(),
+        );
+        fs.put(
+            "pageVisitLog3",
+            vec![2].into_iter().map(Value::I64).collect(),
+        );
         let src = r#"
             yesterday = empty;
             day = 1;

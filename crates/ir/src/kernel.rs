@@ -42,11 +42,7 @@ impl From<mitos_lang::EvalError> for KernelError {
 }
 
 /// `map`: applies `expr($0 = element, $1.. = captured)` to each element.
-pub fn map(
-    expr: &Expr,
-    captured: &[Value],
-    input: &[Value],
-) -> Result<Vec<Value>, KernelError> {
+pub fn map(expr: &Expr, captured: &[Value], input: &[Value]) -> Result<Vec<Value>, KernelError> {
     let mut params = Vec::with_capacity(1 + captured.len());
     params.push(Value::Unit);
     params.extend_from_slice(captured);
@@ -86,11 +82,7 @@ pub fn flat_map(
 }
 
 /// `filter`: keeps elements whose predicate evaluates to `true`.
-pub fn filter(
-    expr: &Expr,
-    captured: &[Value],
-    input: &[Value],
-) -> Result<Vec<Value>, KernelError> {
+pub fn filter(expr: &Expr, captured: &[Value], input: &[Value]) -> Result<Vec<Value>, KernelError> {
     let mut params = Vec::with_capacity(1 + captured.len());
     params.push(Value::Unit);
     params.extend_from_slice(captured);
@@ -175,7 +167,9 @@ pub fn reduce_by_key(
     params.extend_from_slice(captured);
     for v in input {
         let fields = v.as_tuple().ok_or_else(|| {
-            KernelError::new(format!("reduceByKey expects (key, value) tuples, got {v:?}"))
+            KernelError::new(format!(
+                "reduceByKey expects (key, value) tuples, got {v:?}"
+            ))
         })?;
         if fields.len() != 2 {
             return Err(KernelError::new(format!(
@@ -195,10 +189,7 @@ pub fn reduce_by_key(
     }
     let mut out: Vec<(Value, Value)> = acc.into_iter().collect();
     out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-    Ok(out
-        .into_iter()
-        .map(|(k, v)| Value::tuple([k, v]))
-        .collect())
+    Ok(out.into_iter().map(|(k, v)| Value::tuple([k, v])).collect())
 }
 
 /// `reduce`: global fold with `expr($0 = acc, $1 = element, $2.. =
@@ -318,16 +309,17 @@ mod tests {
         out.sort_unstable();
         assert_eq!(
             out,
-            vec![
-                Value::tuple([Value::I64(2)]),
-                Value::tuple([Value::I64(3)])
-            ]
+            vec![Value::tuple([Value::I64(2)]), Value::tuple([Value::I64(3)])]
         );
     }
 
     #[test]
     fn join_with_multi_field_payloads() {
-        let left = vec![Value::tuple([Value::I64(1), Value::str("a"), Value::str("b")])];
+        let left = vec![Value::tuple([
+            Value::I64(1),
+            Value::str("a"),
+            Value::str("b"),
+        ])];
         let right = vec![Value::tuple([Value::I64(1), Value::I64(9)])];
         let out = join(&left, &right);
         assert_eq!(

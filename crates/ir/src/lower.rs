@@ -497,19 +497,13 @@ impl Lowerer {
                         "count",
                     ),
                     SurfExpr::Min(_) => (
-                        Expr::Call(
-                            mitos_lang::Func::Min,
-                            vec![Expr::Param(0), Expr::Param(1)],
-                        ),
+                        Expr::Call(mitos_lang::Func::Min, vec![Expr::Param(0), Expr::Param(1)]),
                         Vec::new(),
                         None,
                         "min",
                     ),
                     SurfExpr::Max(_) => (
-                        Expr::Call(
-                            mitos_lang::Func::Max,
-                            vec![Expr::Param(0), Expr::Param(1)],
-                        ),
+                        Expr::Call(mitos_lang::Func::Max, vec![Expr::Param(0), Expr::Param(1)]),
                         Vec::new(),
                         None,
                         "max",
@@ -591,11 +585,7 @@ mod tests {
         let f = lower_src("b = bag(1, 2).map(x => x + 1).filter(x => x > 1);");
         // bagLit temp, map temp, filter into b: three statements.
         assert_eq!(f.blocks.len(), 1);
-        let ops: Vec<&str> = f.blocks[0]
-            .stmts
-            .iter()
-            .map(|s| s.op.mnemonic())
-            .collect();
+        let ops: Vec<&str> = f.blocks[0].stmts.iter().map(|s| s.op.mnemonic()).collect();
         assert_eq!(ops, ["bagLit", "map", "filter"]);
         // Final target is the program variable `b`.
         let last = f.blocks[0].stmts.last().unwrap();
@@ -605,11 +595,7 @@ mod tests {
     #[test]
     fn wraps_scalars_into_singletons() {
         let f = lower_src("day = 1; day = day + 1;");
-        let ops: Vec<&str> = f.blocks[0]
-            .stmts
-            .iter()
-            .map(|s| s.op.mnemonic())
-            .collect();
+        let ops: Vec<&str> = f.blocks[0].stmts.iter().map(|s| s.op.mnemonic()).collect();
         assert_eq!(ops, ["singleton", "singleton"]);
         // The increment captures `day` and uses $0.
         match &f.blocks[0].stmts[1].op {
@@ -664,9 +650,7 @@ mod tests {
 
     #[test]
     fn aggregation_in_condition_lands_in_header() {
-        let f = lower_src(
-            "changed = bag(1); while (changed.count() > 0) { changed = empty; }",
-        );
+        let f = lower_src("changed = bag(1); while (changed.count() > 0) { changed = empty; }");
         let header = &f.blocks[1];
         let ops: Vec<&str> = header.stmts.iter().map(|s| s.op.mnemonic()).collect();
         assert_eq!(ops, ["reduce", "singleton"], "count + condition node");
@@ -702,20 +686,17 @@ mod tests {
         assert!(lower_err("x = 1; x = bag(1);").contains("re-assigned"));
         assert!(lower_err("b = bag(1); y = b + 1;").contains("aggregate it first"));
         assert!(lower_err("y = nope + 1;").contains("undeclared"));
-        assert!(
-            lower_err("b = bag(1); c = bag(2).map(x => x.sum());").contains("not supported"),
-        );
+        assert!(lower_err("b = bag(1); c = bag(2).map(x => x.sum());").contains("not supported"),);
     }
 
     #[test]
     fn scalar_writefile_wraps() {
         let f = lower_src("b = bag(1, 2); writeFile(b.sum(), \"out\");");
-        let ops: Vec<&str> = f.blocks[0]
-            .stmts
-            .iter()
-            .map(|s| s.op.mnemonic())
-            .collect();
-        assert_eq!(ops, ["bagLit", "reduce", "singleton", "singleton", "writeFile"]);
+        let ops: Vec<&str> = f.blocks[0].stmts.iter().map(|s| s.op.mnemonic()).collect();
+        assert_eq!(
+            ops,
+            ["bagLit", "reduce", "singleton", "singleton", "writeFile"]
+        );
     }
 
     #[test]
@@ -727,9 +708,8 @@ mod tests {
 
     #[test]
     fn nested_loop_block_structure() {
-        let f = lower_src(
-            "i = 0; while (i < 2) { j = 0; while (j < 2) { j = j + 1; } i = i + 1; }",
-        );
+        let f =
+            lower_src("i = 0; while (i < 2) { j = 0; while (j < 2) { j = j + 1; } i = i + 1; }");
         // entry, outer header, outer body, inner header, inner body,
         // inner after, outer after — allocation order may differ, but the
         // count is fixed.

@@ -195,9 +195,9 @@ impl Op {
                 v.extend_from_slice(captured);
                 v
             }
-            Op::Join { left, right }
-            | Op::Cross { left, right }
-            | Op::Union { left, right } => vec![*left, *right],
+            Op::Join { left, right } | Op::Cross { left, right } | Op::Union { left, right } => {
+                vec![*left, *right]
+            }
             Op::Distinct { input } | Op::Alias { input } => vec![*input],
             Op::Singleton { captured, .. } | Op::LiteralBag { captured, .. } => captured.clone(),
             Op::Phi { inputs } => inputs.iter().map(|(_, v)| *v).collect(),
@@ -236,9 +236,7 @@ impl Op {
                     *c = f(*c);
                 }
             }
-            Op::Join { left, right }
-            | Op::Cross { left, right }
-            | Op::Union { left, right } => {
+            Op::Join { left, right } | Op::Cross { left, right } | Op::Union { left, right } => {
                 *left = f(*left);
                 *right = f(*right);
             }

@@ -107,8 +107,7 @@ mod tests {
         let fs1 = mitos_fs::InMemoryFs::new();
         let fs2 = mitos_fs::InMemoryFs::new();
         let plain = crate::interpret(&func, &fs1, crate::InterpConfig::default()).unwrap();
-        let combined =
-            crate::interpret(&optimized, &fs2, crate::InterpConfig::default()).unwrap();
+        let combined = crate::interpret(&optimized, &fs2, crate::InterpConfig::default()).unwrap();
         assert_eq!(plain.canonical_outputs(), combined.canonical_outputs());
     }
 

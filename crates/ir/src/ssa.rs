@@ -79,8 +79,8 @@ pub fn to_ssa(func: &FuncIr) -> Result<FuncIr, Diagnostic> {
     let mut version_count: HashMap<VarId, usize> = HashMap::new();
     let mut stacks: HashMap<VarId, Vec<VarId>> = HashMap::new();
     let fresh = |old: VarId,
-                     new_vars: &mut Vec<VarInfo>,
-                     version_count: &mut HashMap<VarId, usize>|
+                 new_vars: &mut Vec<VarInfo>,
+                 version_count: &mut HashMap<VarId, usize>|
      -> VarId {
         let version = version_count.entry(old).or_insert(0);
         *version += 1;
@@ -124,15 +124,14 @@ pub fn to_ssa(func: &FuncIr) -> Result<FuncIr, Diagnostic> {
                     if !is_phi {
                         let stmt = &mut func.blocks[b as usize].stmts[i];
                         let mut missing: Option<VarId> = None;
-                        stmt.op.map_uses(|old| {
-                            match stacks.get(&old).and_then(|s| s.last()) {
+                        stmt.op
+                            .map_uses(|old| match stacks.get(&old).and_then(|s| s.last()) {
                                 Some(&new) => new,
                                 None => {
                                     missing = Some(old);
                                     old
                                 }
-                            }
-                        });
+                            });
                         if let Some(old) = missing {
                             error.get_or_insert_with(|| {
                                 Diagnostic::new(
@@ -417,11 +416,7 @@ mod tests {
             .unwrap();
         let live = liveness(&pre);
         // x must be live into the header (block 1) and the body (block 2).
-        let x = pre
-            .vars
-            .iter()
-            .position(|v| &*v.name == "x")
-            .unwrap() as VarId;
+        let x = pre.vars.iter().position(|v| &*v.name == "x").unwrap() as VarId;
         assert!(live[1].contains(&x));
         assert!(live[2].contains(&x));
     }

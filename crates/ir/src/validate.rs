@@ -43,10 +43,7 @@ pub fn validate(func: &FuncIr) -> Result<(), ValidationError> {
             if stmt.target as usize >= n_vars {
                 return bail(format!("def of out-of-range variable {}", stmt.target));
             }
-            if def_site
-                .insert(stmt.target, (b as BlockId, i))
-                .is_some()
-            {
+            if def_site.insert(stmt.target, (b as BlockId, i)).is_some() {
                 return bail(format!(
                     "variable `{}` has multiple definitions",
                     func.var_name(stmt.target)
@@ -237,10 +234,7 @@ mod tests {
                 },
             ],
         };
-        assert!(validate(&f)
-            .unwrap_err()
-            .message
-            .contains("not dominated"));
+        assert!(validate(&f).unwrap_err().message.contains("not dominated"));
     }
 
     #[test]
@@ -250,7 +244,10 @@ mod tests {
         let cond_stmt = f.blocks[0].stmts.pop().unwrap();
         f.blocks[1].stmts.insert(0, cond_stmt);
         let msg = validate(&f).unwrap_err().message;
-        assert!(msg.contains("deciding block") || msg.contains("not dominated"), "{msg}");
+        assert!(
+            msg.contains("deciding block") || msg.contains("not dominated"),
+            "{msg}"
+        );
     }
 
     #[test]

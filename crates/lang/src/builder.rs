@@ -162,10 +162,8 @@ mod tests {
             )
             .output(SurfExpr::var("y"), "y")
             .build();
-        let parsed = parse(
-            "x = 1; if ((x > 0)) { y = 10; } else { y = 20; } output(y, \"y\");",
-        )
-        .unwrap();
+        let parsed =
+            parse("x = 1; if ((x > 0)) { y = 10; } else { y = 20; } output(y, \"y\");").unwrap();
         assert_eq!(built, parsed);
     }
 

@@ -556,7 +556,9 @@ fn eval_call(func: Func, args: &[Value]) -> Result<Value, EvalError> {
         Func::Len => match &args[0] {
             Value::Str(s) => Ok(Value::I64(s.len() as i64)),
             Value::Tuple(t) | Value::List(t) => Ok(Value::I64(t.len() as i64)),
-            v => Err(EvalError::new(format!("len expects str/tuple/list, got {v:?}"))),
+            v => Err(EvalError::new(format!(
+                "len expects str/tuple/list, got {v:?}"
+            ))),
         },
         Func::Dist2 => {
             let (a, b) = (numeric_list(&args[0])?, numeric_list(&args[1])?);
@@ -564,10 +566,7 @@ fn eval_call(func: Func, args: &[Value]) -> Result<Value, EvalError> {
                 return Err(EvalError::new("dist2: dimension mismatch"));
             }
             Ok(Value::F64(
-                a.iter()
-                    .zip(b.iter())
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum(),
+                a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum(),
             ))
         }
         Func::VAdd => {
@@ -674,7 +673,10 @@ mod tests {
             Value::I64(4)
         );
         assert_eq!(
-            e(&Expr::Call(Func::Min, vec![Expr::lit(4i64), Expr::lit(2i64)])),
+            e(&Expr::Call(
+                Func::Min,
+                vec![Expr::lit(4i64), Expr::lit(2i64)]
+            )),
             Value::I64(2)
         );
         assert_eq!(
@@ -709,7 +711,10 @@ mod tests {
         assert_eq!(v, Value::list([Value::F64(11.0), Value::F64(22.0)]));
         let s = e(&Expr::Call(
             Func::VScale,
-            vec![Expr::List(vec![Expr::lit(2.0), Expr::lit(4.0)]), Expr::lit(0.5)],
+            vec![
+                Expr::List(vec![Expr::lit(2.0), Expr::lit(4.0)]),
+                Expr::lit(0.5),
+            ],
         ));
         assert_eq!(s, Value::list([Value::F64(1.0), Value::F64(2.0)]));
     }
@@ -732,10 +737,7 @@ mod tests {
             assert_eq!(name, "x");
             Expr::Param(0)
         });
-        assert_eq!(
-            eval(&compiled, &[Value::I64(41)]).unwrap(),
-            Value::I64(42)
-        );
+        assert_eq!(eval(&compiled, &[Value::I64(41)]).unwrap(), Value::I64(42));
     }
 
     #[test]
@@ -751,11 +753,7 @@ mod tests {
 
     #[test]
     fn display_round_trips_visually() {
-        let expr = Expr::bin(
-            BinOp::Le,
-            Expr::var("day"),
-            Expr::lit(365i64),
-        );
+        let expr = Expr::bin(BinOp::Le, Expr::var("day"), Expr::lit(365i64));
         assert_eq!(expr.to_string(), "(day <= 365)");
     }
 

@@ -96,7 +96,11 @@ impl Parser {
             Ok(self.bump())
         } else {
             Err(Diagnostic::new(
-                format!("expected {}, found {}", tok.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    tok.describe(),
+                    self.peek().describe()
+                ),
                 self.span(),
             ))
         }
@@ -180,7 +184,10 @@ impl Parser {
                     Tok::Str(s) => s,
                     other => {
                         return Err(Diagnostic::new(
-                            format!("output tag must be a string literal, found {}", other.describe()),
+                            format!(
+                                "output tag must be a string literal, found {}",
+                                other.describe()
+                            ),
                             span,
                         ))
                     }
@@ -245,11 +252,7 @@ impl Parser {
         let end_var = self.fresh_name("for_end");
         body.push(Stmt::Assign {
             name: var.clone(),
-            value: SurfExpr::bin(
-                BinOp::Add,
-                SurfExpr::Var(var.clone()),
-                SurfExpr::lit(1i64),
-            ),
+            value: SurfExpr::bin(BinOp::Add, SurfExpr::Var(var.clone()), SurfExpr::lit(1i64)),
         });
         // A `for` is a statement; wrap the three desugared statements into a
         // guarded `if (true)` so we return a single Stmt. The IR lowering
@@ -266,11 +269,7 @@ impl Parser {
                     value: to,
                 },
                 Stmt::While {
-                    cond: SurfExpr::bin(
-                        BinOp::Le,
-                        SurfExpr::Var(var),
-                        SurfExpr::Var(end_var),
-                    ),
+                    cond: SurfExpr::bin(BinOp::Le, SurfExpr::Var(var), SurfExpr::Var(end_var)),
                     body,
                 },
             ],
@@ -570,10 +569,7 @@ impl Parser {
                             }
                             Ok(SurfExpr::Call(func, args))
                         }
-                        None => Err(Diagnostic::new(
-                            format!("unknown function `{other}`"),
-                            span,
-                        )),
+                        None => Err(Diagnostic::new(format!("unknown function `{other}`"), span)),
                     },
                 }
             }

@@ -276,7 +276,12 @@ impl<W: World> Sim<W> {
                     if !m.scheduled {
                         m.scheduled = true;
                         let start = t.max(m.busy_until);
-                        self.push_event(start, Event::Process { machine: to.machine });
+                        self.push_event(
+                            start,
+                            Event::Process {
+                                machine: to.machine,
+                            },
+                        );
                     }
                 }
                 Event::Process { machine } => {
@@ -315,8 +320,7 @@ impl<W: World> Sim<W> {
                                     done + self.config.local_latency_ns
                                 } else {
                                     let base = self.config.net_latency_ns
-                                        + (out.bytes * 1000)
-                                            / self.config.net_bytes_per_us.max(1);
+                                        + (out.bytes * 1000) / self.config.net_bytes_per_us.max(1);
                                     let jitter = if self.config.jitter_pct > 0 {
                                         let pct =
                                             self.rng.gen_range(0..=self.config.jitter_pct as u64);
@@ -409,7 +413,13 @@ mod tests {
                 bytes: 0,
             },
         );
-        sim.inject(ActorId::new(0, 0), Hop { hops_left: 2, cpu: 500 });
+        sim.inject(
+            ActorId::new(0, 0),
+            Hop {
+                hops_left: 2,
+                cpu: 500,
+            },
+        );
         let report = sim.run();
         let log = &sim.world().log;
         assert_eq!(log.len(), 3);
@@ -430,7 +440,13 @@ mod tests {
                 bytes: 2000, // 2000 B at 1000 B/us = 2 us = 2000 ns
             },
         );
-        sim.inject(ActorId::new(0, 0), Hop { hops_left: 1, cpu: 0 });
+        sim.inject(
+            ActorId::new(0, 0),
+            Hop {
+                hops_left: 1,
+                cpu: 0,
+            },
+        );
         sim.run();
         let log = &sim.world().log;
         assert_eq!(log[1].0, 1000 + 2000);
@@ -512,7 +528,13 @@ mod tests {
                     bytes: 100,
                 },
             );
-            sim.inject(ActorId::new(0, 0), Hop { hops_left: 6, cpu: 10 });
+            sim.inject(
+                ActorId::new(0, 0),
+                Hop {
+                    hops_left: 6,
+                    cpu: 10,
+                },
+            );
             sim.run();
             sim.into_world().log
         };
@@ -531,7 +553,13 @@ mod tests {
                 bytes: 0,
             },
         );
-        sim.inject(ActorId::new(0, 0), Hop { hops_left: 1, cpu: 0 });
+        sim.inject(
+            ActorId::new(0, 0),
+            Hop {
+                hops_left: 1,
+                cpu: 0,
+            },
+        );
         sim.run();
         let t = sim.world().log[1].0;
         assert!((1000..=1100).contains(&t), "got {t}");

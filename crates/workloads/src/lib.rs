@@ -156,7 +156,10 @@ pub fn generate_graph(fs: &InMemoryFs, spec: &GraphSpec) {
     for _ in 0..spec.edges {
         let src = rng.gen_range(0..spec.vertices);
         let dst = rng.gen_range(0..spec.vertices);
-        rows.push(Value::tuple([Value::I64(src as i64), Value::I64(dst as i64)]));
+        rows.push(Value::tuple([
+            Value::I64(src as i64),
+            Value::I64(dst as i64),
+        ]));
     }
     fs.put("edges", rows);
 }
@@ -310,8 +313,7 @@ mod tests {
     fn visit_count_program_compiles() {
         for with_types in [false, true] {
             let src = visit_count_program(5, with_types);
-            mitos_ir::compile_str(&src)
-                .unwrap_or_else(|e| panic!("with_types={with_types}: {e}"));
+            mitos_ir::compile_str(&src).unwrap_or_else(|e| panic!("with_types={with_types}: {e}"));
         }
     }
 }

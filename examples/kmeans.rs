@@ -51,7 +51,10 @@ fn main() {
     }
     println!("\nexecuted in {:.2} virtual ms", outcome.millis());
     assert!(iters > 1, "should take several iterations");
-    assert!(shift <= 0.001 || iters == 25, "loop exit condition respected");
+    assert!(
+        shift <= 0.001 || iters == 25,
+        "loop exit condition respected"
+    );
 
     // Agreement with the reference interpreter.
     let ref_fs = InMemoryFs::new();
@@ -59,7 +62,10 @@ fn main() {
     let reference = run_compiled(&func, &ref_fs, Engine::Reference, 1).expect("ref");
     // Float folds are partition-order dependent (as on real clusters):
     // compare the iteration count exactly and the shift approximately.
-    assert_eq!(outcome.outputs["iterations"], reference.outputs["iterations"]);
+    assert_eq!(
+        outcome.outputs["iterations"],
+        reference.outputs["iterations"]
+    );
     let ref_shift = reference.outputs["final_shift"][0].as_f64().unwrap();
     assert!((shift - ref_shift).abs() < 1e-6, "{shift} vs {ref_shift}");
     println!("reference interpreter agrees (within float tolerance) ✓");

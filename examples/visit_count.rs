@@ -26,10 +26,7 @@ fn main() {
     let mode = mitos::baselines::flink_mode(&func);
     println!("Flink native-iteration support: {mode:?}\n");
 
-    println!(
-        "{:<28} {:>14} {:>12}",
-        "engine", "time (vms)", "vs Mitos"
-    );
+    println!("{:<28} {:>14} {:>12}", "engine", "time (vms)", "vs Mitos");
     let machines = 8;
     let mut mitos_ms = 0.0;
     for engine in [

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Machine-readable bench trajectory: runs the figure-reproduction sweeps
+# (scaled-down by default; MITOS_BENCH_FULL=1 for paper scale) and leaves
+# one BENCH_<fig>.json per figure in MITOS_BENCH_DIR (default: bench_out/).
+# Each JSON records the measured series and the headline factors, so the
+# repo's performance story can be tracked across commits without scraping
+# stdout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo runs bench binaries from the package directory, so the output
+# directory must be absolute before it crosses that boundary.
+mkdir -p "${MITOS_BENCH_DIR:-bench_out}"
+MITOS_BENCH_DIR="$(cd "${MITOS_BENCH_DIR:-bench_out}" && pwd)"
+export MITOS_BENCH_DIR
+
+for f in fig1_imperative_vs_functional fig5_strong_scaling fig6_input_size \
+         fig7_step_overhead fig8_loop_invariant fig9_loop_pipelining ablations; do
+    cargo bench -q --offline -p mitos-bench --bench "$f"
+done
+
+echo
+echo "bench.sh: reports in $MITOS_BENCH_DIR/"
+ls "$MITOS_BENCH_DIR"/BENCH_*.json

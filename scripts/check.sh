@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
-# Full local gate: release build, the whole workspace test suite, and
-# clippy with warnings denied (the crates opt into #![warn(missing_docs)],
-# so undocumented public items fail here too). Everything runs --offline;
-# the repo has no crates.io dependencies.
+# Full local gate: formatting, release build, the whole workspace test
+# suite, clippy with warnings denied (the crates opt into
+# #![warn(missing_docs)], so undocumented public items fail here too), and
+# a smoke test of the profiler CLI. Everything runs --offline; the repo
+# has no crates.io dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# The profiler must run end-to-end on the nested-loops example and print
+# its per-iteration table and critical path.
+profile_out="$(./target/release/mitos profile examples/nested_loops.mt --machines 3)"
+echo "$profile_out" | grep -q "critical path" || {
+    echo "check.sh: mitos profile smoke test failed" >&2
+    exit 1
+}
+echo "$profile_out" | grep -q "warmup:" || {
+    echo "check.sh: mitos profile missing warmup/steady split" >&2
+    exit 1
+}
 
 echo "check.sh: all green"

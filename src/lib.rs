@@ -150,8 +150,22 @@ impl Outcome {
     /// [`ObsLevel::Trace`]; returns `None` otherwise.
     pub fn chrome_trace(&self) -> Option<String> {
         let obs = self.obs.as_ref()?;
+        (obs.level == ObsLevel::Trace).then(|| mitos_core::obs::chrome_trace(obs, &self.op_stats))
+    }
+
+    /// Builds the iteration profile of the run: per-iteration
+    /// latency/element/decision attribution (decoded from bag identifiers
+    /// via the program's loop nest), warmup-vs-steady split, per-machine
+    /// straggler report, and the critical path through the bag-dependency
+    /// DAG (see [`mitos_core::obs::profile`] and
+    /// [`mitos_core::obs::critical`]). Requires a run at
+    /// [`ObsLevel::Trace`]; returns `None` otherwise. Render with
+    /// [`mitos_core::Profile::render`] or serialize with
+    /// [`mitos_core::Profile::to_json`], passing [`Outcome::op_stats`].
+    pub fn profile(&self) -> Option<mitos_core::Profile> {
+        let obs = self.obs.as_ref()?;
         (obs.level == ObsLevel::Trace)
-            .then(|| mitos_core::obs::chrome_trace(obs, &self.op_stats))
+            .then(|| mitos_core::build_profile(obs, &self.path, self.virtual_ns))
     }
 }
 

@@ -24,6 +24,8 @@ fn usage() -> ! {
          [--input name=path]... [--output-dir dir]\n             \
          [--explain] [--trace out.json]\n  \
          mitos explain <program> [run options]   # per-operator runtime report\n  \
+         mitos profile <program> [run options] [--profile-json out.json] [--dot out.dot]\n          \
+         # per-iteration attribution + critical path (Mitos engines only)\n  \
          mitos ssa <program>\n  \
          mitos graph <program>   # DOT dataflow (Figure 3b style)\n  \
          mitos check <program>"
@@ -83,7 +85,10 @@ fn main() -> ExitCode {
     let func = match compile(&src) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{}", mitos::lang::Diagnostic::new(e.message.clone(), Default::default()).render(&src));
+            eprintln!(
+                "{}",
+                mitos::lang::Diagnostic::new(e.message.clone(), Default::default()).render(&src)
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -107,9 +112,11 @@ fn main() -> ExitCode {
             }
         }
         "check" => {
-            println!("compiles: yes ({} basic blocks, {} operators)",
+            println!(
+                "compiles: yes ({} basic blocks, {} operators)",
                 func.blocks.len(),
-                func.blocks.iter().map(|b| b.stmts.len()).sum::<usize>());
+                func.blocks.iter().map(|b| b.stmts.len()).sum::<usize>()
+            );
             match baselines::flink_mode(&func) {
                 baselines::FlinkMode::Native => {
                     println!("Flink native iterations: expressible")
@@ -121,21 +128,27 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "run" | "explain" => {
+        "run" | "explain" | "profile" => {
             let explain_cmd = command == "explain";
+            let profile_cmd = command == "profile";
             let mut machines: u16 = 4;
             let mut engine = Engine::Mitos;
             let mut inputs: Vec<(String, String)> = Vec::new();
             let mut output_dir: Option<String> = None;
             let mut explain = explain_cmd;
             let mut trace_path: Option<String> = None;
+            let mut profile_json: Option<String> = None;
+            let mut dot_path: Option<String> = None;
             let mut combiners = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--machines" => {
                         i += 1;
-                        machines = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                        machines = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
                     }
                     "--engine" => {
                         i += 1;
@@ -166,20 +179,51 @@ fn main() -> ExitCode {
                         i += 1;
                         trace_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
+                    // Profiler outputs only make sense where the profile
+                    // is computed: under `mitos profile`.
+                    "--profile-json" if profile_cmd => {
+                        i += 1;
+                        profile_json = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
+                    "--dot" if profile_cmd => {
+                        i += 1;
+                        dot_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
                     "--combiners" => combiners = true,
                     _ => usage(),
                 }
                 i += 1;
             }
-            // Tracing needs timestamps; a bare --explain only needs the
-            // counters.
-            let obs = if trace_path.is_some() {
+            // Tracing and profiling need timestamps; a bare --explain only
+            // needs the counters.
+            let obs = if trace_path.is_some() || profile_cmd {
                 ObsLevel::Trace
             } else if explain {
                 ObsLevel::Metrics
             } else {
                 ObsLevel::Off
             };
+            // The event stream exists only on the Mitos engines; asking
+            // for it anywhere else is a contradiction, not a warning.
+            let obs_capable = matches!(
+                engine,
+                Engine::Mitos
+                    | Engine::MitosNoPipelining
+                    | Engine::MitosNoHoisting
+                    | Engine::MitosThreads
+            );
+            if (profile_cmd || trace_path.is_some()) && !obs_capable {
+                let what = if profile_cmd {
+                    "`mitos profile`"
+                } else {
+                    "--trace"
+                };
+                eprintln!(
+                    "error: {what} requires a Mitos engine \
+                     (mitos|mitos-nopipe|mitos-nohoist|threads), not `{engine}`"
+                );
+                return ExitCode::from(2);
+            }
             let fs = InMemoryFs::new();
             for (name, path) in &inputs {
                 let text = match std::fs::read_to_string(path) {
@@ -240,6 +284,41 @@ fn main() -> ExitCode {
                             ),
                         }
                     }
+                    if profile_cmd {
+                        let Some(profile) = outcome.profile() else {
+                            eprintln!("error: run produced no trace to profile");
+                            return ExitCode::FAILURE;
+                        };
+                        print!("{}", profile.render(&outcome.op_stats));
+                        if let Some(path) = &profile_json {
+                            if let Err(e) = std::fs::write(path, profile.to_json(&outcome.op_stats))
+                            {
+                                eprintln!("error: cannot write profile {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("wrote profile JSON {path}");
+                        }
+                        if let Some(path) = &dot_path {
+                            let graph = match mitos::core::LogicalGraph::build(&func) {
+                                Ok(g) => g,
+                                Err(e) => {
+                                    eprintln!("error: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                            };
+                            let dot = mitos::core::to_dot_annotated(
+                                &graph,
+                                outcome.obs.as_ref().map(|o| &o.metrics),
+                                Some(&profile.critical),
+                            );
+                            if let Err(e) = std::fs::write(path, dot) {
+                                eprintln!("error: cannot write DOT {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("wrote critical-path DOT {path}");
+                        }
+                        return ExitCode::SUCCESS;
+                    }
                     if explain_cmd {
                         return ExitCode::SUCCESS;
                     }
@@ -256,10 +335,8 @@ fn main() -> ExitCode {
                                 continue;
                             }
                             let rows = fs.read(&name).expect("listed");
-                            let text: String = rows
-                                .iter()
-                                .map(|v| render_value(v) + "\n")
-                                .collect();
+                            let text: String =
+                                rows.iter().map(|v| render_value(v) + "\n").collect();
                             let path = format!("{dir}/{name}");
                             if let Err(e) = std::fs::write(&path, text) {
                                 eprintln!("warning: cannot write {path}: {e}");

@@ -27,8 +27,8 @@ fn check_all(src: &str, machines: u16, setup: &dyn Fn(&InMemoryFs)) {
     for engine in ALL_ENGINES {
         let fs = InMemoryFs::new();
         setup(&fs);
-        let outcome = run_compiled(&func, &fs, engine, machines)
-            .unwrap_or_else(|e| panic!("{engine}: {e}"));
+        let outcome =
+            run_compiled(&func, &fs, engine, machines).unwrap_or_else(|e| panic!("{engine}: {e}"));
         assert_eq!(outcome.outputs, reference.outputs, "outputs of {engine}");
         assert_eq!(outcome.path, reference.path, "path of {engine}");
         assert_eq!(fs.snapshot(), ref_fs.snapshot(), "files of {engine}");
@@ -359,8 +359,8 @@ fn pagerank_inside_the_daily_loop() {
     for engine in [Engine::Mitos, Engine::MitosNoPipelining, Engine::Spark] {
         let fs = InMemoryFs::new();
         setup(&fs);
-        let outcome = run_compiled(&func, &fs, engine, 3)
-            .unwrap_or_else(|e| panic!("{engine}: {e}"));
+        let outcome =
+            run_compiled(&func, &fs, engine, 3).unwrap_or_else(|e| panic!("{engine}: {e}"));
         assert_eq!(outcome.path, reference.path, "{engine}");
         // Float folds differ in order across partitions; compare the file
         // KEY SETS exactly and rank mass approximately.

@@ -56,11 +56,7 @@ fn arb_pair_lambda() -> BoxedStrategy<Lambda> {
         .prop_map(|(capture, s, c)| {
             let key = SurfExpr::bin(
                 BinOp::Mod,
-                SurfExpr::bin(
-                    BinOp::Add,
-                    SurfExpr::var("t").index(0),
-                    lit(c.abs() + 5),
-                ),
+                SurfExpr::bin(BinOp::Add, SurfExpr::var("t").index(0), lit(c.abs() + 5)),
                 lit(5),
             );
             let value = if capture {
@@ -126,25 +122,25 @@ fn arb_stmt(depth: u32, loop_depth: u32) -> BoxedStrategy<Vec<Stmt>> {
             value: e,
         }]
     });
-    let agg_assign = (0usize..SCALARS.len(), 0usize..BAGS.len(), any::<bool>()).prop_map(
-        |(s, b, count)| {
+    let agg_assign =
+        (0usize..SCALARS.len(), 0usize..BAGS.len(), any::<bool>()).prop_map(|(s, b, count)| {
             let bag = SurfExpr::var(BAGS[b]);
             let value = if count {
                 bag.count()
             } else {
-                bag.map(Lambda::unary("t", SurfExpr::var("t").index(1))).sum()
+                bag.map(Lambda::unary("t", SurfExpr::var("t").index(1)))
+                    .sum()
             };
             vec![Stmt::Assign {
                 name: Arc::from(SCALARS[s]),
                 value,
             }]
-        },
-    );
+        });
     if depth == 0 {
         return prop_oneof![scalar_assign, bag_assign, agg_assign].boxed();
     }
-    let body = prop::collection::vec(arb_stmt(depth - 1, loop_depth), 1..3)
-        .prop_map(|vs| vs.concat());
+    let body =
+        prop::collection::vec(arb_stmt(depth - 1, loop_depth), 1..3).prop_map(|vs| vs.concat());
     let if_stmt = (
         arb_scalar_expr(1),
         arb_scalar_expr(1),
@@ -252,13 +248,8 @@ fn engines_agree(program: &Program, machines: u16, seed: u64) {
         Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
     };
     let fs = InMemoryFs::new();
-    let reference = run_compiled_on(
-        &func,
-        &fs,
-        Engine::Reference,
-        SimConfig::with_machines(1),
-    )
-    .unwrap_or_else(|e| panic!("reference: {e}\n{src}"));
+    let reference = run_compiled_on(&func, &fs, Engine::Reference, SimConfig::with_machines(1))
+        .unwrap_or_else(|e| panic!("reference: {e}\n{src}"));
     for engine in [
         Engine::Mitos,
         Engine::MitosNoPipelining,
