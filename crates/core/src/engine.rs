@@ -50,6 +50,11 @@ pub struct EngineResult {
     /// Merged observability report ([`None`] when the run's
     /// [`EngineConfig::obs`] level was [`ObsLevel::Off`]).
     pub obs: Option<ObsReport>,
+    /// Periodic live-telemetry snapshots (empty unless the run's
+    /// [`EngineConfig::sample_interval_ns`] was non-zero). Under the
+    /// simulator these are taken at exact virtual-time multiples of the
+    /// interval and charge zero virtual time, so they are deterministic.
+    pub snapshots: Vec<crate::obs::live::Snapshot>,
 }
 
 impl EngineResult {
@@ -116,14 +121,35 @@ pub fn run_sim(
     engine: EngineConfig,
     cluster: SimConfig,
 ) -> Result<EngineResult, RuntimeError> {
+    run_sim_live(func, fs, engine, cluster, &mut |_| {})
+}
+
+/// Like [`run_sim`], additionally invoking `on_snapshot` for every live
+/// telemetry [`crate::obs::live::Snapshot`] when
+/// [`EngineConfig::sample_interval_ns`] is non-zero. Snapshots are taken
+/// at exact virtual-time multiples of the interval **between** events and
+/// charge zero virtual time, so the simulated result is bit-identical
+/// with sampling on or off and snapshot sequences are deterministic. A
+/// runtime deadlock (quiescence without program exit, e.g. a lost
+/// condition broadcast) is diagnosed via [`crate::obs::watchdog`] and the
+/// returned error carries the structured [`crate::obs::watchdog::StallReport`].
+pub fn run_sim_live(
+    func: &FuncIr,
+    fs: &InMemoryFs,
+    engine: EngineConfig,
+    cluster: SimConfig,
+    on_snapshot: &mut dyn FnMut(&crate::obs::live::Snapshot),
+) -> Result<EngineResult, RuntimeError> {
     let graph = LogicalGraph::build(func).map_err(|e| RuntimeError::new(e.message))?;
     let rules = PathRules::build(&graph);
+    let telemetry = crate::obs::live::TelemetryHub::new(cluster.machines, graph.nodes.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
         config: engine,
         fs: fs.clone(),
         machines: cluster.machines,
+        telemetry,
     });
     let workers = (0..cluster.machines)
         .map(|m| Worker::new(shared.clone(), m))
@@ -132,7 +158,18 @@ pub fn run_sim(
     for m in 0..cluster.machines {
         sim.inject(ActorId::new(m, 0), Msg::Start);
     }
-    let report = sim.run();
+    let interval = shared.config.sample_interval_ns;
+    let mut snapshots: Vec<crate::obs::live::Snapshot> = Vec::new();
+    let report = if interval > 0 {
+        let hub = shared.clone();
+        sim.run_sampled(interval, |t, _world| {
+            let s = hub.telemetry.snapshot(t, snapshots.last());
+            on_snapshot(&s);
+            snapshots.push(s);
+        })
+    } else {
+        sim.run()
+    };
     let mut world = sim.into_world();
     for w in &world.workers {
         if let Some(e) = &w.error {
@@ -141,15 +178,17 @@ pub fn run_sim(
     }
     let w0 = &world.workers[0];
     if !w0.path().exited() {
-        return Err(RuntimeError::new(
+        return Err(RuntimeError::stalled(
             "simulation quiesced before the program exited (runtime deadlock)",
+            obs::diagnose(&world.workers, 0, 0),
         ));
     }
     for (m, w) in world.workers.iter().enumerate() {
         if !w.idle() {
-            return Err(RuntimeError::new(format!(
-                "worker {m} still has in-flight bags after quiescence",
-            )));
+            return Err(RuntimeError::stalled(
+                format!("worker {m} still has in-flight bags after quiescence"),
+                obs::diagnose(&world.workers, 0, 0),
+            ));
         }
     }
     let outputs = extract_outputs(fs);
@@ -171,6 +210,7 @@ pub fn run_sim(
         decisions,
         op_stats,
         obs: obs_report,
+        snapshots,
     })
 }
 

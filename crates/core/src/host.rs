@@ -137,6 +137,8 @@ pub struct Host {
     op: OpId,
     inst: u16,
     n_inst: u16,
+    /// The machine this instance is placed on (cached for telemetry).
+    machine: u16,
     block: BlockId,
     kind: NodeKind,
     name: Arc<str>,
@@ -196,6 +198,7 @@ impl Host {
             })
             .collect();
         let released_frontier = if shared.config.pipelined { u32::MAX } else { 0 };
+        let machine = shared.graph.placement(op, inst);
         Host {
             block: node.block,
             kind: node.kind.clone(),
@@ -205,6 +208,7 @@ impl Host {
             op,
             inst,
             n_inst,
+            machine,
             in_edges,
             out_edge_ids,
             gating,
@@ -335,6 +339,72 @@ impl Host {
         self.current.is_none() && self.pending_outputs.is_empty() && self.outbags.is_empty()
     }
 
+    /// Introspects a non-idle host for the stall watchdog: what the active
+    /// bag is waiting for (first unsatisfied input, barrier release, or a
+    /// disk read) and which conditional-send watchers are still pending.
+    /// Returns [`None`] when the host is idle.
+    pub fn stall_info(&self) -> Option<crate::obs::watchdog::OpStall> {
+        use crate::obs::watchdog::{Awaited, OpStall};
+        if self.idle() {
+            return None;
+        }
+        let mut pending_watchers: Vec<(EdgeId, u32)> = Vec::new();
+        for (&len, bag) in &self.outbags {
+            for (ei, e) in bag.edges.iter().enumerate() {
+                if matches!(e, EdgeSend::Undecided { .. }) {
+                    pending_watchers.push((self.out_edge_ids[ei], len));
+                }
+            }
+        }
+        pending_watchers.sort_unstable();
+        let awaited = if self.pending_io.is_some() {
+            Some(Awaited::DiskRead)
+        } else if let Some(active) = &self.current {
+            let mut found = None;
+            for (i, sel) in active.sel.iter().enumerate() {
+                let Some(sel_len) = *sel else { continue };
+                let st = &self.inputs[i];
+                let (received, announced, done_senders) = match st.bufs.get(&sel_len) {
+                    Some(b) => (b.elems.len() as u64, b.announced_total, b.done_senders),
+                    None => (0, 0, 0),
+                };
+                let satisfied = if self.gating[i] {
+                    active.gate_done[i]
+                } else {
+                    done_senders == st.expected_senders
+                        && received == announced
+                        && active.consumed[i] as u64 == received
+                };
+                if !satisfied {
+                    found = Some(Awaited::InputBag {
+                        input: i as u32,
+                        edge: self.in_edges[i],
+                        bag_len: sel_len,
+                        received,
+                        announced,
+                        done_senders,
+                        expected_senders: st.expected_senders,
+                    });
+                    break;
+                }
+            }
+            found
+        } else if let Some(&pos) = self.pending_outputs.front() {
+            (!self.shared.config.pipelined && pos > self.released_frontier)
+                .then_some(Awaited::BarrierRelease { pos })
+        } else {
+            None
+        };
+        Some(OpStall {
+            op: self.op,
+            name: self.name.to_string(),
+            block: self.block,
+            bag_len: self.current.as_ref().map(|a| a.len),
+            awaited,
+            pending_watchers,
+        })
+    }
+
     fn poke(&mut self, path: &ExecutionPath, out: &mut HostOut) -> Result<(), RuntimeError> {
         self.progress(path, out)
     }
@@ -394,6 +464,7 @@ impl Host {
         out: &mut HostOut,
     ) -> Result<(), RuntimeError> {
         let len = pos + 1;
+        self.shared.telemetry.bag_started(self.machine, self.op);
         out.obs
             .record(out.net, self.op, EventKind::BagOpened { pos, bag_len: len });
         let is_phi = matches!(self.kind, NodeKind::Phi);
@@ -681,7 +752,7 @@ impl Host {
                 let delay = cost.io_cost(bytes);
                 debug_assert!(self.pending_io.is_none(), "one read at a time");
                 self.pending_io = Some(elems);
-                let machine = self.shared.graph.placement(self.op, self.inst);
+                let machine = self.machine;
                 out.obs.record(
                     out.net,
                     self.op,
@@ -1135,6 +1206,7 @@ impl Host {
         if let Some(outbag) = self.outbags.get_mut(&active.len) {
             outbag.finalized = true;
         }
+        self.shared.telemetry.bag_finished(self.machine, self.op);
         out.obs.record(
             out.net,
             self.op,
@@ -1161,6 +1233,9 @@ impl Host {
             return Ok(());
         }
         self.emitted_elements += elems.len() as u64;
+        self.shared
+            .telemetry
+            .elements_out(self.machine, self.op, elems.len() as u64);
         let bag_len = self.current.as_ref().expect("active").len;
         if out.obs.enabled() {
             out.obs.record(

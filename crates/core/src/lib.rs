@@ -31,13 +31,13 @@ pub mod worker;
 
 pub use cost::CostModel;
 pub use dot::{to_dot, to_dot_annotated, to_dot_with_metrics};
-pub use engine::{extract_outputs, run_sim, run_source_sim, EngineResult};
+pub use engine::{extract_outputs, run_sim, run_sim_live, run_source_sim, EngineResult};
 pub use graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
 pub use obs::{
-    build_profile, critical_path, BagNode, CriticalPath, Event, EventKind, ObsLevel, ObsReport,
-    Profile,
+    build_profile, critical_path, progress_line, watch_table, BagNode, CriticalPath, Event,
+    EventKind, ObsLevel, ObsReport, Profile, Snapshot, StallReport, TelemetryHub,
 };
 pub use path::{BagId, ExecutionPath, LoopInfo, LoopNest, PathRules, SendDecision};
 pub use rt::{EngineConfig, Msg, RuntimeError, NS_PER_MS};
-pub use thread_driver::run_threads;
+pub use thread_driver::{run_threads, run_threads_live};
 pub use worker::Worker;

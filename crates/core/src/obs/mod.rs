@@ -23,15 +23,19 @@ pub mod chrome;
 pub mod critical;
 pub mod event;
 pub mod explain;
+pub mod live;
 pub mod metrics;
 pub mod profile;
+pub mod watchdog;
 
 pub use chrome::{chrome_trace, validate_json};
 pub use critical::{critical_path, BagNode, CriticalPath};
 pub use event::{Event, EventKind, InputRule, OP_NONE};
 pub use explain::{explain_parts, explain_report};
+pub use live::{progress_line, watch_table, OpSnapshot, Snapshot, TelemetryHub, WorkerSnapshot};
 pub use metrics::{EdgeMetrics, LatencyStats, MetricsRegistry, OpMetrics};
 pub use profile::{build_profile, Profile};
+pub use watchdog::{diagnose, Awaited, OpStall, StallReport, WorkerStall};
 
 use crate::path::LoopNest;
 use crate::rt::Net;

@@ -37,6 +37,24 @@ pub struct EngineConfig {
     /// (counters plus the timestamped event stream). Recording charges no
     /// virtual time, so simulated results are identical at every level.
     pub obs: ObsLevel,
+    /// Live-telemetry sampling interval in nanoseconds (0 = no sampling).
+    /// The simulator samples at exact virtual-time multiples (charging
+    /// zero virtual time, so snapshots are deterministic and free); the
+    /// thread driver samples on wall-clock from its monitor loop. The
+    /// [`crate::obs::live::TelemetryHub`] itself is always on regardless.
+    pub sample_interval_ns: u64,
+    /// Stall watchdog deadline in nanoseconds (0 = disabled; thread driver
+    /// only). If no worker makes progress for this long, the run aborts
+    /// with a [`RuntimeError`] carrying a structured
+    /// [`crate::obs::watchdog::StallReport`]. The simulator needs no timer:
+    /// a stall there manifests as quiescence-without-exit, which is
+    /// diagnosed the same way.
+    pub stall_deadline_ns: u64,
+    /// Fault injection for watchdog tests: control-flow managers apply
+    /// condition decisions locally but **withhold the broadcast**, so every
+    /// other worker's path parks at the conditional jump forever (the
+    /// silent-hang scenario of Sec. 5.2.1). Never set outside tests.
+    pub fault_withhold_decisions: bool,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +66,9 @@ impl Default for EngineConfig {
             extra_step_overhead_ns: 0,
             max_path_len: 10_000_000,
             obs: ObsLevel::Off,
+            sample_interval_ns: 0,
+            stall_deadline_ns: 0,
+            fault_withhold_decisions: false,
         }
     }
 }
@@ -70,6 +91,10 @@ pub struct EngineShared {
     pub fs: InMemoryFs,
     /// Cluster size.
     pub machines: u16,
+    /// Always-on live telemetry counters (relaxed atomics), shared by all
+    /// workers and sampled by the drivers into
+    /// [`crate::obs::live::Snapshot`]s.
+    pub telemetry: crate::obs::live::TelemetryHub,
 }
 
 /// Messages exchanged between workers (one worker actor per machine).
@@ -150,6 +175,9 @@ pub trait Net {
 pub struct RuntimeError {
     /// Description.
     pub message: String,
+    /// Structured stall diagnosis, present when the error came from the
+    /// stall watchdog or a deadlock (see [`crate::obs::watchdog`]).
+    pub stall: Option<Box<crate::obs::watchdog::StallReport>>,
 }
 
 impl RuntimeError {
@@ -157,6 +185,16 @@ impl RuntimeError {
     pub fn new(message: impl Into<String>) -> RuntimeError {
         RuntimeError {
             message: message.into(),
+            stall: None,
+        }
+    }
+
+    /// Creates a stall error: `reason`, the rendered diagnosis appended to
+    /// the message, and the structured report attached.
+    pub fn stalled(reason: impl Into<String>, report: crate::obs::watchdog::StallReport) -> Self {
+        RuntimeError {
+            message: format!("{}\n{}", reason.into(), report.render()),
+            stall: Some(Box::new(report)),
         }
     }
 }

@@ -76,16 +76,37 @@ pub fn run_threads(
     engine: EngineConfig,
     machines: u16,
 ) -> Result<EngineResult, RuntimeError> {
+    run_threads_live(func, fs, engine, machines, &mut |_| {})
+}
+
+/// Like [`run_threads`], with live telemetry: the monitor loop samples the
+/// shared [`crate::obs::live::TelemetryHub`] every
+/// [`EngineConfig::sample_interval_ns`] wall-clock nanoseconds (invoking
+/// `on_snapshot` per [`crate::obs::live::Snapshot`]) and, when
+/// [`EngineConfig::stall_deadline_ns`] is non-zero, aborts the run if no
+/// worker handles a message for that long — returning a
+/// [`RuntimeError`] carrying a structured
+/// [`crate::obs::watchdog::StallReport`] naming the blocked operators and
+/// what each awaits.
+pub fn run_threads_live(
+    func: &FuncIr,
+    fs: &InMemoryFs,
+    engine: EngineConfig,
+    machines: u16,
+    on_snapshot: &mut dyn FnMut(&crate::obs::live::Snapshot),
+) -> Result<EngineResult, RuntimeError> {
     assert!(machines > 0);
     let graph =
         crate::graph::LogicalGraph::build(func).map_err(|e| RuntimeError::new(e.message))?;
     let rules = crate::path::PathRules::build(&graph);
+    let telemetry = crate::obs::live::TelemetryHub::new(machines, graph.nodes.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
         config: engine,
         fs: fs.clone(),
         machines,
+        telemetry,
     });
 
     let epoch = Instant::now();
@@ -106,6 +127,14 @@ pub fn run_threads(
     let workers: Vec<Mutex<Option<Worker>>> = (0..machines)
         .map(|m| Mutex::new(Some(Worker::new(shared.clone(), m))))
         .collect();
+
+    let interval = shared.config.sample_interval_ns;
+    let deadline = shared.config.stall_deadline_ns;
+    let mut snapshots: Vec<crate::obs::live::Snapshot> = Vec::new();
+    let mut next_sample = interval;
+    // `(reason, idle_ns)` when the run must be diagnosed post-join (the
+    // workers are inside the scope's threads until Stop).
+    let mut stall: Option<(String, u64)> = None;
 
     std::thread::scope(|scope| {
         for (m, (_, receiver)) in channels.iter().enumerate() {
@@ -141,9 +170,19 @@ pub fn run_threads(
             });
         }
 
-        // Quiescence detection loop.
+        // Quiescence detection loop (also the telemetry sampler and the
+        // stall watchdog: it already wakes every 200µs anyway).
         loop {
             std::thread::sleep(std::time::Duration::from_micros(200));
+            let now = epoch.elapsed().as_nanos() as u64;
+            if interval > 0 && now >= next_sample {
+                let s = shared.telemetry.snapshot(now, snapshots.last());
+                on_snapshot(&s);
+                snapshots.push(s);
+                while next_sample <= now {
+                    next_sample += interval;
+                }
+            }
             if first_error.lock().is_some() {
                 // Drain: errored workers discard messages; wait for
                 // quiescence, then stop.
@@ -151,6 +190,25 @@ pub fn run_threads(
                     break;
                 }
                 continue;
+            }
+            if deadline > 0 {
+                // Per-worker: a worker that exited with all hosts idle is
+                // done, not stalled; any other worker that hasn't handled
+                // a message within the deadline trips the watchdog.
+                let mut worst: u64 = 0;
+                for m in 0..machines as usize {
+                    if exited_flags[m].load(Ordering::SeqCst)
+                        && idle_flags[m].load(Ordering::SeqCst)
+                    {
+                        continue;
+                    }
+                    let idle = now.saturating_sub(shared.telemetry.worker_progress_ns(m as u16));
+                    worst = worst.max(idle);
+                }
+                if worst > deadline {
+                    stall = Some(("stall watchdog fired".to_string(), worst));
+                    break;
+                }
             }
             let quiet = inflight.load(Ordering::SeqCst) == 0;
             if !quiet {
@@ -163,10 +221,9 @@ pub fn run_threads(
             }
             if all_exited && inflight.load(Ordering::SeqCst) == 0 && !all_idle {
                 // Nothing in flight, program exited, but hosts hold state:
-                // a genuine deadlock; surface it rather than spinning.
-                first_error
-                    .lock()
-                    .get_or_insert_with(|| RuntimeError::new("threaded run deadlocked"));
+                // a genuine deadlock; diagnose it after the threads return
+                // their workers rather than spinning.
+                stall = Some(("threaded run deadlocked".to_string(), 0));
                 break;
             }
         }
@@ -183,6 +240,15 @@ pub fn run_threads(
         .into_iter()
         .map(|w| w.into_inner().expect("worker returned"))
         .collect();
+    if let Some((reason, idle_ns)) = stall {
+        // The threads have returned their workers: introspect them for the
+        // structured diagnosis (blocked operators, awaited inputs/decisions,
+        // pending conditional-send watchers).
+        return Err(RuntimeError::stalled(
+            reason,
+            crate::obs::diagnose(&workers, deadline, idle_ns),
+        ));
+    }
     if !workers[0].path().exited() {
         return Err(RuntimeError::new("threaded run ended before program exit"));
     }
@@ -212,6 +278,7 @@ pub fn run_threads(
         decisions,
         op_stats,
         obs: obs_report,
+        snapshots,
     })
 }
 

@@ -129,6 +129,14 @@ impl Worker {
         if self.error.is_some() {
             return;
         }
+        // Live telemetry: every handled message is progress (the stall
+        // watchdog watches this timestamp). Charges zero virtual time.
+        self.shared.telemetry.touch(self.machine, net.now_ns());
+        if let Msg::Data { elems, .. } = &msg {
+            self.shared
+                .telemetry
+                .elements_in(self.machine, elems.len() as u64);
+        }
         let result = self.dispatch(msg, net);
         if let Err(e) = result {
             self.error = Some(e);
@@ -142,6 +150,9 @@ impl Worker {
             Msg::Start => {
                 let pos = self.path.append(0);
                 debug_assert_eq!(pos, 0);
+                self.shared
+                    .telemetry
+                    .position(self.machine, 0, self.path.len());
                 self.obs
                     .record(net, OP_NONE, EventKind::PathAppended { pos, block: 0 });
                 self.notify_append(pos, 0, net, &mut decisions, &mut computed)?;
@@ -247,9 +258,11 @@ impl Worker {
                     OP_NONE,
                     EventKind::DecisionBroadcast { pos: index, block },
                 );
-                for m in 0..self.shared.machines {
-                    if m != self.machine {
-                        net.send(m, Msg::Decision { index, block }, 16);
+                if !self.shared.config.fault_withhold_decisions {
+                    for m in 0..self.shared.machines {
+                        if m != self.machine {
+                            net.send(m, Msg::Decision { index, block }, 16);
+                        }
                     }
                 }
                 // ...and apply locally.
@@ -301,6 +314,9 @@ impl Worker {
                 )));
             }
             let pos = self.path.append(next);
+            self.shared
+                .telemetry
+                .position(self.machine, next, self.path.len());
             self.obs
                 .record(net, OP_NONE, EventKind::PathAppended { pos, block: next });
             self.notify_append(pos, next, net, decisions, computed)?;
@@ -395,5 +411,46 @@ impl Worker {
             self.drain_effects(net, decisions, computed)?;
         }
         Ok(())
+    }
+
+    /// Introspects this worker's control-flow state (and each blocked
+    /// host's, via [`Host::stall_info`]) for the stall watchdog
+    /// ([`crate::obs::watchdog::diagnose`]).
+    pub fn stall_info(&self) -> crate::obs::watchdog::WorkerStall {
+        let exited = self.path.exited();
+        let depth = self.path.len();
+        let current_block = if depth > 0 {
+            self.path.get(depth - 1)
+        } else {
+            0
+        };
+        let awaiting_decision = if !exited && depth > 0 {
+            match self.shared.graph.func.blocks[current_block as usize].term {
+                Terminator::Branch { .. } if !self.pending_decisions.contains_key(&depth) => {
+                    // Name the condition node that should have broadcast
+                    // the decision for this conditional jump.
+                    let cond = self
+                        .shared
+                        .graph
+                        .nodes
+                        .iter()
+                        .find(|n| n.condition.is_some() && n.block == current_block)
+                        .map(|n| n.name.to_string())
+                        .unwrap_or_else(|| format!("<block {current_block} condition>"));
+                    Some((depth, cond))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        crate::obs::watchdog::WorkerStall {
+            machine: self.machine,
+            exited,
+            path_depth: depth,
+            current_block,
+            awaiting_decision,
+            ops: self.hosts.iter().filter_map(Host::stall_info).collect(),
+        }
     }
 }

@@ -45,12 +45,14 @@ fn run_with_policy(src: &str, machines: u16, mut policy: Policy, fs: &InMemoryFs
     let func = mitos_ir::compile_str(src).unwrap();
     let graph = LogicalGraph::build(&func).unwrap();
     let rules = PathRules::build(&graph);
+    let telemetry = mitos_core::obs::TelemetryHub::new(machines, graph.nodes.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
         config: EngineConfig::default(),
         fs: fs.clone(),
         machines,
+        telemetry,
     });
     let mut workers: Vec<Worker> = (0..machines)
         .map(|m| Worker::new(shared.clone(), m))

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Diffs fresh bench reports (bench_out/BENCH_*.json, produced by
+# scripts/bench.sh) against the committed baseline in bench_out/baseline/.
+# Each report ends with a "factors" object holding the figure's headline
+# speedup factors; a factor drifting more than the tolerance band in
+# either direction fails the check, so performance regressions — and
+# silent improvements that should become the new baseline — are caught.
+# The simulator is deterministic, so on unchanged code the delta is 0.0%.
+#
+# Usage:
+#   scripts/bench_compare.sh                 # compare, non-zero exit on drift
+#   scripts/bench_compare.sh --tolerance 30  # widen the band to ±30%
+#   scripts/bench_compare.sh --seed          # adopt fresh results as baseline
+#
+# Env: MITOS_BENCH_DIR (fresh dir, default bench_out),
+#      MITOS_BENCH_TOLERANCE_PCT (default 20).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH_DIR="${MITOS_BENCH_DIR:-bench_out}"
+BASE_DIR="bench_out/baseline"
+TOL="${MITOS_BENCH_TOLERANCE_PCT:-20}"
+SEED=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --seed) SEED=1 ;;
+        --tolerance)
+            shift
+            TOL="${1:?--tolerance needs a percentage}"
+            ;;
+        *)
+            echo "usage: $0 [--seed] [--tolerance PCT]" >&2
+            exit 64
+            ;;
+    esac
+    shift
+done
+
+fresh=$(ls "$FRESH_DIR"/BENCH_*.json 2>/dev/null || true)
+if [ -z "$fresh" ]; then
+    echo "bench_compare.sh: no $FRESH_DIR/BENCH_*.json found — run scripts/bench.sh first" >&2
+    exit 66
+fi
+
+if [ "$SEED" = 1 ]; then
+    mkdir -p "$BASE_DIR"
+    for f in $fresh; do
+        cp "$f" "$BASE_DIR/$(basename "$f")"
+    done
+    echo "bench_compare.sh: baseline in $BASE_DIR/ seeded from $FRESH_DIR/"
+    exit 0
+fi
+
+# Emits "name value" per entry of a report's trailing "factors" object.
+factors() {
+    sed -n 's/.*"factors":{\([^}]*\)}.*/\1/p' "$1" |
+        tr ',' '\n' |
+        sed 's/"\([^"]*\)":\(.*\)/\1 \2/'
+}
+
+status=0
+printf '%-12s %-28s %12s %12s %9s  %s\n' \
+    figure factor baseline fresh delta verdict
+for f in $fresh; do
+    name=$(basename "$f")
+    base="$BASE_DIR/$name"
+    fig="${name#BENCH_}"
+    fig="${fig%.json}"
+    if [ ! -f "$base" ]; then
+        printf '%-12s %-28s %12s %12s %9s  %s\n' "$fig" - - - - "NO BASELINE"
+        status=1
+        continue
+    fi
+    while read -r key fval; do
+        [ -n "$key" ] || continue
+        bval=$(factors "$base" | awk -v k="$key" '$1 == k { print $2 }')
+        if [ -z "$bval" ]; then
+            printf '%-12s %-28s %12s %12.3f %9s  %s\n' \
+                "$fig" "$key" - "$fval" - "NEW FACTOR"
+            status=1
+            continue
+        fi
+        line=$(awk -v b="$bval" -v n="$fval" -v tol="$TOL" 'BEGIN {
+            delta = (b == 0) ? 0 : (n - b) * 100.0 / b
+            verdict = (delta > tol || delta < -tol) ? "DRIFT" : "ok"
+            printf "%12.3f %12.3f %+8.1f%%  %s", b, n, delta, verdict
+        }')
+        printf '%-12s %-28s %s\n' "$fig" "$key" "$line"
+        case "$line" in *DRIFT*) status=1 ;; esac
+    done <<EOF
+$(factors "$f")
+EOF
+done
+
+if [ "$status" != 0 ]; then
+    echo
+    echo "bench_compare.sh: drift beyond ±${TOL}% (or baseline gaps)." >&2
+    echo "If intentional, adopt the fresh numbers: scripts/bench_compare.sh --seed" >&2
+fi
+exit "$status"

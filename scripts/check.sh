@@ -11,6 +11,7 @@ cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline --workspace
 
 # The profiler must run end-to-end on the nested-loops example and print
 # its per-iteration table and critical path.
@@ -21,6 +22,29 @@ echo "$profile_out" | grep -q "critical path" || {
 }
 echo "$profile_out" | grep -q "warmup:" || {
     echo "check.sh: mitos profile missing warmup/steady split" >&2
+    exit 1
+}
+
+# Live telemetry: --progress must stream status lines on a .mt example
+# (1 virtual-ms sampling: the example's makespan is a few virtual ms)
+# and print its completion summary.
+progress_out="$(./target/release/mitos run examples/nested_loops.mt \
+    --machines 3 --progress --interval 1 2>&1)"
+echo "$progress_out" | grep -q "^\[progress " || {
+    echo "check.sh: mitos run --progress smoke test failed" >&2
+    exit 1
+}
+echo "$progress_out" | grep -q "\[progress\] done:" || {
+    echo "check.sh: mitos run --progress missing completion summary" >&2
+    exit 1
+}
+
+# Overhead guard: the always-on telemetry hub must not switch event
+# recording on at ObsLevel::Off, and simulator sampling must charge zero
+# virtual time (bit-identical SimReport with and without snapshots).
+cargo test -q --offline -p mitos-core --test live \
+    hub_counts_at_obs_off_without_recording_events || {
+    echo "check.sh: ObsLevel::Off overhead guard failed" >&2
     exit 1
 }
 

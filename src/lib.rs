@@ -55,7 +55,7 @@ pub use mitos_sim as sim;
 pub use mitos_workloads as workloads;
 
 use mitos_core::rt::EngineConfig;
-pub use mitos_core::{ObsLevel, ObsReport};
+pub use mitos_core::{ObsLevel, ObsReport, Snapshot, StallReport};
 use mitos_fs::InMemoryFs;
 use mitos_ir::{BlockId, FuncIr};
 use mitos_lang::Value;
@@ -121,6 +121,13 @@ pub struct Outcome {
     /// when the run was requested with [`ObsLevel::Metrics`] or
     /// [`ObsLevel::Trace`] (see [`run_compiled_obs`]); `None` otherwise.
     pub obs: Option<ObsReport>,
+    /// Periodic live-telemetry snapshots — populated by the Mitos engines
+    /// when the run was requested with a non-zero
+    /// [`LiveOptions::sample_interval_ns`] (see [`run_compiled_live`]);
+    /// empty otherwise. Deterministic (virtual-time sampled) under the
+    /// simulated engines, wall-clock sampled under
+    /// [`Engine::MitosThreads`].
+    pub snapshots: Vec<Snapshot>,
 }
 
 impl Outcome {
@@ -167,6 +174,11 @@ impl Outcome {
         (obs.level == ObsLevel::Trace)
             .then(|| mitos_core::build_profile(obs, &self.path, self.virtual_ns))
     }
+
+    /// The run's live-telemetry snapshots (see [`Outcome::snapshots`]).
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
 }
 
 /// An error from compilation or execution.
@@ -174,6 +186,10 @@ impl Outcome {
 pub struct Error {
     /// Description.
     pub message: String,
+    /// Structured stall diagnosis, present when the run was aborted by the
+    /// stall watchdog or diagnosed as deadlocked (see
+    /// [`mitos_core::obs::watchdog`]).
+    pub stall: Option<StallReport>,
 }
 
 impl fmt::Display for Error {
@@ -186,13 +202,19 @@ impl std::error::Error for Error {}
 
 impl From<mitos_lang::Diagnostic> for Error {
     fn from(e: mitos_lang::Diagnostic) -> Self {
-        Error { message: e.message }
+        Error {
+            message: e.message,
+            stall: None,
+        }
     }
 }
 
 impl From<mitos_core::RuntimeError> for Error {
     fn from(e: mitos_core::RuntimeError) -> Self {
-        Error { message: e.message }
+        Error {
+            message: e.message,
+            stall: e.stall.map(|b| *b),
+        }
     }
 }
 
@@ -236,15 +258,88 @@ pub fn run_compiled_obs(
     cluster: SimConfig,
     obs: ObsLevel,
 ) -> Result<Outcome, Error> {
+    run_compiled_live(
+        func,
+        fs,
+        engine,
+        cluster,
+        obs,
+        LiveOptions::default(),
+        &mut |_| {},
+    )
+}
+
+/// Live-execution options for [`run_compiled_live`]: telemetry sampling
+/// and the stall watchdog. The all-zero [`Default`] means "no sampling, no
+/// watchdog" and is accepted by every engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveOptions {
+    /// Telemetry sampling interval in nanoseconds (0 = no snapshots).
+    /// Virtual time under the simulated Mitos engines (deterministic,
+    /// charges zero virtual time), wall-clock under
+    /// [`Engine::MitosThreads`].
+    pub sample_interval_ns: u64,
+    /// Stall-watchdog deadline in nanoseconds (0 = off). Under
+    /// [`Engine::MitosThreads`], a worker making no progress for this long
+    /// aborts the run with an [`Error`] carrying a [`StallReport`]. The
+    /// simulated engines need no timer — a stall there surfaces as
+    /// quiescence-without-exit and is diagnosed the same way.
+    pub deadline_ns: u64,
+    /// Fault injection for watchdog tests: condition decisions are applied
+    /// locally but never broadcast, wedging every other worker (see
+    /// [`mitos_core::rt::EngineConfig::fault_withhold_decisions`]).
+    pub fault_withhold_decisions: bool,
+}
+
+/// Like [`run_compiled_obs`], additionally streaming live telemetry: when
+/// [`LiveOptions::sample_interval_ns`] is non-zero, `on_snapshot` is
+/// invoked per periodic [`Snapshot`] while the job runs (and the snapshots
+/// are collected into [`Outcome::snapshots`]); when
+/// [`LiveOptions::deadline_ns`] is non-zero, the stall watchdog arms.
+/// Live telemetry exists only on the Mitos engines: any non-default
+/// `live` option on a baseline or the reference interpreter is an error.
+pub fn run_compiled_live(
+    func: &FuncIr,
+    fs: &InMemoryFs,
+    engine: Engine,
+    cluster: SimConfig,
+    obs: ObsLevel,
+    live: LiveOptions,
+    on_snapshot: &mut dyn FnMut(&Snapshot),
+) -> Result<Outcome, Error> {
+    let mitos_config = |pipelined: bool, hoisting: bool| EngineConfig {
+        pipelined,
+        hoisting,
+        obs,
+        sample_interval_ns: live.sample_interval_ns,
+        stall_deadline_ns: live.deadline_ns,
+        fault_withhold_decisions: live.fault_withhold_decisions,
+        ..EngineConfig::default()
+    };
+    if live != LiveOptions::default()
+        && !matches!(
+            engine,
+            Engine::Mitos
+                | Engine::MitosNoPipelining
+                | Engine::MitosNoHoisting
+                | Engine::MitosThreads
+        )
+    {
+        return Err(Error {
+            message: format!(
+                "live telemetry (sampling / stall watchdog) requires a Mitos engine \
+                 (mitos|mitos-nopipe|mitos-nohoist|threads), not `{engine}`"
+            ),
+            stall: None,
+        });
+    }
     match engine {
         Engine::Mitos | Engine::MitosNoPipelining | Engine::MitosNoHoisting => {
-            let config = EngineConfig {
-                pipelined: engine != Engine::MitosNoPipelining,
-                hoisting: engine != Engine::MitosNoHoisting,
-                obs,
-                ..EngineConfig::default()
-            };
-            let r = mitos_core::run_sim(func, fs, config, cluster)?;
+            let config = mitos_config(
+                engine != Engine::MitosNoPipelining,
+                engine != Engine::MitosNoHoisting,
+            );
+            let r = mitos_core::run_sim_live(func, fs, config, cluster, on_snapshot)?;
             Ok(Outcome {
                 outputs: r.outputs,
                 path: r.path,
@@ -252,6 +347,7 @@ pub fn run_compiled_obs(
                 op_stats: r.op_stats,
                 decisions: r.decisions,
                 obs: r.obs,
+                snapshots: r.snapshots,
             })
         }
         Engine::FlinkNative => {
@@ -263,6 +359,7 @@ pub fn run_compiled_obs(
                 op_stats: r.op_stats,
                 decisions: 0,
                 obs: None,
+                snapshots: Vec::new(),
             })
         }
         Engine::FlinkSeparateJobs => {
@@ -274,6 +371,7 @@ pub fn run_compiled_obs(
                 op_stats: Vec::new(),
                 decisions: 0,
                 obs: None,
+                snapshots: Vec::new(),
             })
         }
         Engine::Spark => {
@@ -290,14 +388,12 @@ pub fn run_compiled_obs(
                 op_stats: Vec::new(),
                 decisions: 0,
                 obs: None,
+                snapshots: Vec::new(),
             })
         }
         Engine::MitosThreads => {
-            let config = EngineConfig {
-                obs,
-                ..EngineConfig::default()
-            };
-            let r = mitos_core::run_threads(func, fs, config, cluster.machines)?;
+            let config = mitos_config(true, true);
+            let r = mitos_core::run_threads_live(func, fs, config, cluster.machines, on_snapshot)?;
             Ok(Outcome {
                 outputs: r.outputs,
                 path: r.path,
@@ -306,11 +402,17 @@ pub fn run_compiled_obs(
                 op_stats: r.op_stats,
                 decisions: r.decisions,
                 obs: r.obs,
+                snapshots: r.snapshots,
             })
         }
         Engine::Reference => {
-            let r = mitos_ir::interpret(func, fs, mitos_ir::InterpConfig::default())
-                .map_err(|e| Error { message: e.message })?;
+            let r =
+                mitos_ir::interpret(func, fs, mitos_ir::InterpConfig::default()).map_err(|e| {
+                    Error {
+                        message: e.message,
+                        stall: None,
+                    }
+                })?;
             Ok(Outcome {
                 outputs: r.canonical_outputs(),
                 path: r.path,
@@ -318,6 +420,7 @@ pub fn run_compiled_obs(
                 op_stats: Vec::new(),
                 decisions: 0,
                 obs: None,
+                snapshots: Vec::new(),
             })
         }
     }

@@ -14,7 +14,7 @@
 use mitos::fs::InMemoryFs;
 use mitos::lang::Value;
 use mitos::sim::SimConfig;
-use mitos::{baselines, compile, ir, run_compiled_obs, Engine, ObsLevel};
+use mitos::{baselines, compile, ir, run_compiled_live, Engine, LiveOptions, ObsLevel};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -22,7 +22,11 @@ fn usage() -> ! {
         "usage:\n  mitos run <program> [--machines N] [--engine mitos|mitos-nopipe|\
          mitos-nohoist|flink|flink-jobs|spark|threads|reference]\n             \
          [--input name=path]... [--output-dir dir]\n             \
-         [--explain] [--trace out.json]\n  \
+         [--explain] [--trace out.json]\n             \
+         [--progress] [--watch] [--interval MS] [--deadline MS]\n          \
+         # --progress: one live status line per interval (stderr)\n          \
+         # --watch: live per-operator table per interval (stderr)\n          \
+         # --deadline: stall watchdog; no progress for MS ms aborts with exit 2\n  \
          mitos explain <program> [run options]   # per-operator runtime report\n  \
          mitos profile <program> [run options] [--profile-json out.json] [--dot out.dot]\n          \
          # per-iteration attribution + critical path (Mitos engines only)\n  \
@@ -140,6 +144,10 @@ fn main() -> ExitCode {
             let mut profile_json: Option<String> = None;
             let mut dot_path: Option<String> = None;
             let mut combiners = false;
+            let mut progress = false;
+            let mut watch = false;
+            let mut interval_ms: u64 = 200;
+            let mut deadline_ms: Option<u64> = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -190,6 +198,23 @@ fn main() -> ExitCode {
                         dot_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
                     "--combiners" => combiners = true,
+                    "--progress" => progress = true,
+                    "--watch" => watch = true,
+                    "--interval" => {
+                        i += 1;
+                        interval_ms = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
+                    "--deadline" => {
+                        i += 1;
+                        deadline_ms = Some(
+                            args.get(i)
+                                .and_then(|s| s.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        );
+                    }
                     _ => usage(),
                 }
                 i += 1;
@@ -212,11 +237,14 @@ fn main() -> ExitCode {
                     | Engine::MitosNoHoisting
                     | Engine::MitosThreads
             );
-            if (profile_cmd || trace_path.is_some()) && !obs_capable {
+            let live_requested = progress || watch || deadline_ms.is_some();
+            if (profile_cmd || trace_path.is_some() || live_requested) && !obs_capable {
                 let what = if profile_cmd {
                     "`mitos profile`"
-                } else {
+                } else if trace_path.is_some() {
                     "--trace"
+                } else {
+                    "--progress/--watch/--deadline"
                 };
                 eprintln!(
                     "error: {what} requires a Mitos engine \
@@ -253,9 +281,52 @@ fn main() -> ExitCode {
             } else {
                 func
             };
+            let live = LiveOptions {
+                sample_interval_ns: if progress || watch {
+                    interval_ms.saturating_mul(1_000_000)
+                } else {
+                    0
+                },
+                deadline_ns: deadline_ms.map_or(0, |ms| ms.saturating_mul(1_000_000)),
+                // Undocumented fault-injection hook so the stall watchdog
+                // can be exercised end to end (tests/cli.rs).
+                fault_withhold_decisions: std::env::var("MITOS_FAULT_WITHHOLD_DECISIONS")
+                    .is_ok_and(|v| v == "1"),
+            };
+            let graph_for_watch = if watch {
+                mitos::core::LogicalGraph::build(&func).ok()
+            } else {
+                None
+            };
+            let mut on_snapshot = |s: &mitos::Snapshot| {
+                if let Some(g) = &graph_for_watch {
+                    // Clear + home: a live-updating table like `top`.
+                    eprint!("\x1b[2J\x1b[H{}", mitos::core::watch_table(s, g));
+                } else if progress {
+                    eprintln!("{}", mitos::core::progress_line(s));
+                }
+            };
             let start = std::time::Instant::now();
-            match run_compiled_obs(&func, &fs, engine, SimConfig::with_machines(machines), obs) {
+            match run_compiled_live(
+                &func,
+                &fs,
+                engine,
+                SimConfig::with_machines(machines),
+                obs,
+                live,
+                &mut on_snapshot,
+            ) {
                 Ok(outcome) => {
+                    if progress || watch {
+                        eprintln!(
+                            "[progress] done: {} snapshots, {} elements emitted",
+                            outcome.snapshots.len(),
+                            outcome
+                                .snapshots
+                                .last()
+                                .map_or(0, |s| s.total_elements_out()),
+                        );
+                    }
                     if explain {
                         // The subcommand's report is the product: stdout.
                         // As a flag on `run` it is diagnostics: stderr.
@@ -360,6 +431,11 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("runtime error: {e}");
+                    if e.stall.is_some() {
+                        // Stall watchdog / deadlock diagnosis: exit 2,
+                        // like the other usage-level contradictions.
+                        return ExitCode::from(2);
+                    }
                     ExitCode::FAILURE
                 }
             }

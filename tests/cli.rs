@@ -131,6 +131,72 @@ fn compile_errors_are_rendered_with_position() {
 }
 
 #[test]
+fn live_flags_require_a_mitos_engine() {
+    let program = write_temp("prog6.mt", PROGRAM);
+    let flag_sets: [&[&str]; 3] = [&["--progress"], &["--watch"], &["--deadline", "100"]];
+    for flags in flag_sets {
+        let mut args = vec!["run", program.to_str().unwrap(), "--engine", "spark"];
+        args.extend_from_slice(flags);
+        let output = mitos().args(&args).output().unwrap();
+        assert_eq!(output.status.code(), Some(2), "{flags:?}: {output:?}");
+        let err = String::from_utf8_lossy(&output.stderr);
+        assert!(err.contains("requires a Mitos engine"), "{flags:?}: {err}");
+    }
+}
+
+#[test]
+fn progress_prints_status_lines() {
+    let program = write_temp("prog7.mt", PROGRAM);
+    let data = write_temp(
+        "visits7.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+            "--progress",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("[progress"), "{err}");
+    assert!(err.contains("done:"), "{err}");
+}
+
+#[test]
+fn withheld_decisions_trip_watchdog_and_exit_2() {
+    let program = write_temp("prog8.mt", PROGRAM);
+    let data = write_temp(
+        "visits8.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .env("MITOS_FAULT_WITHHOLD_DECISIONS", "1")
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--engine",
+            "threads",
+            "--machines",
+            "2",
+            "--deadline",
+            "200",
+            "--input",
+            &format!("visits={}", data.display()),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("stall watchdog"), "{err}");
+    assert!(err.contains("awaiting decision"), "{err}");
+}
+
+#[test]
 fn explain_prints_operator_stats() {
     let program = write_temp("prog5.mt", PROGRAM);
     let data = write_temp(
