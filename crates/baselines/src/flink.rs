@@ -122,13 +122,11 @@ pub fn run_flink_native_with(
     run_sim(
         func,
         fs,
-        EngineConfig {
-            pipelined: false,
-            hoisting: true,
-            extra_step_overhead_ns: flink_step_overhead_ns(cluster.machines),
-            cost,
-            ..EngineConfig::default()
-        },
+        EngineConfig::new()
+            .with_pipelining(false)
+            .with_hoisting(true)
+            .with_extra_step_overhead_ns(flink_step_overhead_ns(cluster.machines))
+            .with_cost(cost),
         cluster,
     )
 }

@@ -29,10 +29,7 @@ fn probe_visit_count() {
         let nopipe = mitos_core::run_sim(
             &func,
             &fs,
-            EngineConfig {
-                pipelined: false,
-                ..Default::default()
-            },
+            EngineConfig::new().with_pipelining(false),
             cluster,
         )
         .unwrap();
@@ -41,11 +38,9 @@ fn probe_visit_count() {
         let flink = mitos_core::run_sim(
             &func,
             &fs,
-            EngineConfig {
-                pipelined: false,
-                extra_step_overhead_ns: 4_000_000,
-                ..Default::default()
-            },
+            EngineConfig::new()
+                .with_pipelining(false)
+                .with_extra_step_overhead_ns(4_000_000),
             cluster,
         )
         .unwrap();

@@ -6,8 +6,11 @@
 //!   state (validates that Fig. 8's effect comes from the mechanism);
 //! * garbage collection — peak inbox depth stays bounded as loops get
 //!   longer, demonstrating the input-bag GC of Sec. 5.2.4.
+//! * operator chain fusion — data-plane message counts and simulated time
+//!   with the physical planner's chain fusion on vs. off, across the
+//!   Fig. 5/6/7 workloads.
 
-use mitos_bench::{BenchReport, Table};
+use mitos_bench::{trivial_loop_program, visit_cost, BenchReport, Table};
 use mitos_core::rt::EngineConfig;
 use mitos_core::run_sim;
 use mitos_fs::InMemoryFs;
@@ -22,7 +25,76 @@ fn main() {
     hoisting_hits(&mut report);
     gc_bounded_state(&mut report);
     combiners(&mut report);
+    fusion(&mut report);
     report.write();
+}
+
+fn fusion(report: &mut BenchReport) {
+    println!("\n=== Ablation: operator chain fusion ===");
+    let days = 20;
+    let spec = VisitCountSpec {
+        days,
+        visits_per_day: 300,
+        pages: 2_000,
+        seed: 5,
+    };
+    // fig5: the plain Visit Count chain (readFile→map fuses per day);
+    // fig6: Visit Count with the pageTypes join (readFile→map plus the
+    // post-join filter→map fuse); fig7: the per-step-overhead loop, whose
+    // bodies are scalar/literal — a deliberate no-fusion control.
+    let fig5 = mitos_ir::compile_str(&visit_count_program(days, false)).unwrap();
+    let fig6 = mitos_ir::compile_str(&visit_count_program(days, true)).unwrap();
+    let fig7 = mitos_ir::compile_str(&trivial_loop_program(40)).unwrap();
+    let mut table = Table::new(&["workload", "fusion", "data msgs", "time (vms)"]);
+    for (key, func, visits, pages) in [
+        ("fig5", &fig5, true, false),
+        ("fig6", &fig6, true, true),
+        ("fig7", &fig7, false, false),
+    ] {
+        let mut messages = Vec::new();
+        let mut times = Vec::new();
+        for fusion in [true, false] {
+            let fs = InMemoryFs::new();
+            if visits {
+                generate_visit_logs(&fs, &spec);
+            }
+            if pages {
+                generate_page_types(&fs, 2_000, 4, 3);
+            }
+            let r = run_sim(
+                func,
+                &fs,
+                EngineConfig::new()
+                    .with_fusion(fusion)
+                    .with_cost(visit_cost()),
+                SimConfig::with_machines(4),
+            )
+            .unwrap();
+            table.row(vec![
+                key.to_string(),
+                fusion.to_string(),
+                r.data_messages.to_string(),
+                format!("{:.1}", r.sim.end_time as f64 / 1e6),
+            ]);
+            report.row(vec![
+                ("section", "fusion".into()),
+                ("workload", key.into()),
+                ("fusion", if fusion { "on" } else { "off" }.into()),
+                ("data_messages", r.data_messages.into()),
+                ("ms", (r.sim.end_time as f64 / 1e6).into()),
+            ]);
+            messages.push(r.data_messages as f64);
+            times.push(r.sim.end_time as f64);
+        }
+        // off/on: >1 means fusion removed messages / time.
+        report.factor(
+            &format!("fusion_message_reduction_{key}"),
+            messages[1] / messages[0],
+        );
+        report.factor(&format!("fusion_speedup_{key}"), times[1] / times[0]);
+    }
+    table.print();
+    println!("(fused chains exchange one bag where the unfused plan exchanged one per stage)");
 }
 
 fn decision_broadcast(report: &mut BenchReport) {
@@ -83,10 +155,7 @@ fn hoisting_hits(report: &mut BenchReport) {
         let r = run_sim(
             &func,
             &fs,
-            EngineConfig {
-                hoisting,
-                ..EngineConfig::default()
-            },
+            EngineConfig::new().with_hoisting(hoisting),
             SimConfig::with_machines(4),
         )
         .unwrap();

@@ -69,28 +69,16 @@ impl System {
     ) -> f64 {
         let ns = match self {
             System::Mitos => {
-                run_sim(
-                    func,
-                    fs,
-                    EngineConfig {
-                        cost,
-                        ..EngineConfig::default()
-                    },
-                    cluster,
-                )
-                .expect("mitos run")
-                .sim
-                .end_time
+                run_sim(func, fs, EngineConfig::new().with_cost(cost), cluster)
+                    .expect("mitos run")
+                    .sim
+                    .end_time
             }
             System::MitosNoPipelining => {
                 run_sim(
                     func,
                     fs,
-                    EngineConfig {
-                        pipelined: false,
-                        cost,
-                        ..EngineConfig::default()
-                    },
+                    EngineConfig::new().with_pipelining(false).with_cost(cost),
                     cluster,
                 )
                 .expect("mitos nopipe run")
@@ -101,11 +89,7 @@ impl System {
                 run_sim(
                     func,
                     fs,
-                    EngineConfig {
-                        hoisting: false,
-                        cost,
-                        ..EngineConfig::default()
-                    },
+                    EngineConfig::new().with_hoisting(false).with_cost(cost),
                     cluster,
                 )
                 .expect("mitos nohoist run")

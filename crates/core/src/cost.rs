@@ -64,6 +64,14 @@ impl CostModel {
         self.per_element_ns * n as u64 * self.record_weight
     }
 
+    /// Expression share of one stage of a fused operator chain over `n`
+    /// elements. The per-element traversal base is charged once per chain
+    /// pass (that is the compute side of fusion's win); each stage then
+    /// pays only for its own lambda.
+    pub fn fused_expr_cost(&self, nodes: usize, n: usize) -> u64 {
+        self.per_expr_node_ns * nodes as u64 * n as u64 * self.record_weight
+    }
+
     /// Hash-insert cost for `n` elements.
     pub fn insert_cost(&self, n: usize) -> u64 {
         self.per_insert_ns * n as u64 * self.record_weight

@@ -98,7 +98,7 @@ pub fn to_dot_annotated(
                     }
                 }
             }
-            let mut label = format!("{}\\n{}", node.name, node.kind.mnemonic());
+            let mut label = format!("{}\\n{}", node.name, node.kind.label());
             if let Some(m) = metrics.and_then(|m| m.ops.get(id as usize)) {
                 let _ = write!(
                     label,
@@ -227,18 +227,12 @@ mod tests {
             output(t, "t");
         "#;
         let func = mitos_ir::compile_str(src).unwrap();
-        let graph = LogicalGraph::build(&func).unwrap();
+        let cfg = EngineConfig::new().with_obs(ObsLevel::Metrics);
+        // The overlay must be laid over the graph the engine actually ran
+        // (post-fusion), so indices line up with the metrics registry.
+        let graph = crate::fuse::planned_graph(&func, &cfg).unwrap();
         let fs = InMemoryFs::new();
-        let r = crate::engine::run_sim(
-            &func,
-            &fs,
-            EngineConfig {
-                obs: ObsLevel::Metrics,
-                ..EngineConfig::default()
-            },
-            SimConfig::with_machines(2),
-        )
-        .unwrap();
+        let r = crate::engine::run_sim(&func, &fs, cfg, SimConfig::with_machines(2)).unwrap();
         let obs = r.obs.expect("metrics collected");
         let dot = to_dot_with_metrics(&graph, Some(&obs.metrics));
         assert!(dot.contains("bags="), "node overlay: {dot}");
@@ -267,18 +261,10 @@ mod tests {
             output(total, "t");
         "#;
         let func = mitos_ir::compile_str(src).unwrap();
-        let graph = LogicalGraph::build(&func).unwrap();
+        let cfg = EngineConfig::new().with_obs(ObsLevel::Trace);
+        let graph = crate::fuse::planned_graph(&func, &cfg).unwrap();
         let fs = InMemoryFs::new();
-        let r = crate::engine::run_sim(
-            &func,
-            &fs,
-            EngineConfig {
-                obs: ObsLevel::Trace,
-                ..EngineConfig::default()
-            },
-            SimConfig::with_machines(2),
-        )
-        .unwrap();
+        let r = crate::engine::run_sim(&func, &fs, cfg, SimConfig::with_machines(2)).unwrap();
         let obs = r.obs.expect("trace collected");
         let critical = critical_path(&obs, r.sim.end_time);
         assert!(!critical.steps.is_empty(), "critical path found");

@@ -21,8 +21,9 @@ pub struct OpStats {
     pub op: crate::graph::OpId,
     /// SSA variable name the operator defines.
     pub name: std::sync::Arc<str>,
-    /// Operator kind mnemonic.
-    pub kind: &'static str,
+    /// Operator kind label — the mnemonic, or joined stage mnemonics for a
+    /// fused chain (`map+filter+flatMap`).
+    pub kind: String,
     /// Physical instances.
     pub instances: u16,
     /// Total elements emitted across instances.
@@ -45,6 +46,10 @@ pub struct EngineResult {
     pub hoist_hits: u64,
     /// Control-flow decisions broadcast.
     pub decisions: u64,
+    /// Data-plane messages delivered (bag payloads and bag-completion
+    /// markers), excluding the control plane — the traffic operator chain
+    /// fusion removes.
+    pub data_messages: u64,
     /// Per-operator statistics.
     pub op_stats: Vec<OpStats>,
     /// Merged observability report ([`None`] when the run's
@@ -140,7 +145,8 @@ pub fn run_sim_live(
     cluster: SimConfig,
     on_snapshot: &mut dyn FnMut(&crate::obs::live::Snapshot),
 ) -> Result<EngineResult, RuntimeError> {
-    let graph = LogicalGraph::build(func).map_err(|e| RuntimeError::new(e.message))?;
+    let graph =
+        crate::fuse::planned_graph(func, &engine).map_err(|e| RuntimeError::new(e.message))?;
     let rules = PathRules::build(&graph);
     let telemetry = crate::obs::live::TelemetryHub::new(cluster.machines, graph.nodes.len());
     let shared = Arc::new(EngineShared {
@@ -196,6 +202,7 @@ pub fn run_sim_live(
     let path = world.workers[0].path().blocks().to_vec();
     let hoist_hits = world.workers.iter().map(Worker::hoist_hits).sum();
     let decisions = world.workers.iter().map(|w| w.decisions_broadcast).sum();
+    let data_messages = world.workers.iter().map(|w| w.data_messages).sum();
     let level = shared.config.obs;
     let obs_report = (level != ObsLevel::Off).then(|| {
         let mut report = obs::merge_bufs(level, world.workers.iter_mut().map(Worker::take_obs));
@@ -208,6 +215,7 @@ pub fn run_sim_live(
         sim: report,
         hoist_hits,
         decisions,
+        data_messages,
         op_stats,
         obs: obs_report,
         snapshots,
@@ -227,7 +235,7 @@ pub(crate) fn collect_op_stats(
         .map(|(op, node)| OpStats {
             op: op as crate::graph::OpId,
             name: node.name.clone(),
-            kind: node.kind.mnemonic(),
+            kind: node.kind.label(),
             instances: graph.instances(op as crate::graph::OpId, machines),
             emitted: 0,
             hoist_hits: 0,
@@ -510,6 +518,77 @@ mod tests {
         assert_eq!(hoisted.outputs, unhoisted.outputs);
         assert!(hoisted.hoist_hits >= 2, "{}", hoisted.hoist_hits);
         assert_eq!(unhoisted.hoist_hits, 0);
+    }
+
+    #[test]
+    fn fusion_off_is_equivalent_and_preserves_hoisting() {
+        let src = r#"
+            pageTypes = readFile("pageTypes");
+            total = 0;
+            day = 1;
+            do {
+                visits = readFile("pageVisitLog" + day);
+                joined = pageTypes join visits.map(v => (v, 1));
+                total = total + joined.count();
+                day = day + 1;
+            } while (day <= 3);
+            output(total, "total");
+        "#;
+        let setup = |fs: &InMemoryFs| {
+            fs.put(
+                "pageTypes",
+                (0..50)
+                    .map(|i| Value::tuple([Value::I64(i), Value::str("t")]))
+                    .collect(),
+            );
+            for d in 1..=3 {
+                fs.put(
+                    format!("pageVisitLog{d}"),
+                    (0..30).map(|i| Value::I64((i * d) % 50)).collect(),
+                );
+            }
+        };
+        let func = mitos_ir::compile_str(src).unwrap();
+        let fs1 = InMemoryFs::new();
+        setup(&fs1);
+        let fused = run_sim(&func, &fs1, EngineConfig::default(), cluster(3)).unwrap();
+        let fs2 = InMemoryFs::new();
+        setup(&fs2);
+        let unfused = run_sim(
+            &func,
+            &fs2,
+            EngineConfig::new().with_fusion(false),
+            cluster(3),
+        )
+        .unwrap();
+        assert_eq!(fused.outputs, unfused.outputs);
+        assert_eq!(fused.path, unfused.path);
+        assert_eq!(fs1.snapshot(), fs2.snapshot());
+        // Fusion must not defeat loop-invariant hoisting: the join's build
+        // side is the fused `readFile+map` chain's bag, unchanged per
+        // iteration.
+        assert_eq!(fused.hoist_hits, unfused.hoist_hits);
+        assert!(fused.hoist_hits >= 2, "{}", fused.hoist_hits);
+        // The chain actually fused, and eliminating its hop saves both
+        // messages and simulated time.
+        assert!(
+            fused.op_stats.iter().any(|s| s.kind.contains('+')),
+            "{:?}",
+            fused.op_stats
+        );
+        assert!(fused.op_stats.len() < unfused.op_stats.len());
+        assert!(
+            fused.sim.messages < unfused.sim.messages,
+            "messages: {} vs {}",
+            fused.sim.messages,
+            unfused.sim.messages
+        );
+        assert!(
+            fused.sim.end_time < unfused.sim.end_time,
+            "time: {} vs {}",
+            fused.sim.end_time,
+            unfused.sim.end_time
+        );
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Operator chain fusion in the physical planner.
+//!
+//! The planner of [`crate::graph`] wraps *every* SSA assignment in its own
+//! bag operator, so a `readFile → map → filter` chain pays per-edge
+//! `Data`/`BagDone` messages, per-host input-bag selection, and
+//! punctuation accounting at every hop. This pass collapses maximal linear
+//! chains of narrow per-element operators into a single fused
+//! [`NodeKind::Fused`] node whose host runs the composed kernel in one
+//! pass (Flink's operator chaining, applied to the Mitos coordination
+//! runtime).
+//!
+//! # Legality
+//!
+//! An edge `u → v` may be fused away iff **all** of:
+//!
+//! * `v` is a per-element operator: `map`, `flatMap`, `filter`, or a
+//!   pass-through `alias`/Φ with exactly one input;
+//! * the edge is one-to-one: [`Partitioning::Forward`], with both ends at
+//!   [`Parallelism::Full`] (same instance count, same placement);
+//! * producer and consumer share a basic block with the producer first —
+//!   the *immediate* rule of [`crate::path::EdgeRules`], which also makes
+//!   the edge non-conditional (no send/drop watcher ever runs on it);
+//! * the intermediate bag has no other consumer (`u`'s only out-edge is
+//!   this one), so no downstream operator — in particular no conditional
+//!   consumer and no loop-invariant hoisting site (a join build input or
+//!   cross collected input) — can select it;
+//! * neither end is a condition node (conditions are scalar and therefore
+//!   `Single`, so the parallelism check subsumes this).
+//!
+//! Conditional outputs (Sec. 5.2.4 of the paper) force chain breaks
+//! because a cross-block consumer needs the conditional-send watcher and
+//! its own bag identity; the same-block rule excludes them wholesale.
+//!
+//! The chain *head* may additionally be a `readFile` source: the fused
+//! host performs the partitioned read and pushes the elements through the
+//! per-element stages without materializing the raw bag.
+//!
+//! The fused node keeps the **tail**'s identity (variable, block,
+//! statement index), so downstream input selection, conditional-send
+//! rules, and Φ choices are unchanged; the head's external inputs and
+//! every stage's captured scalars are re-wired onto the fused node, which
+//! preserves their selection semantics because re-targeting an edge to a
+//! later statement of the same block keeps the producer-before-consumer
+//! predicate of [`crate::path::PathRules::select_input_len`] intact.
+
+use crate::graph::{
+    BuildError, EdgeId, FusedStage, LogicalEdge, LogicalGraph, LogicalNode, NodeKind, OpId,
+    Parallelism, Partitioning,
+};
+use crate::rt::EngineConfig;
+use mitos_ir::nir::FuncIr;
+
+/// Builds the logical graph for `func` and applies chain fusion when the
+/// configuration asks for it — the physical-planning entry point shared by
+/// the simulator driver, the thread driver, and the CLI.
+pub fn planned_graph(func: &FuncIr, config: &EngineConfig) -> Result<LogicalGraph, BuildError> {
+    let mut graph = LogicalGraph::build(func)?;
+    if config.fusion {
+        fuse_graph(&mut graph);
+    }
+    Ok(graph)
+}
+
+/// Whether a node can be *absorbed* into a chain (become a non-head
+/// stage).
+fn absorbable(n: &LogicalNode) -> bool {
+    if n.parallelism != Parallelism::Full || n.condition.is_some() {
+        return false;
+    }
+    match n.kind {
+        NodeKind::Map { .. } | NodeKind::FlatMap { .. } | NodeKind::Filter { .. } => true,
+        // Pass-through: single-input aliases and Φs forward elements
+        // unchanged. (Multi-input Φs select among producers at runtime and
+        // cannot be fused.)
+        NodeKind::Alias | NodeKind::Phi => n.inputs.len() == 1,
+        _ => false,
+    }
+}
+
+/// Whether a node can *lead* a chain. Φ is excluded: a Φ head would need
+/// the latest-occurrence input choice, which the fused (non-Φ) node does
+/// not perform.
+fn head_eligible(n: &LogicalNode) -> bool {
+    if n.parallelism != Parallelism::Full || n.condition.is_some() {
+        return false;
+    }
+    matches!(
+        n.kind,
+        NodeKind::ReadFile
+            | NodeKind::Map { .. }
+            | NodeKind::FlatMap { .. }
+            | NodeKind::Filter { .. }
+            | NodeKind::Alias
+    )
+}
+
+/// Collapses every maximal fusable chain of `graph` into a single
+/// [`NodeKind::Fused`] node and rebuilds the edge tables. Returns the
+/// number of chains fused.
+pub fn fuse_graph(graph: &mut LogicalGraph) -> usize {
+    let n = graph.nodes.len();
+    // Candidate links: next[u] = v when the single edge u → v can fuse.
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut has_prev = vec![false; n];
+    for (v, vn) in graph.nodes.iter().enumerate() {
+        if !absorbable(vn) {
+            continue;
+        }
+        let u = vn.inputs[0].src as usize;
+        let un = &graph.nodes[u];
+        if !(head_eligible(un) || absorbable(un)) {
+            continue;
+        }
+        if vn.inputs[0].partitioning != Partitioning::Forward {
+            continue;
+        }
+        if un.block != vn.block || un.stmt_idx >= vn.stmt_idx {
+            continue; // cross-block or loop-carried: needs its own bag
+        }
+        if graph.out_edges[u].len() != 1 {
+            continue; // the intermediate bag has another consumer
+        }
+        next[u] = Some(v);
+        has_prev[v] = true;
+    }
+
+    let mut removed = vec![false; n];
+    let mut fused_count = 0usize;
+    for h in 0..n {
+        if has_prev[h] || next[h].is_none() {
+            continue;
+        }
+        let mut chain = vec![h];
+        let mut cur = h;
+        while let Some(nx) = next[cur] {
+            chain.push(nx);
+            cur = nx;
+        }
+        // A node that can only be an interior stage (a pass-through Φ)
+        // must not lead: trim until the head is eligible.
+        while chain.len() >= 2 && !head_eligible(&graph.nodes[chain[0]]) {
+            chain.remove(0);
+        }
+        if chain.len() < 2 {
+            continue;
+        }
+        // Compose the fused node: the head's inputs (data-or-name first),
+        // then every later stage's captured scalars, in stage order.
+        let mut stages = Vec::with_capacity(chain.len());
+        let mut inputs = Vec::new();
+        for (ci, &m) in chain.iter().enumerate() {
+            let node = &graph.nodes[m];
+            if ci == 0 {
+                inputs.push(node.inputs[0]);
+            }
+            inputs.extend(node.inputs.iter().skip(1).copied());
+            stages.push(FusedStage {
+                kind: node.kind.clone(),
+                name: node.name.clone(),
+                captured: node.inputs.len() - 1,
+            });
+        }
+        let tail = *chain.last().expect("non-empty chain");
+        for &m in &chain[..chain.len() - 1] {
+            removed[m] = true;
+        }
+        let t = &mut graph.nodes[tail];
+        t.kind = NodeKind::Fused {
+            stages: stages.into(),
+        };
+        t.inputs = inputs;
+        fused_count += 1;
+    }
+
+    if fused_count == 0 {
+        return 0;
+    }
+
+    // Compact the node table and rebuild the derived edge tables.
+    let mut remap = vec![OpId::MAX; n];
+    let old_nodes = std::mem::take(&mut graph.nodes);
+    let mut nodes = Vec::with_capacity(old_nodes.len());
+    for (i, node) in old_nodes.into_iter().enumerate() {
+        if removed[i] {
+            continue;
+        }
+        remap[i] = nodes.len() as OpId;
+        nodes.push(node);
+    }
+    for node in &mut nodes {
+        for input in &mut node.inputs {
+            debug_assert_ne!(remap[input.src as usize], OpId::MAX, "dangling input");
+            input.src = remap[input.src as usize];
+        }
+    }
+    let mut edges = Vec::new();
+    let mut out_edges = vec![Vec::new(); nodes.len()];
+    for (dst, node) in nodes.iter().enumerate() {
+        for (dst_input, input) in node.inputs.iter().enumerate() {
+            let id = edges.len() as EdgeId;
+            edges.push(LogicalEdge {
+                src: input.src,
+                dst: dst as OpId,
+                dst_input,
+                partitioning: input.partitioning,
+            });
+            out_edges[input.src as usize].push(id);
+        }
+    }
+    graph.nodes = nodes;
+    graph.edges = edges;
+    graph.out_edges = out_edges;
+    fused_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitos_ir::compile_str;
+
+    fn fused(src: &str) -> (LogicalGraph, usize) {
+        let mut g = LogicalGraph::build(&compile_str(src).unwrap()).unwrap();
+        let chains = fuse_graph(&mut g);
+        check_invariants(&g);
+        (g, chains)
+    }
+
+    /// The derived edge tables must stay consistent with the node inputs.
+    fn check_invariants(g: &LogicalGraph) {
+        let mut count = 0;
+        for (dst, node) in g.nodes.iter().enumerate() {
+            for (dst_input, input) in node.inputs.iter().enumerate() {
+                let e = g
+                    .edges
+                    .iter()
+                    .position(|e| e.dst == dst as OpId && e.dst_input == dst_input)
+                    .unwrap_or_else(|| panic!("no edge into {}/{}", node.name, dst_input));
+                assert_eq!(g.edges[e].src, input.src);
+                assert_eq!(g.edges[e].partitioning, input.partitioning);
+                assert!(g.out_edges[input.src as usize].contains(&(e as EdgeId)));
+                count += 1;
+            }
+        }
+        assert_eq!(g.edges.len(), count);
+        assert_eq!(g.out_edges.len(), g.nodes.len());
+    }
+
+    fn fused_node(g: &LogicalGraph) -> &LogicalNode {
+        g.nodes
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::Fused { .. }))
+            .expect("a fused node")
+    }
+
+    #[test]
+    fn fuses_map_filter_flatmap_chain() {
+        let (g, chains) = fused(
+            "a = bag(1, 2, 3);
+             b = a.map(x => x + 1).filter(x => x > 1).flatMap(x => [x, x]);
+             output(b, \"b\");",
+        );
+        assert_eq!(chains, 1);
+        let node = fused_node(&g);
+        assert_eq!(node.kind.label(), "map+filter+flatMap");
+        assert_eq!(&*node.name, "b");
+        // a → fused → output: the two intermediate edges are gone.
+        assert_eq!(g.edges.len(), 2);
+    }
+
+    #[test]
+    fn readfile_heads_a_chain() {
+        let (g, chains) = fused(
+            "v = readFile(\"log\").map(x => (x, 1));
+             output(v, \"v\");",
+        );
+        assert_eq!(chains, 1);
+        let node = fused_node(&g);
+        assert_eq!(node.kind.label(), "readFile+map");
+        // Input 0 is the broadcast file name.
+        assert_eq!(node.inputs[0].partitioning, Partitioning::Broadcast);
+    }
+
+    #[test]
+    fn captured_scalars_rewire_onto_the_fused_node() {
+        let (g, chains) = fused(
+            "k = 3; m = 10;
+             a = bag(1, 2, 3);
+             b = a.map(x => x + k).filter(x => x < m);
+             output(b, \"b\");",
+        );
+        assert_eq!(chains, 1);
+        let node = fused_node(&g);
+        assert_eq!(node.kind.label(), "map+filter");
+        // data input + two captured scalars, laid out in stage order.
+        assert_eq!(node.inputs.len(), 3);
+        assert_eq!(node.inputs[1].partitioning, Partitioning::Broadcast);
+        assert_eq!(node.inputs[2].partitioning, Partitioning::Broadcast);
+        let NodeKind::Fused { stages } = &node.kind else {
+            unreachable!()
+        };
+        assert_eq!(stages[0].captured, 1);
+        assert_eq!(stages[1].captured, 1);
+        // `a = bag(..)` feeds the chain but is *not* part of it: literal
+        // bags are Single, so their data edge is Hash, not Forward.
+        assert_eq!(node.inputs[0].partitioning, Partitioning::Hash);
+        assert!(matches!(
+            g.nodes[node.inputs[0].src as usize].kind,
+            NodeKind::LiteralBag { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_consumer_intermediate_blocks_fusion() {
+        let (g, chains) = fused(
+            "a = bag(1, 2);
+             b = a.map(x => x + 1);
+             c = b.filter(x => x > 1);
+             d = b.map(x => x * 2);
+             output(c, \"c\"); output(d, \"d\");",
+        );
+        // `b` feeds both `c` and `d`: no chain may swallow it.
+        assert_eq!(chains, 0);
+        assert!(g
+            .nodes
+            .iter()
+            .all(|n| !matches!(n.kind, NodeKind::Fused { .. })));
+    }
+
+    #[test]
+    fn cross_block_edge_blocks_fusion() {
+        let (g, chains) = fused(
+            "a = bag(1, 2, 3).map(x => x + 1);
+             s = 0;
+             for i = 1 to 2 {
+                 s = s + a.filter(x => x > 1).count();
+             }
+             output(s, \"s\");",
+        );
+        // The map is defined before the loop; the filter runs inside the
+        // loop body. Their edge crosses blocks, so the filter keeps its own
+        // bag identity (it re-selects `a`'s bag on every iteration).
+        for n in &g.nodes {
+            if let NodeKind::Fused { stages } = &n.kind {
+                assert!(
+                    stages
+                        .iter()
+                        .all(|s| !matches!(s.kind, NodeKind::Filter { .. })),
+                    "the cross-block filter must not be fused"
+                );
+            }
+        }
+        // The bag(..).map(..) prologue itself is Hash-fed (literal bags are
+        // Single), so nothing fuses here at all.
+        assert_eq!(chains, 0);
+    }
+
+    #[test]
+    fn conditional_edge_blocks_fusion() {
+        let (g, chains) = fused(
+            "a = bag(1, 2, 3);
+             b = a.map(x => x + 1);
+             t = 0;
+             if (1 < 2) {
+                 t = b.filter(x => x > 1).count();
+             }
+             output(t, \"t\");",
+        );
+        // `b` is produced unconditionally but consumed inside a branch:
+        // the edge is non-immediate (conditional), so the producer needs
+        // its send/drop watcher and must not fuse with the consumer.
+        assert_eq!(chains, 0);
+        let _ = g;
+    }
+
+    #[test]
+    fn hoisted_invariant_input_is_not_swallowed() {
+        let (g, chains) = fused(
+            "inv = readFile(\"types\").map(t => (t, 1));
+             s = 0;
+             for i = 1 to 3 {
+                 v = readFile(\"log\" + i).map(x => (x, 1));
+                 j = inv join v;
+                 s = s + j.count();
+             }
+             output(s, \"s\");",
+        );
+        // Both readFile→map chains fuse, but the join keeps both inputs:
+        // the hoisted build side still selects the fused `inv` bag.
+        assert_eq!(chains, 2);
+        let join = g
+            .nodes
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::Join))
+            .expect("join survives");
+        assert_eq!(join.inputs.len(), 2);
+        for input in &join.inputs {
+            assert!(matches!(
+                g.nodes[input.src as usize].kind,
+                NodeKind::Fused { .. }
+            ));
+            assert_eq!(input.partitioning, Partitioning::Hash);
+        }
+    }
+
+    #[test]
+    fn planned_graph_respects_the_switch() {
+        let func = compile_str(
+            "v = readFile(\"log\").map(x => (x, 1));
+             output(v, \"v\");",
+        )
+        .unwrap();
+        let on = planned_graph(&func, &EngineConfig::default()).unwrap();
+        let off = planned_graph(&func, &EngineConfig::new().with_fusion(false)).unwrap();
+        assert!(on.nodes.len() < off.nodes.len());
+        assert!(off
+            .nodes
+            .iter()
+            .all(|n| !matches!(n.kind, NodeKind::Fused { .. })));
+    }
+
+    #[test]
+    fn condition_nodes_never_fuse() {
+        let (g, _) = fused(
+            "i = 0;
+             while (i < 3) { i = i + 1; }
+             output(i, \"i\");",
+        );
+        assert!(g.nodes.iter().any(|n| n.condition.is_some()));
+        for n in &g.nodes {
+            if n.condition.is_some() {
+                assert!(!matches!(n.kind, NodeKind::Fused { .. }));
+            }
+        }
+    }
+}

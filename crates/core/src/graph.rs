@@ -110,6 +110,29 @@ pub enum NodeKind {
     /// Φ-node: forwards exactly one input, chosen from the execution path.
     /// Inputs: one per SSA operand.
     Phi,
+    /// A fused chain of narrow per-element operators (see [`crate::fuse`]):
+    /// the host runs every stage's kernel in one pass over the elements,
+    /// with no intermediate bags or edges. Inputs: `[data-or-name,
+    /// captured..]` — the head stage's data (or file-name) input first,
+    /// then every stage's captured scalars in stage order.
+    Fused {
+        /// The stages, in execution order. Stage 0 may be a source
+        /// ([`NodeKind::ReadFile`]); all later stages are per-element.
+        stages: Arc<[FusedStage]>,
+    },
+}
+
+/// One member of a fused operator chain.
+#[derive(Clone, Debug)]
+pub struct FusedStage {
+    /// The original operator (`ReadFile`, `Map`, `FlatMap`, `Filter`, or a
+    /// pass-through `Alias`/`Phi`).
+    pub kind: NodeKind,
+    /// Display name of the original logical node (its SSA variable).
+    pub name: Arc<str>,
+    /// Number of captured scalar inputs this stage consumes. The fused
+    /// node's captured slots are laid out contiguously in stage order.
+    pub captured: usize,
 }
 
 impl NodeKind {
@@ -128,6 +151,9 @@ impl NodeKind {
             | NodeKind::OutputSink { .. } => 1,
             NodeKind::WriteFile | NodeKind::Join | NodeKind::Cross | NodeKind::Union => 2,
             NodeKind::Phi => usize::MAX, // all inputs are data
+            // Input 0 is the head's data (or file-name) input; the rest are
+            // the stages' captured scalars.
+            NodeKind::Fused { .. } => 1,
         }
     }
 
@@ -151,6 +177,20 @@ impl NodeKind {
             NodeKind::LiteralBag { .. } => "bagLit",
             NodeKind::Alias => "alias",
             NodeKind::Phi => "phi",
+            NodeKind::Fused { .. } => "fused",
+        }
+    }
+
+    /// Display label: the mnemonic, except for fused chains, which join
+    /// their stage mnemonics (`map+filter+flatMap`).
+    pub fn label(&self) -> String {
+        match self {
+            NodeKind::Fused { stages } => stages
+                .iter()
+                .map(|s| s.kind.mnemonic())
+                .collect::<Vec<_>>()
+                .join("+"),
+            other => other.mnemonic().to_string(),
         }
     }
 }

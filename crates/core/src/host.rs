@@ -129,6 +129,10 @@ struct Active {
     write_name: Option<String>,
     /// Whether a source-like operator (Singleton/LiteralBag) has emitted.
     sources_emitted: bool,
+    /// Elements read from disk by a read-headed fused chain, parked until
+    /// every captured-scalar gate of the later stages is satisfied (the
+    /// disk can finish before the scalars arrive).
+    read_elems: Option<Vec<Value>>,
 }
 
 /// A bag operator host: one physical instance of one logical operator.
@@ -329,7 +333,14 @@ impl Host {
                 count: elems.len() as u64,
             },
         );
-        self.emit_all(elems, out)?;
+        if matches!(self.kind, NodeKind::Fused { .. }) {
+            // A read-headed fused chain parks the raw elements until every
+            // later stage's captured-scalar gate is satisfied; they flow
+            // through the chain in `emit_sources`.
+            self.current.as_mut().expect("active").read_elems = Some(elems);
+        } else {
+            self.emit_all(elems, out)?;
+        }
         self.poke(path, out)
     }
 
@@ -623,6 +634,7 @@ impl Host {
             state,
             write_name: None,
             sources_emitted: false,
+            read_elems: None,
         });
 
         // Register the out-bag with per-edge send decisions.
@@ -715,56 +727,65 @@ impl Host {
             active.gates_left -= 1;
             return Ok(());
         }
-        match (&self.kind, input) {
-            (NodeKind::ReadFile, 0) => {
-                if count != 1 {
-                    return Err(RuntimeError::new(format!(
-                        "file name bag for `{}` holds {count} elements",
-                        self.name
-                    )));
-                }
-                let v = single.expect("one element");
-                let name = v
-                    .as_str()
-                    .ok_or_else(|| {
-                        RuntimeError::new(format!(
-                            "file name for `{}` must be a string, got {v:?}",
-                            self.name
-                        ))
-                    })?
-                    .to_string();
-                let (part, parts) = (self.inst as usize, self.n_inst as usize);
-                let elems = self
-                    .shared
-                    .fs
-                    .read_partition(&name, part, parts)
-                    .map_err(|e| RuntimeError::new(e.to_string()))?;
-                let bytes = self
-                    .shared
-                    .fs
-                    .partition_bytes(&name, part, parts)
-                    .unwrap_or(0);
-                // Disk I/O proceeds asynchronously: the CPU pays only a
-                // deserialization share now; the data arrives after the
-                // disk delay (loop pipelining overlaps this with compute
-                // from other iteration steps).
-                out.net.charge(cost.elem_cost(elems.len()) / 4);
-                let delay = cost.io_cost(bytes);
-                debug_assert!(self.pending_io.is_none(), "one read at a time");
-                self.pending_io = Some(elems);
-                let machine = self.machine;
-                out.obs.record(
-                    out.net,
-                    self.op,
-                    EventKind::IoStarted {
-                        bag_len: self.current.as_ref().expect("active").len,
-                        delay_ns: delay,
-                    },
-                );
-                out.net
-                    .schedule(delay, machine, Msg::IoDone { op: self.op });
-                return Ok(());
+        // The file-name gate of a plain readFile or a read-headed fused
+        // chain kicks off the asynchronous partition read; the gate is
+        // marked done when the simulated disk answers (`on_io_done`).
+        let read_gate = input == 0
+            && match &self.kind {
+                NodeKind::ReadFile => true,
+                NodeKind::Fused { stages } => matches!(stages[0].kind, NodeKind::ReadFile),
+                _ => false,
+            };
+        if read_gate {
+            if count != 1 {
+                return Err(RuntimeError::new(format!(
+                    "file name bag for `{}` holds {count} elements",
+                    self.name
+                )));
             }
+            let v = single.expect("one element");
+            let name = v
+                .as_str()
+                .ok_or_else(|| {
+                    RuntimeError::new(format!(
+                        "file name for `{}` must be a string, got {v:?}",
+                        self.name
+                    ))
+                })?
+                .to_string();
+            let (part, parts) = (self.inst as usize, self.n_inst as usize);
+            let elems = self
+                .shared
+                .fs
+                .read_partition(&name, part, parts)
+                .map_err(|e| RuntimeError::new(e.to_string()))?;
+            let bytes = self
+                .shared
+                .fs
+                .partition_bytes(&name, part, parts)
+                .unwrap_or(0);
+            // Disk I/O proceeds asynchronously: the CPU pays only a
+            // deserialization share now; the data arrives after the
+            // disk delay (loop pipelining overlaps this with compute
+            // from other iteration steps).
+            out.net.charge(cost.elem_cost(elems.len()) / 4);
+            let delay = cost.io_cost(bytes);
+            debug_assert!(self.pending_io.is_none(), "one read at a time");
+            self.pending_io = Some(elems);
+            let machine = self.machine;
+            out.obs.record(
+                out.net,
+                self.op,
+                EventKind::IoStarted {
+                    bag_len: self.current.as_ref().expect("active").len,
+                    delay_ns: delay,
+                },
+            );
+            out.net
+                .schedule(delay, machine, Msg::IoDone { op: self.op });
+            return Ok(());
+        }
+        match (&self.kind, input) {
             (NodeKind::WriteFile, 1) => {
                 if count != 1 {
                     return Err(RuntimeError::new(format!(
@@ -854,9 +875,109 @@ impl Host {
                 }
                 self.emit_all(vals, out)?;
             }
+            NodeKind::Fused { .. } => {
+                // Read-headed chain: the parked disk elements run through
+                // every stage in one pass, now that all gates are in.
+                if let Some(elems) = self.current.as_mut().expect("active").read_elems.take() {
+                    let outv = self.fused_transform(elems, out)?;
+                    self.emit_all(outv, out)?;
+                }
+            }
             _ => {}
         }
         Ok(())
+    }
+
+    /// Runs a batch of elements through every stage of a fused chain in one
+    /// pass. The per-element traversal base is charged once for the whole
+    /// chain (that is fusion's compute win); each stage then pays only for
+    /// its own lambda.
+    fn fused_transform(
+        &mut self,
+        mut elems: Vec<Value>,
+        out: &mut HostOut,
+    ) -> Result<Vec<Value>, RuntimeError> {
+        let NodeKind::Fused { stages } = self.kind.clone() else {
+            return Err(RuntimeError::new(
+                "fused_transform on non-fused".to_string(),
+            ));
+        };
+        let cost = self.shared.config.cost;
+        let captured = self.current.as_ref().expect("active").captured.clone();
+        out.net.charge(cost.elem_cost(elems.len()));
+        let mut cap_off = 0usize;
+        for stage in stages.iter() {
+            let caps = &captured[cap_off..cap_off + stage.captured];
+            cap_off += stage.captured;
+            if elems.is_empty() {
+                continue;
+            }
+            match &stage.kind {
+                // The source stage: its elements are already in `elems`.
+                NodeKind::ReadFile => {}
+                NodeKind::Map { expr } => {
+                    out.net
+                        .charge(cost.fused_expr_cost(expr.node_count(), elems.len()));
+                    let mut params = Vec::with_capacity(1 + caps.len());
+                    params.push(Value::Unit);
+                    params.extend(caps.iter().cloned());
+                    for v in elems.iter_mut() {
+                        params[0] = std::mem::replace(v, Value::Unit);
+                        *v = eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?;
+                    }
+                }
+                NodeKind::FlatMap { expr } => {
+                    out.net
+                        .charge(cost.fused_expr_cost(expr.node_count(), elems.len()));
+                    let mut params = Vec::with_capacity(1 + caps.len());
+                    params.push(Value::Unit);
+                    params.extend(caps.iter().cloned());
+                    let mut outv = Vec::new();
+                    for v in elems {
+                        params[0] = v;
+                        let r = eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?;
+                        match r.as_list() {
+                            Some(list) => outv.extend_from_slice(list),
+                            None => {
+                                return Err(RuntimeError::new(format!(
+                                    "flatMap lambda must return a list, got {r:?}"
+                                )))
+                            }
+                        }
+                    }
+                    elems = outv;
+                }
+                NodeKind::Filter { expr } => {
+                    out.net
+                        .charge(cost.fused_expr_cost(expr.node_count(), elems.len()));
+                    let mut params = Vec::with_capacity(1 + caps.len());
+                    params.push(Value::Unit);
+                    params.extend(caps.iter().cloned());
+                    let mut outv = Vec::with_capacity(elems.len());
+                    for v in elems {
+                        params[0] = v.clone();
+                        match eval(expr, &params).map_err(|e| RuntimeError::new(e.message))? {
+                            Value::Bool(true) => outv.push(v),
+                            Value::Bool(false) => {}
+                            other => {
+                                return Err(RuntimeError::new(format!(
+                                    "filter predicate returned non-bool {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    elems = outv;
+                }
+                NodeKind::Alias | NodeKind::Phi => {}
+                other => {
+                    return Err(RuntimeError::new(format!(
+                        "operator {} cannot be a fused stage",
+                        other.mnemonic()
+                    )))
+                }
+            }
+        }
+        Ok(elems)
     }
 
     /// Processes all unconsumed elements of a stream input.
@@ -988,6 +1109,12 @@ impl Host {
             NodeKind::Union | NodeKind::Alias | NodeKind::Phi => {
                 out.net.charge(cost.elem_cost(elems.len()));
                 self.emit_all(elems, out)?;
+            }
+            // A map-headed fused chain streams its data input through every
+            // stage in one pass.
+            NodeKind::Fused { .. } => {
+                let outv = self.fused_transform(elems, out)?;
+                self.emit_all(outv, out)?;
             }
             NodeKind::ReduceByKey { expr } | NodeKind::ReduceByKeyLocal { expr } => {
                 out.net
@@ -1553,6 +1680,16 @@ fn gating_flags(kind: &NodeKind, n_inputs: usize) -> Vec<bool> {
         }
         NodeKind::Singleton { .. } | NodeKind::LiteralBag { .. } => {
             for f in flags.iter_mut() {
+                *f = true;
+            }
+        }
+        // A read-headed chain gates on its file name like a plain readFile;
+        // captured scalars of every stage gate like a map's.
+        NodeKind::Fused { stages } => {
+            if matches!(stages[0].kind, NodeKind::ReadFile) {
+                flags[0] = true;
+            }
+            for f in flags.iter_mut().skip(1) {
                 *f = true;
             }
         }

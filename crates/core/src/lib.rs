@@ -21,6 +21,7 @@
 pub mod cost;
 pub mod dot;
 pub mod engine;
+pub mod fuse;
 pub mod graph;
 pub mod host;
 pub mod obs;
@@ -32,6 +33,7 @@ pub mod worker;
 pub use cost::CostModel;
 pub use dot::{to_dot, to_dot_annotated, to_dot_with_metrics};
 pub use engine::{extract_outputs, run_sim, run_sim_live, run_source_sim, EngineResult};
+pub use fuse::{fuse_graph, planned_graph};
 pub use graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
 pub use obs::{
     build_profile, critical_path, progress_line, watch_table, BagNode, CriticalPath, Event,

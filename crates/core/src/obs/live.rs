@@ -324,7 +324,7 @@ pub fn watch_table(s: &Snapshot, graph: &crate::graph::LogicalGraph) -> String {
             out,
             "{:<24} {:<10} {:>7} {:>7} {:>9} {:>12}",
             node.name,
-            node.kind.mnemonic(),
+            node.kind.label(),
             o.bags_started,
             o.bags_finished,
             o.inflight_bags(),

@@ -13,7 +13,12 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Engine feature switches and cost model.
+///
+/// The struct is `#[non_exhaustive]`: out-of-crate code constructs it with
+/// [`EngineConfig::new`] (or `default()`) and the chainable `with_*`
+/// setters, so adding a switch is not a breaking change.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Loop pipelining (Sec. 5.2): operators start an iteration's bags as
     /// soon as the path reaches their block. With `false`, a per-position
@@ -23,6 +28,11 @@ pub struct EngineConfig {
     /// Loop-invariant hoisting (Sec. 5.3): binary operators keep the state
     /// built for an input whose bag is unchanged between output bags.
     pub hoisting: bool,
+    /// Operator chain fusion in the physical planner (see
+    /// [`crate::fuse`]): maximal linear chains of narrow per-element
+    /// operators collapse into one fused node, eliminating the per-edge
+    /// data/punctuation traffic between them.
+    pub fusion: bool,
     /// Cost model for CPU/IO charging.
     pub cost: CostModel,
     /// Extra virtual ns charged by the barrier per released position —
@@ -62,6 +72,7 @@ impl Default for EngineConfig {
         EngineConfig {
             pipelined: true,
             hoisting: true,
+            fusion: true,
             cost: CostModel::default(),
             extra_step_overhead_ns: 0,
             max_path_len: 10_000_000,
@@ -70,6 +81,73 @@ impl Default for EngineConfig {
             stall_deadline_ns: 0,
             fault_withhold_decisions: false,
         }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration (all optimizations on, observability off).
+    pub fn new() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// Sets loop pipelining.
+    pub fn with_pipelining(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    /// Sets loop-invariant hoisting.
+    pub fn with_hoisting(mut self, on: bool) -> Self {
+        self.hoisting = on;
+        self
+    }
+
+    /// Sets operator chain fusion.
+    pub fn with_fusion(mut self, on: bool) -> Self {
+        self.fusion = on;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the per-superstep barrier overhead (Flink emulation).
+    pub fn with_extra_step_overhead_ns(mut self, ns: u64) -> Self {
+        self.extra_step_overhead_ns = ns;
+        self
+    }
+
+    /// Sets the runaway-loop path-length guard.
+    pub fn with_max_path_len(mut self, len: u32) -> Self {
+        self.max_path_len = len;
+        self
+    }
+
+    /// Sets the observability level.
+    pub fn with_obs(mut self, obs: ObsLevel) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Sets the live-telemetry sampling interval (0 = off).
+    pub fn with_sample_interval_ns(mut self, ns: u64) -> Self {
+        self.sample_interval_ns = ns;
+        self
+    }
+
+    /// Sets the stall watchdog deadline (0 = off).
+    pub fn with_stall_deadline_ns(mut self, ns: u64) -> Self {
+        self.stall_deadline_ns = ns;
+        self
+    }
+
+    /// Sets the decision-withholding fault injection (tests only).
+    pub fn with_fault_withhold_decisions(mut self, on: bool) -> Self {
+        self.fault_withhold_decisions = on;
+        self
     }
 }
 

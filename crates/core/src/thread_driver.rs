@@ -97,7 +97,7 @@ pub fn run_threads_live(
 ) -> Result<EngineResult, RuntimeError> {
     assert!(machines > 0);
     let graph =
-        crate::graph::LogicalGraph::build(func).map_err(|e| RuntimeError::new(e.message))?;
+        crate::fuse::planned_graph(func, &engine).map_err(|e| RuntimeError::new(e.message))?;
     let rules = crate::path::PathRules::build(&graph);
     let telemetry = crate::obs::live::TelemetryHub::new(machines, graph.nodes.len());
     let shared = Arc::new(EngineShared {
@@ -257,6 +257,7 @@ pub fn run_threads_live(
     let path = workers[0].path().blocks().to_vec();
     let hoist_hits = workers.iter().map(Worker::hoist_hits).sum();
     let decisions = workers.iter().map(|w| w.decisions_broadcast).sum();
+    let data_messages = workers.iter().map(|w| w.data_messages).sum();
     let level = shared.config.obs;
     let obs_report = (level != ObsLevel::Off).then(|| {
         let mut report = obs::merge_bufs(level, workers.iter_mut().map(Worker::take_obs));
@@ -276,6 +277,7 @@ pub fn run_threads_live(
         sim,
         hoist_hits,
         decisions,
+        data_messages,
         op_stats,
         obs: obs_report,
         snapshots,

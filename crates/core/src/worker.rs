@@ -41,6 +41,9 @@ pub struct Worker {
     pub error: Option<RuntimeError>,
     /// Count of control-flow decisions this worker broadcast.
     pub decisions_broadcast: u64,
+    /// Count of data-plane messages ([`Msg::Data`] / [`Msg::BagDone`])
+    /// this worker received — bag traffic, excluding the control plane.
+    pub data_messages: u64,
     /// Observability buffer (events + metrics); drained at join via
     /// [`Worker::take_obs`].
     obs: ObsBuf,
@@ -86,6 +89,7 @@ impl Worker {
             barrier,
             error: None,
             decisions_broadcast: 0,
+            data_messages: 0,
             obs,
         }
     }
@@ -136,6 +140,9 @@ impl Worker {
             self.shared
                 .telemetry
                 .elements_in(self.machine, elems.len() as u64);
+        }
+        if matches!(msg, Msg::Data { .. } | Msg::BagDone { .. }) {
+            self.data_messages += 1;
         }
         let result = self.dispatch(msg, net);
         if let Err(e) = result {

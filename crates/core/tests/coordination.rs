@@ -162,10 +162,7 @@ fn pipelined_and_barrier_paths_are_identical() {
         run_sim(
             &func,
             &fs,
-            EngineConfig {
-                pipelined,
-                ..EngineConfig::default()
-            },
+            EngineConfig::new().with_pipelining(pipelined),
             SimConfig::with_machines(3),
         )
         .unwrap()

@@ -43,10 +43,7 @@ fn run_sampled_sim(interval_ns: u64) -> (EngineResult, Vec<mitos_core::Snapshot>
     let func = mitos_ir::compile_str(LOOP_SRC).unwrap();
     let fs = loop_fs();
     let mut streamed = Vec::new();
-    let cfg = EngineConfig {
-        sample_interval_ns: interval_ns,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::new().with_sample_interval_ns(interval_ns);
     let r = run_sim_live(&func, &fs, cfg, SimConfig::with_machines(3), &mut |s| {
         streamed.push(s.clone())
     })
@@ -119,14 +116,14 @@ fn hub_counts_at_obs_off_without_recording_events() {
 #[test]
 fn withheld_decision_broadcast_trips_watchdog() {
     let func = mitos_ir::compile_str(LOOP_SRC).unwrap();
-    let graph = LogicalGraph::build(&func).unwrap();
     let fs = loop_fs();
     let deadline = 150_000_000; // 150ms wall clock
-    let cfg = EngineConfig {
-        stall_deadline_ns: deadline,
-        fault_withhold_decisions: true,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::new()
+        .with_stall_deadline_ns(deadline)
+        .with_fault_withhold_decisions(true);
+    // The stall report's operator ids refer to the graph the engine
+    // actually ran, i.e. the post-fusion plan.
+    let graph = mitos_core::planned_graph(&func, &cfg).unwrap();
     let started = Instant::now();
     let err = run_threads(&func, &fs, cfg, 2).expect_err("withheld decisions must stall the run");
     let elapsed = started.elapsed();
@@ -233,10 +230,7 @@ fn thread_driver_snapshots_progress_monotonically() {
     let fs = loop_fs();
     // interval = 1ns: the monitor samples on every 200µs wake-up, and it
     // always samples at least once before detecting quiescence.
-    let cfg = EngineConfig {
-        sample_interval_ns: 1,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::new().with_sample_interval_ns(1);
     let mut streamed = 0usize;
     let r = run_threads_live(&func, &fs, cfg, 3, &mut |_| streamed += 1).unwrap();
     assert!(!r.snapshots.is_empty(), "monitor samples before quiescing");
@@ -287,10 +281,7 @@ fn per_worker_event_timestamps_are_monotone_over_net_now_ns() {
     let shared = Arc::new(EngineShared {
         graph,
         rules,
-        config: EngineConfig {
-            obs: ObsLevel::Trace,
-            ..EngineConfig::default()
-        },
+        config: EngineConfig::new().with_obs(ObsLevel::Trace),
         fs: fs.clone(),
         machines,
         telemetry,

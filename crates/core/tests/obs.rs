@@ -34,10 +34,7 @@ fn run_sim_at(level: ObsLevel, machines: u16) -> EngineResult {
     run_sim(
         &func,
         &fs,
-        EngineConfig {
-            obs: level,
-            ..EngineConfig::default()
-        },
+        EngineConfig::new().with_obs(level),
         SimConfig::with_machines(machines),
     )
     .unwrap()
@@ -46,16 +43,7 @@ fn run_sim_at(level: ObsLevel, machines: u16) -> EngineResult {
 fn run_threads_at(level: ObsLevel, machines: u16) -> EngineResult {
     let func = mitos_ir::compile_str(PROGRAM).unwrap();
     let fs = InMemoryFs::new();
-    run_threads(
-        &func,
-        &fs,
-        EngineConfig {
-            obs: level,
-            ..EngineConfig::default()
-        },
-        machines,
-    )
-    .unwrap()
+    run_threads(&func, &fs, EngineConfig::new().with_obs(level), machines).unwrap()
 }
 
 /// Canonicalizes an event stream for cross-driver comparison: timestamps

@@ -295,10 +295,7 @@ fn traced_run(obs: ObsLevel) -> mitos_core::EngineResult {
     run_sim(
         &func,
         &fs,
-        EngineConfig {
-            obs,
-            ..EngineConfig::default()
-        },
+        EngineConfig::new().with_obs(obs),
         SimConfig::with_machines(3),
     )
     .unwrap()

@@ -37,12 +37,27 @@ impl Default for VisitCountSpec {
     }
 }
 
-/// Writes `pageVisitLog1..=days` files of uniformly random page ids.
+/// Encodes one raw visit-log entry: the page id in the upper bits, a
+/// 2-bit status flag in the lower. Flag [`INVALID_FLAG`] marks entries the
+/// Visit Count pipeline discards (bot traffic / malformed lines), so every
+/// consumer must run the decode → validate → project chain of
+/// [`visit_count_program`].
+pub fn encode_log_entry(page: u64, flag: u64) -> i64 {
+    (page * 4 + flag) as i64
+}
+
+/// The status flag marking a discarded raw log entry.
+pub const INVALID_FLAG: u64 = 3;
+
+/// Writes `pageVisitLog1..=days` files of raw-encoded visit entries over
+/// uniformly random page ids (see [`encode_log_entry`]; roughly a quarter
+/// carry [`INVALID_FLAG`] and are dropped by the pipeline's filter).
 pub fn generate_visit_logs(fs: &InMemoryFs, spec: &VisitCountSpec) {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     for day in 1..=spec.days {
         let visits: Vec<Value> = (0..spec.visits_per_day)
-            .map(|_| Value::I64(rng.gen_range(0..spec.pages) as i64))
+            .map(|_| encode_log_entry(rng.gen_range(0..spec.pages), rng.gen_range(0..4)))
+            .map(Value::I64)
             .collect();
         fs.put(format!("pageVisitLog{day}"), visits);
     }
@@ -69,7 +84,8 @@ pub fn generate_visit_logs_zipf(fs: &InMemoryFs, spec: &VisitCountSpec, s: f64) 
             .map(|_| {
                 let u = rng.gen_range(0.0..total);
                 let idx = cdf.partition_point(|&c| c < u);
-                Value::I64(idx.min(n - 1) as i64)
+                let flag = rng.gen_range(0..4);
+                Value::I64(encode_log_entry(idx.min(n - 1) as u64, flag))
             })
             .collect();
         fs.put(format!("pageVisitLog{day}"), visits);
@@ -91,6 +107,10 @@ pub fn generate_page_types(fs: &InMemoryFs, pages: u64, distinct_types: u32, see
 
 /// The Visit Count program of Sec. 2, parameterized by day count; set
 /// `with_page_types` to include the loop-invariant `pageTypes` join.
+/// Each day starts with the log-decoding chain (decode the raw entry,
+/// drop invalid rows, project the page id — see [`encode_log_entry`]),
+/// the narrow per-element pipeline that operator chain fusion collapses
+/// into a single host.
 pub fn visit_count_program(days: u32, with_page_types: bool) -> String {
     let filter = if with_page_types {
         concat!(
@@ -109,7 +129,7 @@ pub fn visit_count_program(days: u32, with_page_types: bool) -> String {
         r#"{prologue}yesterday = empty;
 day = 1;
 do {{
-    visits = readFile("pageVisitLog" + day);{filter}
+    visits = readFile("pageVisitLog" + day).map(r => (r / 4, r % 4)).filter(e => e[1] != 3).map(e => e[0]);{filter}
     counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b);
     if (day != 1) {{
         diffs = (counts join yesterday).map(t => abs(t[1] - t[2]));
@@ -212,8 +232,11 @@ mod tests {
             let log = fs.read(&format!("pageVisitLog{d}")).unwrap();
             assert_eq!(log.len(), 50);
             for v in log {
-                let p = v.as_i64().unwrap();
-                assert!((0..10).contains(&p));
+                // Raw-encoded entries: page id in the upper bits, status
+                // flag in the low two (see `encode_log_entry`).
+                let raw = v.as_i64().unwrap();
+                assert!((0..10).contains(&(raw / 4)));
+                assert!((0..4).contains(&(raw % 4)));
             }
         }
         assert!(!fs.exists("pageVisitLog4"));
@@ -285,7 +308,8 @@ mod tests {
         let log = fs.read("pageVisitLog1").unwrap();
         let mut counts = std::collections::HashMap::new();
         for v in &log {
-            *counts.entry(v.as_i64().unwrap()).or_insert(0usize) += 1;
+            // Skew is a property of the decoded page id, not the raw entry.
+            *counts.entry(v.as_i64().unwrap() / 4).or_insert(0usize) += 1;
         }
         let hottest = *counts.values().max().unwrap();
         // Page 0 should dominate: far above the uniform share of 50.

@@ -8,7 +8,7 @@
 
 use mitos::fs::InMemoryFs;
 use mitos::lang::Value;
-use mitos::{compile, run_compiled, Engine};
+use mitos::{compile, Engine, Run};
 
 fn main() {
     let program = r#"
@@ -48,7 +48,11 @@ fn main() {
     );
 
     let func = compile(program).expect("compiles");
-    let outcome = run_compiled(&func, &fs, Engine::Mitos, 3).expect("runs");
+    let outcome = Run::new(&func)
+        .engine(Engine::Mitos)
+        .machines(3)
+        .execute(&fs)
+        .expect("runs");
     let rounds = outcome.outputs["rounds"][0].as_i64().unwrap();
     let count = outcome.outputs["component_count"][0].as_i64().unwrap();
     println!("label propagation converged in {rounds} rounds");

@@ -9,7 +9,7 @@
 
 use mitos::fs::InMemoryFs;
 use mitos::workloads::generate_kmeans;
-use mitos::{compile, run_compiled, Engine};
+use mitos::{compile, Engine, Run};
 
 fn main() {
     let program = r#"
@@ -38,7 +38,11 @@ fn main() {
     let fs = InMemoryFs::new();
     generate_kmeans(&fs, 300, 4, 2, 7);
     let func = compile(program).expect("compiles");
-    let outcome = run_compiled(&func, &fs, Engine::Mitos, 4).expect("runs");
+    let outcome = Run::new(&func)
+        .engine(Engine::Mitos)
+        .machines(4)
+        .execute(&fs)
+        .expect("runs");
 
     let iters = outcome.outputs["iterations"][0].as_i64().unwrap();
     let shift = outcome.outputs["final_shift"][0].as_f64().unwrap();
@@ -59,7 +63,11 @@ fn main() {
     // Agreement with the reference interpreter.
     let ref_fs = InMemoryFs::new();
     generate_kmeans(&ref_fs, 300, 4, 2, 7);
-    let reference = run_compiled(&func, &ref_fs, Engine::Reference, 1).expect("ref");
+    let reference = Run::new(&func)
+        .engine(Engine::Reference)
+        .machines(1)
+        .execute(&ref_fs)
+        .expect("ref");
     // Float folds are partition-order dependent (as on real clusters):
     // compare the iteration count exactly and the shift approximately.
     assert_eq!(

@@ -1,0 +1,17 @@
+// Narrow per-element log pipeline — the shape the physical planner's
+// chain fusion (DESIGN.md Sec. 5) collapses into a single fused host:
+// decode the raw entry, drop invalid rows, project the page id. Compare
+// the plans and the per-operator report with fusion on and off:
+//
+//   seq 0 199 > /tmp/log.txt
+//   mitos explain examples/log_pipeline.mt --input log=/tmp/log.txt
+//   mitos run examples/log_pipeline.mt --input log=/tmp/log.txt --no-fuse
+//   mitos graph examples/log_pipeline.mt
+
+total = 0;
+for day = 1 to 3 {
+    pages = readFile("log").map(r => (r / 4, r % 4)).filter(e => e[1] != 3).map(e => e[0] + day);
+    counts = pages.map(p => (p % 10, 1)).reduceByKey((a, b) => a + b);
+    total = total + counts.map(c => c[1]).sum();
+}
+output(total, "total");

@@ -9,7 +9,7 @@
 use mitos::fs::InMemoryFs;
 use mitos::lang::Value;
 use mitos::workloads::{generate_graph, GraphSpec};
-use mitos::{compile, run_compiled, Engine};
+use mitos::{compile, Engine, Run};
 
 fn main() {
     let program = r#"
@@ -40,7 +40,11 @@ fn main() {
     );
     let func = compile(program).expect("compiles");
 
-    let outcome = run_compiled(&func, &fs, Engine::Mitos, 4).expect("runs");
+    let outcome = Run::new(&func)
+        .engine(Engine::Mitos)
+        .machines(4)
+        .execute(&fs)
+        .expect("runs");
     let ranks = fs.read("pageranks").expect("written");
     let mut top: Vec<(f64, i64)> = ranks
         .iter()
@@ -74,7 +78,11 @@ fn main() {
             seed: 99,
         },
     );
-    let reference = run_compiled(&func, &ref_fs, Engine::Reference, 1).expect("ref");
+    let reference = Run::new(&func)
+        .engine(Engine::Reference)
+        .machines(1)
+        .execute(&ref_fs)
+        .expect("ref");
     // Floating-point sums fold in partition order on the cluster and in
     // sequential order in the interpreter (as on real Spark/Flink), so the
     // comparison is approximate.

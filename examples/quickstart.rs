@@ -7,7 +7,7 @@
 
 use mitos::fs::InMemoryFs;
 use mitos::lang::Value;
-use mitos::{compile, run_compiled, Engine};
+use mitos::{compile, Engine, Run};
 
 fn main() {
     // An imperative program: an ordinary loop with an if statement, over
@@ -43,7 +43,11 @@ fn main() {
     println!("{}", mitos::ir::pretty(&func));
 
     // Run as ONE dataflow job on a simulated 4-machine cluster.
-    let outcome = run_compiled(&func, &fs, Engine::Mitos, 4).expect("runs");
+    let outcome = Run::new(&func)
+        .engine(Engine::Mitos)
+        .machines(4)
+        .execute(&fs)
+        .expect("runs");
     println!("=== Results ===");
     for (tag, values) in &outcome.outputs {
         println!("{tag}: {values:?}");
@@ -56,7 +60,11 @@ fn main() {
     );
 
     // The reference interpreter agrees:
-    let reference = run_compiled(&func, &fs, Engine::Reference, 1).expect("reference");
+    let reference = Run::new(&func)
+        .engine(Engine::Reference)
+        .machines(1)
+        .execute(&fs)
+        .expect("reference");
     assert_eq!(outcome.outputs, reference.outputs);
     println!("reference interpreter agrees ✓");
 }

@@ -13,7 +13,7 @@
 
 use mitos::fs::InMemoryFs;
 use mitos::lang::Value;
-use mitos::{compile, run_compiled, Engine};
+use mitos::{compile, Engine, Run};
 
 fn main() {
     let program = r#"
@@ -61,7 +61,11 @@ fn main() {
     fs.put("seeds", vec![pair(0, 0), pair(1, 10), pair(2, 20)]);
 
     let func = compile(program).expect("compiles");
-    let outcome = run_compiled(&func, &fs, Engine::Mitos, 3).expect("runs");
+    let outcome = Run::new(&func)
+        .engine(Engine::Mitos)
+        .machines(3)
+        .execute(&fs)
+        .expect("runs");
     println!(
         "processed {} seeds in {:.2} virtual ms",
         outcome.outputs["seeds_processed"][0],
@@ -87,7 +91,11 @@ fn main() {
     let ref_fs = InMemoryFs::new();
     ref_fs.put("edges", fs.read("edges").unwrap());
     ref_fs.put("seeds", fs.read("seeds").unwrap());
-    let reference = run_compiled(&func, &ref_fs, Engine::Reference, 1).expect("ref");
+    let reference = Run::new(&func)
+        .engine(Engine::Reference)
+        .machines(1)
+        .execute(&ref_fs)
+        .expect("ref");
     assert_eq!(outcome.outputs, reference.outputs);
     assert_eq!(fs.snapshot(), ref_fs.snapshot());
     println!("reference interpreter agrees ✓");

@@ -8,7 +8,7 @@
 
 use mitos::fs::InMemoryFs;
 use mitos::workloads::{generate_visit_logs, visit_count_program, VisitCountSpec};
-use mitos::{compile, run_compiled, Engine};
+use mitos::{compile, Engine, Run};
 
 fn main() {
     let days = 15;
@@ -37,7 +37,11 @@ fn main() {
     ] {
         let fs = InMemoryFs::new();
         generate_visit_logs(&fs, &spec);
-        let outcome = run_compiled(&func, &fs, engine, machines).expect("runs");
+        let outcome = Run::new(&func)
+            .engine(engine)
+            .machines(machines)
+            .execute(&fs)
+            .expect("runs");
         if engine == Engine::Mitos {
             mitos_ms = outcome.millis();
         }

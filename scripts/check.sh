@@ -48,4 +48,36 @@ cargo test -q --offline -p mitos-core --test live \
     exit 1
 }
 
+# Operator chain fusion: fused and unfused plans must produce identical
+# outputs on the same program and inputs (CLI-level equivalence smoke);
+# the planner-level guarantees live in the fusion unit/property tests.
+fusion_log="$(mktemp)"
+seq 0 199 > "$fusion_log"
+fused_out="$(./target/release/mitos run examples/log_pipeline.mt \
+    --machines 3 --input log="$fusion_log")"
+unfused_out="$(./target/release/mitos run examples/log_pipeline.mt \
+    --machines 3 --input log="$fusion_log" --no-fuse)"
+rm -f "$fusion_log"
+[ "$fused_out" = "$unfused_out" ] || {
+    echo "check.sh: fusion on/off outputs differ on log_pipeline.mt" >&2
+    exit 1
+}
+fusion_log="$(mktemp)"
+seq 0 199 > "$fusion_log"
+./target/release/mitos explain examples/log_pipeline.mt \
+    --machines 3 --input log="$fusion_log" | grep -q "map+filter" || {
+    echo "check.sh: explain does not show a fused chain on log_pipeline.mt" >&2
+    exit 1
+}
+rm -f "$fusion_log"
+
+# The fusion ablation (message-count and simulated-time reduction on the
+# fig5/fig6/fig7 workloads) must run end to end. (Captured to a variable:
+# grep -q would close the pipe early and pipefail would flag the SIGPIPE.)
+ablations_out="$(cargo bench -q --offline -p mitos-bench --bench ablations 2>/dev/null)"
+echo "$ablations_out" | grep -q "Ablation: operator chain fusion" || {
+    echo "check.sh: fusion ablation section missing from bench output" >&2
+    exit 1
+}
+
 echo "check.sh: all green"

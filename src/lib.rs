@@ -32,6 +32,24 @@
 //! assert_eq!(outcome.outputs["total"], vec![Value::I64(330)]);
 //! ```
 //!
+//! Fine-grained control — engine choice, cluster shape, observability,
+//! live telemetry, and engine tuning such as disabling operator chain
+//! fusion — goes through the [`Run`] builder:
+//!
+//! ```
+//! # use mitos::fs::InMemoryFs;
+//! use mitos::{compile, Engine, EngineConfig, ObsLevel, Run};
+//! # let fs = InMemoryFs::new();
+//! let func = compile(r#"output(bag(1, 2).map(x => x + 1).sum(), "s");"#).unwrap();
+//! let outcome = Run::new(&func)
+//!     .engine(Engine::Mitos)
+//!     .machines(2)
+//!     .obs(ObsLevel::Metrics)
+//!     .config(EngineConfig::new().with_fusion(false))
+//!     .execute(&fs)
+//!     .unwrap();
+//! ```
+//!
 //! The crates behind this facade:
 //!
 //! * [`lang`] — values, expressions, the surface language parser;
@@ -54,7 +72,7 @@ pub use mitos_lang as lang;
 pub use mitos_sim as sim;
 pub use mitos_workloads as workloads;
 
-use mitos_core::rt::EngineConfig;
+pub use mitos_core::rt::EngineConfig;
 pub use mitos_core::{ObsLevel, ObsReport, Snapshot, StallReport};
 use mitos_fs::InMemoryFs;
 use mitos_ir::{BlockId, FuncIr};
@@ -119,11 +137,11 @@ pub struct Outcome {
     pub decisions: u64,
     /// Structured observability report — populated by the Mitos engines
     /// when the run was requested with [`ObsLevel::Metrics`] or
-    /// [`ObsLevel::Trace`] (see [`run_compiled_obs`]); `None` otherwise.
+    /// [`ObsLevel::Trace`] (see [`Run::obs`]); `None` otherwise.
     pub obs: Option<ObsReport>,
     /// Periodic live-telemetry snapshots — populated by the Mitos engines
     /// when the run was requested with a non-zero
-    /// [`LiveOptions::sample_interval_ns`] (see [`run_compiled_live`]);
+    /// [`LiveOptions::sample_interval_ns`] (see [`Run::live`]);
     /// empty otherwise. Deterministic (virtual-time sampled) under the
     /// simulated engines, wall-clock sampled under
     /// [`Engine::MitosThreads`].
@@ -224,52 +242,7 @@ pub fn compile(src: &str) -> Result<FuncIr, Error> {
     Ok(mitos_ir::compile_str(src)?)
 }
 
-/// Runs a compiled program on the chosen engine over a simulated cluster of
-/// `machines` machines. File effects land in `fs`.
-pub fn run_compiled(
-    func: &FuncIr,
-    fs: &InMemoryFs,
-    engine: Engine,
-    machines: u16,
-) -> Result<Outcome, Error> {
-    run_compiled_on(func, fs, engine, SimConfig::with_machines(machines))
-}
-
-/// Like [`run_compiled`], with full control over the cluster parameters.
-pub fn run_compiled_on(
-    func: &FuncIr,
-    fs: &InMemoryFs,
-    engine: Engine,
-    cluster: SimConfig,
-) -> Result<Outcome, Error> {
-    run_compiled_obs(func, fs, engine, cluster, ObsLevel::Off)
-}
-
-/// Like [`run_compiled_on`], additionally collecting structured
-/// observability data at the requested [`ObsLevel`] (Mitos engines only —
-/// the baselines and the reference interpreter ignore `obs` and return
-/// `Outcome::obs = None`). At [`ObsLevel::Off`] this is identical to
-/// [`run_compiled_on`]; recording never charges virtual time, so simulated
-/// results are bit-identical at every level.
-pub fn run_compiled_obs(
-    func: &FuncIr,
-    fs: &InMemoryFs,
-    engine: Engine,
-    cluster: SimConfig,
-    obs: ObsLevel,
-) -> Result<Outcome, Error> {
-    run_compiled_live(
-        func,
-        fs,
-        engine,
-        cluster,
-        obs,
-        LiveOptions::default(),
-        &mut |_| {},
-    )
-}
-
-/// Live-execution options for [`run_compiled_live`]: telemetry sampling
+/// Live-execution options for [`Run::live`]: telemetry sampling
 /// and the stall watchdog. The all-zero [`Default`] means "no sampling, no
 /// watchdog" and is accepted by every engine.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -291,137 +264,260 @@ pub struct LiveOptions {
     pub fault_withhold_decisions: bool,
 }
 
-/// Like [`run_compiled_obs`], additionally streaming live telemetry: when
-/// [`LiveOptions::sample_interval_ns`] is non-zero, `on_snapshot` is
-/// invoked per periodic [`Snapshot`] while the job runs (and the snapshots
-/// are collected into [`Outcome::snapshots`]); when
-/// [`LiveOptions::deadline_ns`] is non-zero, the stall watchdog arms.
-/// Live telemetry exists only on the Mitos engines: any non-default
-/// `live` option on a baseline or the reference interpreter is an error.
-pub fn run_compiled_live(
-    func: &FuncIr,
-    fs: &InMemoryFs,
+/// A single execution of a compiled program, configured fluently: engine,
+/// cluster size, observability level, live telemetry, and engine tuning
+/// ([`EngineConfig`] — pipelining, hoisting, operator chain fusion, cost
+/// model) all hang off one builder, and [`Run::execute`] produces the
+/// unified [`Outcome`].
+///
+/// ```
+/// use mitos::{compile, Engine, EngineConfig, Run};
+/// use mitos::fs::InMemoryFs;
+/// use mitos::lang::Value;
+///
+/// let func = compile(r#"s = bag(1, 2, 3).map(x => x * 2); output(s.sum(), "s");"#).unwrap();
+/// let fs = InMemoryFs::new();
+/// let outcome = Run::new(&func)
+///     .engine(Engine::Mitos)
+///     .machines(2)
+///     .config(EngineConfig::new().with_fusion(false)) // e.g. ablate chain fusion
+///     .execute(&fs)
+///     .unwrap();
+/// assert_eq!(outcome.outputs["s"], vec![Value::I64(12)]);
+/// ```
+///
+/// Defaults: [`Engine::Mitos`], 4 machines, [`ObsLevel::Off`], no live
+/// telemetry, [`EngineConfig::default`] (pipelining, hoisting and fusion
+/// all on).
+pub struct Run<'a> {
+    func: &'a FuncIr,
     engine: Engine,
     cluster: SimConfig,
-    obs: ObsLevel,
-    live: LiveOptions,
-    on_snapshot: &mut dyn FnMut(&Snapshot),
-) -> Result<Outcome, Error> {
-    let mitos_config = |pipelined: bool, hoisting: bool| EngineConfig {
-        pipelined,
-        hoisting,
-        obs,
-        sample_interval_ns: live.sample_interval_ns,
-        stall_deadline_ns: live.deadline_ns,
-        fault_withhold_decisions: live.fault_withhold_decisions,
-        ..EngineConfig::default()
-    };
-    if live != LiveOptions::default()
-        && !matches!(
-            engine,
-            Engine::Mitos
-                | Engine::MitosNoPipelining
-                | Engine::MitosNoHoisting
-                | Engine::MitosThreads
-        )
-    {
-        return Err(Error {
-            message: format!(
-                "live telemetry (sampling / stall watchdog) requires a Mitos engine \
-                 (mitos|mitos-nopipe|mitos-nohoist|threads), not `{engine}`"
-            ),
-            stall: None,
-        });
+    obs: Option<ObsLevel>,
+    live: Option<LiveOptions>,
+    config: EngineConfig,
+    on_snapshot: Option<&'a mut dyn FnMut(&Snapshot)>,
+}
+
+impl<'a> Run<'a> {
+    /// Starts a run of `func` with the default configuration.
+    pub fn new(func: &'a FuncIr) -> Self {
+        Run {
+            func,
+            engine: Engine::Mitos,
+            cluster: SimConfig::with_machines(4),
+            obs: None,
+            live: None,
+            config: EngineConfig::default(),
+            on_snapshot: None,
+        }
     }
-    match engine {
-        Engine::Mitos | Engine::MitosNoPipelining | Engine::MitosNoHoisting => {
-            let config = mitos_config(
-                engine != Engine::MitosNoPipelining,
-                engine != Engine::MitosNoHoisting,
-            );
-            let r = mitos_core::run_sim_live(func, fs, config, cluster, on_snapshot)?;
-            Ok(Outcome {
-                outputs: r.outputs,
-                path: r.path,
-                virtual_ns: r.sim.end_time,
-                op_stats: r.op_stats,
-                decisions: r.decisions,
-                obs: r.obs,
-                snapshots: r.snapshots,
-            })
+
+    /// Selects the executing engine (default [`Engine::Mitos`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the simulated cluster size (default 4 machines).
+    pub fn machines(mut self, machines: u16) -> Self {
+        self.cluster = SimConfig::with_machines(machines);
+        self
+    }
+
+    /// Full control over the cluster parameters (overrides
+    /// [`Run::machines`]).
+    pub fn cluster(mut self, cluster: SimConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Collects structured observability data at the requested
+    /// [`ObsLevel`] (Mitos engines only — the baselines and the reference
+    /// interpreter ignore this and return `Outcome::obs = None`).
+    /// Recording never charges virtual time, so simulated results are
+    /// bit-identical at every level.
+    pub fn obs(mut self, obs: ObsLevel) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Streams live telemetry: with a non-zero
+    /// [`LiveOptions::sample_interval_ns`] periodic [`Snapshot`]s are
+    /// collected into [`Outcome::snapshots`] (and fed to
+    /// [`Run::on_snapshot`], if set); with a non-zero
+    /// [`LiveOptions::deadline_ns`] the stall watchdog arms. Live
+    /// telemetry exists only on the Mitos engines: any non-default option
+    /// on a baseline or the reference interpreter makes [`Run::execute`]
+    /// fail.
+    pub fn live(mut self, live: LiveOptions) -> Self {
+        self.live = Some(live);
+        self
+    }
+
+    /// Invokes `f` on each periodic [`Snapshot`] while the job runs
+    /// (requires a sampling interval via [`Run::live`]).
+    pub fn on_snapshot(mut self, f: &'a mut dyn FnMut(&Snapshot)) -> Self {
+        self.on_snapshot = Some(f);
+        self
+    }
+
+    /// Supplies the base [`EngineConfig`] (cost model, pipelining,
+    /// hoisting, operator chain fusion, …). Settings made through the
+    /// other builder methods — [`Run::obs`], [`Run::live`] — and the
+    /// ablation engines ([`Engine::MitosNoPipelining`],
+    /// [`Engine::MitosNoHoisting`]) are applied on top of it.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the program. File effects land in `fs`.
+    pub fn execute(self, fs: &InMemoryFs) -> Result<Outcome, Error> {
+        let Run {
+            func,
+            engine,
+            cluster,
+            obs,
+            live,
+            config,
+            on_snapshot,
+        } = self;
+        // The effective live options: the builder's, or whatever the base
+        // config already carries.
+        let live = live.unwrap_or(LiveOptions {
+            sample_interval_ns: config.sample_interval_ns,
+            deadline_ns: config.stall_deadline_ns,
+            fault_withhold_decisions: config.fault_withhold_decisions,
+        });
+        if live != LiveOptions::default()
+            && !matches!(
+                engine,
+                Engine::Mitos
+                    | Engine::MitosNoPipelining
+                    | Engine::MitosNoHoisting
+                    | Engine::MitosThreads
+            )
+        {
+            return Err(Error {
+                message: format!(
+                    "live telemetry (sampling / stall watchdog) requires a Mitos engine \
+                     (mitos|mitos-nopipe|mitos-nohoist|threads), not `{engine}`"
+                ),
+                stall: None,
+            });
         }
-        Engine::FlinkNative => {
-            let r = mitos_baselines::run_flink_native(func, fs, cluster)?;
-            Ok(Outcome {
-                outputs: r.outputs,
-                path: r.path,
-                virtual_ns: r.sim.end_time,
-                op_stats: r.op_stats,
-                decisions: 0,
-                obs: None,
-                snapshots: Vec::new(),
-            })
-        }
-        Engine::FlinkSeparateJobs => {
-            let r = mitos_baselines::run_flink_separate_jobs(func, fs, cluster)?;
-            Ok(Outcome {
-                outputs: r.outputs,
-                path: r.path,
-                virtual_ns: r.sim.end_time,
-                op_stats: Vec::new(),
-                decisions: 0,
-                obs: None,
-                snapshots: Vec::new(),
-            })
-        }
-        Engine::Spark => {
-            let r = mitos_baselines::run_driver_loop(
-                func,
-                fs,
-                mitos_baselines::DriverConfig::default(),
-                cluster,
-            )?;
-            Ok(Outcome {
-                outputs: r.outputs,
-                path: r.path,
-                virtual_ns: r.sim.end_time,
-                op_stats: Vec::new(),
-                decisions: 0,
-                obs: None,
-                snapshots: Vec::new(),
-            })
-        }
-        Engine::MitosThreads => {
-            let config = mitos_config(true, true);
-            let r = mitos_core::run_threads_live(func, fs, config, cluster.machines, on_snapshot)?;
-            Ok(Outcome {
-                outputs: r.outputs,
-                path: r.path,
-                // Wall-clock ns, measured by the driver's single epoch.
-                virtual_ns: r.sim.end_time,
-                op_stats: r.op_stats,
-                decisions: r.decisions,
-                obs: r.obs,
-                snapshots: r.snapshots,
-            })
-        }
-        Engine::Reference => {
-            let r =
-                mitos_ir::interpret(func, fs, mitos_ir::InterpConfig::default()).map_err(|e| {
-                    Error {
+        let mut noop = |_: &Snapshot| {};
+        let on_snapshot = on_snapshot.unwrap_or(&mut noop);
+        let mitos_config = || {
+            let mut cfg = config
+                .clone()
+                .with_sample_interval_ns(live.sample_interval_ns)
+                .with_stall_deadline_ns(live.deadline_ns)
+                .with_fault_withhold_decisions(live.fault_withhold_decisions);
+            if let Some(obs) = obs {
+                cfg = cfg.with_obs(obs);
+            }
+            // The ablation engines force their switch off; plain Mitos
+            // respects the base config.
+            if engine == Engine::MitosNoPipelining {
+                cfg = cfg.with_pipelining(false);
+            }
+            if engine == Engine::MitosNoHoisting {
+                cfg = cfg.with_hoisting(false);
+            }
+            cfg
+        };
+        match engine {
+            Engine::Mitos | Engine::MitosNoPipelining | Engine::MitosNoHoisting => {
+                let r = mitos_core::run_sim_live(func, fs, mitos_config(), cluster, on_snapshot)?;
+                Ok(Outcome {
+                    outputs: r.outputs,
+                    path: r.path,
+                    virtual_ns: r.sim.end_time,
+                    op_stats: r.op_stats,
+                    decisions: r.decisions,
+                    obs: r.obs,
+                    snapshots: r.snapshots,
+                })
+            }
+            Engine::FlinkNative => {
+                let r = mitos_baselines::run_flink_native(func, fs, cluster)?;
+                Ok(Outcome {
+                    outputs: r.outputs,
+                    path: r.path,
+                    virtual_ns: r.sim.end_time,
+                    op_stats: r.op_stats,
+                    decisions: 0,
+                    obs: None,
+                    snapshots: Vec::new(),
+                })
+            }
+            Engine::FlinkSeparateJobs => {
+                let r = mitos_baselines::run_flink_separate_jobs(func, fs, cluster)?;
+                Ok(Outcome {
+                    outputs: r.outputs,
+                    path: r.path,
+                    virtual_ns: r.sim.end_time,
+                    op_stats: Vec::new(),
+                    decisions: 0,
+                    obs: None,
+                    snapshots: Vec::new(),
+                })
+            }
+            Engine::Spark => {
+                let r = mitos_baselines::run_driver_loop(
+                    func,
+                    fs,
+                    mitos_baselines::DriverConfig::default(),
+                    cluster,
+                )?;
+                Ok(Outcome {
+                    outputs: r.outputs,
+                    path: r.path,
+                    virtual_ns: r.sim.end_time,
+                    op_stats: Vec::new(),
+                    decisions: 0,
+                    obs: None,
+                    snapshots: Vec::new(),
+                })
+            }
+            Engine::MitosThreads => {
+                let r = mitos_core::run_threads_live(
+                    func,
+                    fs,
+                    mitos_config(),
+                    cluster.machines,
+                    on_snapshot,
+                )?;
+                Ok(Outcome {
+                    outputs: r.outputs,
+                    path: r.path,
+                    // Wall-clock ns, measured by the driver's single epoch.
+                    virtual_ns: r.sim.end_time,
+                    op_stats: r.op_stats,
+                    decisions: r.decisions,
+                    obs: r.obs,
+                    snapshots: r.snapshots,
+                })
+            }
+            Engine::Reference => {
+                let r = mitos_ir::interpret(func, fs, mitos_ir::InterpConfig::default()).map_err(
+                    |e| Error {
                         message: e.message,
                         stall: None,
-                    }
-                })?;
-            Ok(Outcome {
-                outputs: r.canonical_outputs(),
-                path: r.path,
-                virtual_ns: 0,
-                op_stats: Vec::new(),
-                decisions: 0,
-                obs: None,
-                snapshots: Vec::new(),
-            })
+                    },
+                )?;
+                Ok(Outcome {
+                    outputs: r.canonical_outputs(),
+                    path: r.path,
+                    virtual_ns: 0,
+                    op_stats: Vec::new(),
+                    decisions: 0,
+                    obs: None,
+                    snapshots: Vec::new(),
+                })
+            }
         }
     }
 }
@@ -429,5 +525,8 @@ pub fn run_compiled_live(
 /// Compiles and runs source text (the one-call entry point).
 pub fn run(src: &str, fs: &InMemoryFs, engine: Engine, machines: u16) -> Result<Outcome, Error> {
     let func = compile(src)?;
-    run_compiled(&func, fs, engine, machines)
+    Run::new(&func)
+        .engine(engine)
+        .machines(machines)
+        .execute(fs)
 }

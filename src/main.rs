@@ -14,7 +14,7 @@
 use mitos::fs::InMemoryFs;
 use mitos::lang::Value;
 use mitos::sim::SimConfig;
-use mitos::{baselines, compile, ir, run_compiled_live, Engine, LiveOptions, ObsLevel};
+use mitos::{baselines, compile, ir, Engine, EngineConfig, LiveOptions, ObsLevel, Run};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -22,16 +22,17 @@ fn usage() -> ! {
         "usage:\n  mitos run <program> [--machines N] [--engine mitos|mitos-nopipe|\
          mitos-nohoist|flink|flink-jobs|spark|threads|reference]\n             \
          [--input name=path]... [--output-dir dir]\n             \
-         [--explain] [--trace out.json]\n             \
+         [--explain] [--trace out.json] [--no-fuse]\n             \
          [--progress] [--watch] [--interval MS] [--deadline MS]\n          \
          # --progress: one live status line per interval (stderr)\n          \
          # --watch: live per-operator table per interval (stderr)\n          \
-         # --deadline: stall watchdog; no progress for MS ms aborts with exit 2\n  \
+         # --deadline: stall watchdog; no progress for MS ms aborts with exit 2\n          \
+         # --no-fuse: disable operator chain fusion in the physical planner\n  \
          mitos explain <program> [run options]   # per-operator runtime report\n  \
          mitos profile <program> [run options] [--profile-json out.json] [--dot out.dot]\n          \
          # per-iteration attribution + critical path (Mitos engines only)\n  \
          mitos ssa <program>\n  \
-         mitos graph <program>   # DOT dataflow (Figure 3b style)\n  \
+         mitos graph <program> [--no-fuse]   # DOT dataflow (Figure 3b style)\n  \
          mitos check <program>"
     );
     std::process::exit(2);
@@ -103,8 +104,12 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "graph" => {
-            // Figure-3b-style DOT rendering of the single dataflow job.
-            match mitos::core::LogicalGraph::build(&func) {
+            // Figure-3b-style DOT rendering of the single dataflow job —
+            // the plan the engine actually runs, i.e. post-fusion unless
+            // --no-fuse.
+            let no_fuse = args[2..].iter().any(|a| a == "--no-fuse");
+            let cfg = EngineConfig::new().with_fusion(!no_fuse);
+            match mitos::core::planned_graph(&func, &cfg) {
                 Ok(graph) => {
                     print!("{}", mitos::core::to_dot(&graph));
                     ExitCode::SUCCESS
@@ -144,6 +149,7 @@ fn main() -> ExitCode {
             let mut profile_json: Option<String> = None;
             let mut dot_path: Option<String> = None;
             let mut combiners = false;
+            let mut no_fuse = false;
             let mut progress = false;
             let mut watch = false;
             let mut interval_ms: u64 = 200;
@@ -198,6 +204,7 @@ fn main() -> ExitCode {
                         dot_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
                     "--combiners" => combiners = true,
+                    "--no-fuse" => no_fuse = true,
                     "--progress" => progress = true,
                     "--watch" => watch = true,
                     "--interval" => {
@@ -293,8 +300,11 @@ fn main() -> ExitCode {
                 fault_withhold_decisions: std::env::var("MITOS_FAULT_WITHHOLD_DECISIONS")
                     .is_ok_and(|v| v == "1"),
             };
+            let engine_cfg = EngineConfig::new().with_fusion(!no_fuse);
+            // The watch table indexes operators by id, so it must see the
+            // plan the engine actually runs (post-fusion).
             let graph_for_watch = if watch {
-                mitos::core::LogicalGraph::build(&func).ok()
+                mitos::core::planned_graph(&func, &engine_cfg).ok()
             } else {
                 None
             };
@@ -307,15 +317,15 @@ fn main() -> ExitCode {
                 }
             };
             let start = std::time::Instant::now();
-            match run_compiled_live(
-                &func,
-                &fs,
-                engine,
-                SimConfig::with_machines(machines),
-                obs,
-                live,
-                &mut on_snapshot,
-            ) {
+            match Run::new(&func)
+                .engine(engine)
+                .cluster(SimConfig::with_machines(machines))
+                .obs(obs)
+                .live(live)
+                .on_snapshot(&mut on_snapshot)
+                .config(engine_cfg.clone())
+                .execute(&fs)
+            {
                 Ok(outcome) => {
                     if progress || watch {
                         eprintln!(
@@ -370,7 +380,9 @@ fn main() -> ExitCode {
                             eprintln!("wrote profile JSON {path}");
                         }
                         if let Some(path) = &dot_path {
-                            let graph = match mitos::core::LogicalGraph::build(&func) {
+                            // Annotate the plan that ran, so the overlay's
+                            // operator ids match the metrics registry.
+                            let graph = match mitos::core::planned_graph(&func, &engine_cfg) {
                                 Ok(g) => g,
                                 Err(e) => {
                                     eprintln!("error: {e}");

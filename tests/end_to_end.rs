@@ -7,7 +7,7 @@ use mitos::lang::Value;
 use mitos::workloads::{
     generate_page_types, generate_visit_logs, visit_count_program, VisitCountSpec,
 };
-use mitos::{compile, run_compiled, Engine};
+use mitos::{compile, Engine, Run};
 
 const ALL_ENGINES: [Engine; 6] = [
     Engine::Mitos,
@@ -23,12 +23,19 @@ fn check_all(src: &str, machines: u16, setup: &dyn Fn(&InMemoryFs)) {
     let func = compile(src).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
     let ref_fs = InMemoryFs::new();
     setup(&ref_fs);
-    let reference = run_compiled(&func, &ref_fs, Engine::Reference, 1).expect("reference");
+    let reference = Run::new(&func)
+        .engine(Engine::Reference)
+        .machines(1)
+        .execute(&ref_fs)
+        .expect("reference");
     for engine in ALL_ENGINES {
         let fs = InMemoryFs::new();
         setup(&fs);
-        let outcome =
-            run_compiled(&func, &fs, engine, machines).unwrap_or_else(|e| panic!("{engine}: {e}"));
+        let outcome = Run::new(&func)
+            .engine(engine)
+            .machines(machines)
+            .execute(&fs)
+            .unwrap_or_else(|e| panic!("{engine}: {e}"));
         assert_eq!(outcome.outputs, reference.outputs, "outputs of {engine}");
         assert_eq!(outcome.path, reference.path, "path of {engine}");
         assert_eq!(fs.snapshot(), ref_fs.snapshot(), "files of {engine}");
@@ -297,10 +304,18 @@ fn visit_count_365_days() {
     let func = compile(&src).unwrap();
     let ref_fs = InMemoryFs::new();
     generate_visit_logs(&ref_fs, &spec);
-    let reference = run_compiled(&func, &ref_fs, Engine::Reference, 1).unwrap();
+    let reference = Run::new(&func)
+        .engine(Engine::Reference)
+        .machines(1)
+        .execute(&ref_fs)
+        .unwrap();
     let fs = InMemoryFs::new();
     generate_visit_logs(&fs, &spec);
-    let outcome = run_compiled(&func, &fs, Engine::Mitos, 8).unwrap();
+    let outcome = Run::new(&func)
+        .engine(Engine::Mitos)
+        .machines(8)
+        .execute(&fs)
+        .unwrap();
     assert_eq!(outcome.path.len(), reference.path.len());
     assert_eq!(fs.snapshot(), ref_fs.snapshot());
     // 364 diff files were written.
@@ -355,12 +370,19 @@ fn pagerank_inside_the_daily_loop() {
     };
     let ref_fs = InMemoryFs::new();
     setup(&ref_fs);
-    let reference = run_compiled(&func, &ref_fs, Engine::Reference, 1).unwrap();
+    let reference = Run::new(&func)
+        .engine(Engine::Reference)
+        .machines(1)
+        .execute(&ref_fs)
+        .unwrap();
     for engine in [Engine::Mitos, Engine::MitosNoPipelining, Engine::Spark] {
         let fs = InMemoryFs::new();
         setup(&fs);
-        let outcome =
-            run_compiled(&func, &fs, engine, 3).unwrap_or_else(|e| panic!("{engine}: {e}"));
+        let outcome = Run::new(&func)
+            .engine(engine)
+            .machines(3)
+            .execute(&fs)
+            .unwrap_or_else(|e| panic!("{engine}: {e}"));
         assert_eq!(outcome.path, reference.path, "{engine}");
         // Float folds differ in order across partitions; compare the file
         // KEY SETS exactly and rank mass approximately.

@@ -12,7 +12,7 @@ use mitos::fs::InMemoryFs;
 use mitos::lang::ast::{Lambda, Program, Stmt, SurfExpr};
 use mitos::lang::expr::BinOp;
 use mitos::sim::SimConfig;
-use mitos::{run_compiled_on, Engine};
+use mitos::{Engine, EngineConfig, Run};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -248,7 +248,10 @@ fn engines_agree(program: &Program, machines: u16, seed: u64) {
         Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
     };
     let fs = InMemoryFs::new();
-    let reference = run_compiled_on(&func, &fs, Engine::Reference, SimConfig::with_machines(1))
+    let reference = Run::new(&func)
+        .engine(Engine::Reference)
+        .machines(1)
+        .execute(&fs)
         .unwrap_or_else(|e| panic!("reference: {e}\n{src}"));
     for engine in [
         Engine::Mitos,
@@ -260,7 +263,10 @@ fn engines_agree(program: &Program, machines: u16, seed: u64) {
         let mut cluster = SimConfig::with_machines(machines);
         cluster.seed = seed;
         cluster.jitter_pct = 35; // adversarial delays (Challenge 3)
-        let outcome = run_compiled_on(&func, &fs, engine, cluster)
+        let outcome = Run::new(&func)
+            .engine(engine)
+            .cluster(cluster)
+            .execute(&fs)
             .unwrap_or_else(|e| panic!("{engine}: {e}\n{src}"));
         assert_eq!(
             outcome.outputs, reference.outputs,
@@ -270,6 +276,28 @@ fn engines_agree(program: &Program, machines: u16, seed: u64) {
         // reconstructed execution path must still be the sequential one.
         assert_eq!(outcome.path, reference.path, "{engine} path on:\n{src}");
     }
+}
+
+/// Runs `func` on `engine` with chain fusion switched per `fusion`, under
+/// adversarial jitter, returning the outcome.
+fn run_with_fusion(
+    func: &mitos::ir::FuncIr,
+    engine: Engine,
+    machines: u16,
+    seed: u64,
+    fusion: bool,
+    src: &str,
+) -> mitos::Outcome {
+    let fs = InMemoryFs::new();
+    let mut cluster = SimConfig::with_machines(machines);
+    cluster.seed = seed;
+    cluster.jitter_pct = 35;
+    Run::new(func)
+        .engine(engine)
+        .cluster(cluster)
+        .config(EngineConfig::new().with_fusion(fusion))
+        .execute(&fs)
+        .unwrap_or_else(|e| panic!("{engine} (fusion={fusion}): {e}\n{src}"))
 }
 
 proptest! {
@@ -302,19 +330,47 @@ proptest! {
         let optimized = mitos::ir::passes::insert_combiners(&func);
         mitos::ir::validate(&optimized).unwrap_or_else(|e| panic!("{e}\n{src}"));
         let fs = InMemoryFs::new();
-        let reference = run_compiled_on(
-            &func,
-            &fs,
-            Engine::Reference,
-            SimConfig::with_machines(1),
-        )
-        .unwrap();
+        let reference = Run::new(&func)
+            .engine(Engine::Reference)
+            .machines(1)
+            .execute(&fs)
+            .unwrap();
         let fs = InMemoryFs::new();
         let mut cluster = SimConfig::with_machines(3);
         cluster.seed = seed;
-        let outcome = run_compiled_on(&optimized, &fs, Engine::Mitos, cluster)
+        let outcome = Run::new(&optimized)
+            .engine(Engine::Mitos)
+            .cluster(cluster)
+            .execute(&fs)
             .unwrap_or_else(|e| panic!("{e}\n{src}"));
         prop_assert_eq!(outcome.outputs, reference.outputs, "{}", src);
+    }
+
+    /// Operator chain fusion is a pure plan transformation: every random
+    /// program produces identical outputs and the identical control-flow
+    /// path with fusion on and off, on both the simulated and the
+    /// thread-backed engine, under adversarial network jitter.
+    #[test]
+    fn fusion_never_changes_results(
+        program in arb_program(),
+        machines in 1u16..5,
+        seed in 0u64..1000,
+    ) {
+        let src = program.to_string();
+        let func = mitos::ir::compile(&program)
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        for engine in [Engine::Mitos, Engine::MitosThreads] {
+            let fused = run_with_fusion(&func, engine, machines, seed, true, &src);
+            let unfused = run_with_fusion(&func, engine, machines, seed, false, &src);
+            prop_assert_eq!(
+                &fused.outputs, &unfused.outputs,
+                "{} outputs diverged under fusion on:\n{}", engine, src
+            );
+            prop_assert_eq!(
+                &fused.path, &unfused.path,
+                "{} path diverged under fusion on:\n{}", engine, src
+            );
+        }
     }
 
     /// Parse/print round-trip: pretty-printing a generated program and
