@@ -161,6 +161,9 @@ pub fn run_sim_live(
         .map(|m| Worker::new(shared.clone(), m))
         .collect();
     let mut sim = Sim::new(cluster, MitosWorld { workers });
+    if shared.config.faults.is_active() {
+        sim.set_fault_plan(shared.config.faults.clone());
+    }
     for m in 0..cluster.machines {
         sim.inject(ActorId::new(m, 0), Msg::Start);
     }
@@ -182,18 +185,34 @@ pub fn run_sim_live(
             return Err(e.clone());
         }
     }
+    // When faults were injected, an unrecoverable stall names them: the
+    // plan summary plus what the simulator's fault layer actually did.
+    let diagnose_with_faults = |workers: &[Worker]| {
+        let mut diag = obs::diagnose(workers, 0, 0);
+        if shared.config.faults.is_active() {
+            let retransmits = workers.iter().map(Worker::retransmits).sum();
+            diag.fault = Some(obs::fault_note(
+                &shared.config.faults,
+                report.faults_dropped,
+                report.faults_duplicated,
+                report.faults_reordered,
+                retransmits,
+            ));
+        }
+        diag
+    };
     let w0 = &world.workers[0];
     if !w0.path().exited() {
         return Err(RuntimeError::stalled(
             "simulation quiesced before the program exited (runtime deadlock)",
-            obs::diagnose(&world.workers, 0, 0),
+            diagnose_with_faults(&world.workers),
         ));
     }
     for (m, w) in world.workers.iter().enumerate() {
         if !w.idle() {
             return Err(RuntimeError::stalled(
                 format!("worker {m} still has in-flight bags after quiescence"),
-                obs::diagnose(&world.workers, 0, 0),
+                diagnose_with_faults(&world.workers),
             ));
         }
     }

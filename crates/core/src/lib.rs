@@ -26,6 +26,7 @@ pub mod graph;
 pub mod host;
 pub mod obs;
 pub mod path;
+pub mod relay;
 pub mod rt;
 pub mod thread_driver;
 pub mod worker;
@@ -40,6 +41,7 @@ pub use obs::{
     EventKind, ObsLevel, ObsReport, Profile, Snapshot, StallReport, TelemetryHub,
 };
 pub use path::{BagId, ExecutionPath, LoopInfo, LoopNest, PathRules, SendDecision};
-pub use rt::{EngineConfig, Msg, RuntimeError, NS_PER_MS};
+pub use relay::{Relay, ReliableNet};
+pub use rt::{EngineConfig, FaultPlan, Msg, RuntimeError, NS_PER_MS};
 pub use thread_driver::{run_threads, run_threads_live};
 pub use worker::Worker;

@@ -101,6 +101,12 @@ fn args_json(kind: &EventKind) -> String {
             format!("{{\"bag_len\":{bag_len},\"count\":{count}}}")
         }
         EventKind::StepReleased { pos } => format!("{{\"pos\":{pos}}}"),
+        EventKind::RetransmitSent { peer, seq, attempt } => {
+            format!("{{\"peer\":{peer},\"seq\":{seq},\"attempt\":{attempt}}}")
+        }
+        EventKind::DuplicateDropped { peer, seq } => {
+            format!("{{\"peer\":{peer},\"seq\":{seq}}}")
+        }
     }
 }
 

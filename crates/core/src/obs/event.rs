@@ -159,6 +159,24 @@ pub enum EventKind {
         /// Released position.
         pos: u32,
     },
+    /// The at-least-once relay retransmitted an unacknowledged envelope
+    /// (fault-injection runs only; see [`crate::relay`]).
+    RetransmitSent {
+        /// Destination machine of the retransmitted envelope.
+        peer: u16,
+        /// Per-link sequence number of the envelope.
+        seq: u64,
+        /// Retransmission round (1 = first retry).
+        attempt: u32,
+    },
+    /// Receiver-side dedup discarded a duplicate reliable delivery
+    /// (fault-injection runs only).
+    DuplicateDropped {
+        /// The machine whose envelope arrived twice.
+        peer: u16,
+        /// The duplicated sequence number.
+        seq: u64,
+    },
 }
 
 impl EventKind {
@@ -178,6 +196,8 @@ impl EventKind {
             EventKind::IoStarted { .. } => "io_started",
             EventKind::IoFinished { .. } => "io_finished",
             EventKind::StepReleased { .. } => "step_released",
+            EventKind::RetransmitSent { .. } => "retransmit_sent",
+            EventKind::DuplicateDropped { .. } => "duplicate_dropped",
         }
     }
 }

@@ -166,6 +166,15 @@ pub fn explain_parts(
                     .sum::<u64>(),
                 obs.metrics.total_sink_written(),
             );
+            // Fault-injection runs only: keep fault-free explain output
+            // byte-stable.
+            if obs.metrics.retransmits > 0 || obs.metrics.dup_msgs_dropped > 0 {
+                let _ = writeln!(
+                    out,
+                    "recovery: {} retransmission(s) sent, {} duplicate delivery(ies) dropped",
+                    obs.metrics.retransmits, obs.metrics.dup_msgs_dropped,
+                );
+            }
             if obs.level == super::ObsLevel::Trace {
                 let _ = writeln!(out, "events recorded: {}", obs.events.len());
             }

@@ -42,6 +42,8 @@ pub struct WorkerTelemetry {
     path_depth: AtomicU32,
     last_progress_ns: AtomicU64,
     msgs_handled: AtomicU64,
+    retransmits: AtomicU64,
+    dups_dropped: AtomicU64,
 }
 
 /// Per-operator live counters, summed across all instances/machines.
@@ -123,6 +125,24 @@ impl TelemetryHub {
         self.ops[op as usize].bags_finished.fetch_add(1, RELAXED);
     }
 
+    /// Records a relay retransmission by `machine`'s worker
+    /// (fault-injection runs only).
+    #[inline]
+    pub fn retransmit(&self, machine: u16) {
+        self.workers[machine as usize]
+            .retransmits
+            .fetch_add(1, RELAXED);
+    }
+
+    /// Records a duplicate delivery discarded by `machine`'s worker
+    /// (fault-injection runs only).
+    #[inline]
+    pub fn dup_dropped(&self, machine: u16) {
+        self.workers[machine as usize]
+            .dups_dropped
+            .fetch_add(1, RELAXED);
+    }
+
     /// One worker's last-progress timestamp — the quantity the stall
     /// watchdog compares against its deadline.
     pub fn worker_progress_ns(&self, machine: u16) -> u64 {
@@ -157,6 +177,8 @@ impl TelemetryHub {
                 path_depth: w.path_depth.load(RELAXED),
                 last_progress_ns: w.last_progress_ns.load(RELAXED),
                 msgs_handled: w.msgs_handled.load(RELAXED),
+                retransmits: w.retransmits.load(RELAXED),
+                dups_dropped: w.dups_dropped.load(RELAXED),
             })
             .collect();
         let ops: Vec<OpSnapshot> = self
@@ -210,6 +232,12 @@ pub struct WorkerSnapshot {
     pub last_progress_ns: u64,
     /// Messages handled by this worker.
     pub msgs_handled: u64,
+    /// Relay envelopes retransmitted by this worker (zero unless fault
+    /// injection is active).
+    pub retransmits: u64,
+    /// Duplicate deliveries discarded by this worker (zero unless fault
+    /// injection is active).
+    pub dups_dropped: u64,
 }
 
 /// One operator's counters as read at snapshot time (summed over
@@ -335,14 +363,22 @@ pub fn watch_table(s: &Snapshot, graph: &crate::graph::LogicalGraph) -> String {
         .workers
         .iter()
         .map(|w| {
+            // Recovery-protocol counters only appear under fault
+            // injection, keeping the fault-free table unchanged.
+            let faults = if w.retransmits > 0 || w.dups_dropped > 0 {
+                format!(" rtx {} dup {}", w.retransmits, w.dups_dropped)
+            } else {
+                String::new()
+            };
             format!(
-                "m{}: path {}@{} bags {}/{} last {}",
+                "m{}: path {}@{} bags {}/{} last {}{}",
                 w.machine,
                 w.path_depth,
                 w.current_block,
                 w.bags_started,
                 w.bags_finished,
                 super::fmt_ns(w.last_progress_ns),
+                faults,
             )
         })
         .collect();

@@ -154,6 +154,11 @@ pub struct MetricsRegistry {
     pub path_appends: u64,
     /// Superstep barrier releases (non-pipelined mode).
     pub steps_released: u64,
+    /// At-least-once envelopes retransmitted (fault-injection runs).
+    pub retransmits: u64,
+    /// Duplicate reliable deliveries discarded by receiver-side dedup
+    /// (fault-injection runs).
+    pub dup_msgs_dropped: u64,
 }
 
 impl MetricsRegistry {
@@ -221,6 +226,8 @@ impl MetricsRegistry {
             EventKind::IoStarted { .. } => self.op_mut(op).io_reads += 1,
             EventKind::IoFinished { count, .. } => self.op_mut(op).io_elements += count,
             EventKind::StepReleased { .. } => self.steps_released += 1,
+            EventKind::RetransmitSent { .. } => self.retransmits += 1,
+            EventKind::DuplicateDropped { .. } => self.dup_msgs_dropped += 1,
         }
         debug_assert!(
             op != OP_NONE
@@ -229,6 +236,8 @@ impl MetricsRegistry {
                     EventKind::DecisionBroadcast { .. }
                         | EventKind::PathAppended { .. }
                         | EventKind::StepReleased { .. }
+                        | EventKind::RetransmitSent { .. }
+                        | EventKind::DuplicateDropped { .. }
                 ),
             "operator event recorded with OP_NONE"
         );
@@ -252,6 +261,8 @@ impl MetricsRegistry {
         self.decisions_broadcast += other.decisions_broadcast;
         self.path_appends += other.path_appends;
         self.steps_released += other.steps_released;
+        self.retransmits += other.retransmits;
+        self.dup_msgs_dropped += other.dup_msgs_dropped;
     }
 
     /// Total elements emitted across all operators.

@@ -35,7 +35,7 @@ pub use explain::{explain_parts, explain_report};
 pub use live::{progress_line, watch_table, OpSnapshot, Snapshot, TelemetryHub, WorkerSnapshot};
 pub use metrics::{EdgeMetrics, LatencyStats, MetricsRegistry, OpMetrics};
 pub use profile::{build_profile, Profile};
-pub use watchdog::{diagnose, Awaited, OpStall, StallReport, WorkerStall};
+pub use watchdog::{diagnose, fault_note, Awaited, OpStall, StallReport, WorkerStall};
 
 use crate::path::LoopNest;
 use crate::rt::Net;

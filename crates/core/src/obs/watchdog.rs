@@ -132,6 +132,11 @@ pub struct StallReport {
     pub idle_ns: u64,
     /// Per-worker state, one entry per machine.
     pub workers: Vec<WorkerStall>,
+    /// When the run injected faults: the plan summary plus what the fault
+    /// layer actually did (dropped / duplicated / reordered messages,
+    /// retransmission rounds), so an unrecoverable stall names its cause.
+    /// `None` on fault-free runs (see [`fault_note`]).
+    pub fault: Option<String>,
 }
 
 impl StallReport {
@@ -147,6 +152,9 @@ impl StallReport {
             );
         } else {
             let _ = writeln!(out, "stall diagnosis (run quiesced without exiting):");
+        }
+        if let Some(fault) = &self.fault {
+            let _ = writeln!(out, "  injected faults: {fault}");
         }
         let mut any = false;
         for w in &self.workers {
@@ -216,5 +224,23 @@ pub fn diagnose(workers: &[crate::worker::Worker], deadline_ns: u64, idle_ns: u6
             .iter()
             .map(crate::worker::Worker::stall_info)
             .collect(),
+        fault: None,
     }
+}
+
+/// Renders the fault line of a [`StallReport`]: the injected plan plus the
+/// observed fault-layer activity. The drivers attach it whenever the run's
+/// [`crate::rt::FaultPlan`] is active.
+pub fn fault_note(
+    plan: &crate::rt::FaultPlan,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+    retransmits: u64,
+) -> String {
+    format!(
+        "{} — {dropped} message(s) dropped, {duplicated} duplicated, \
+         {reordered} reordered, {retransmits} retransmission(s)",
+        plan.summary()
+    )
 }

@@ -12,6 +12,8 @@ use mitos_lang::Value;
 use std::fmt;
 use std::sync::Arc;
 
+pub use mitos_sim::{FaultPlan, Partition, PauseWindow, Verdict};
+
 /// Engine feature switches and cost model.
 ///
 /// The struct is `#[non_exhaustive]`: out-of-crate code constructs it with
@@ -60,11 +62,13 @@ pub struct EngineConfig {
     /// a stall there manifests as quiescence-without-exit, which is
     /// diagnosed the same way.
     pub stall_deadline_ns: u64,
-    /// Fault injection for watchdog tests: control-flow managers apply
-    /// condition decisions locally but **withhold the broadcast**, so every
-    /// other worker's path parks at the conditional jump forever (the
-    /// silent-hang scenario of Sec. 5.2.1). Never set outside tests.
-    pub fault_withhold_decisions: bool,
+    /// Deterministic fault injection (see [`FaultPlan`]): seeded per-link
+    /// drop/duplication/reordering, timed partitions, machine pauses and
+    /// slowdowns, plus the decision-withholding switch. The default plan is
+    /// inert and charges nothing; with network faults active the Mitos
+    /// drivers run a sequence-numbered at-least-once delivery protocol
+    /// (see [`crate::relay`]) unless [`FaultPlan::retransmit`] is off.
+    pub faults: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -79,7 +83,7 @@ impl Default for EngineConfig {
             obs: ObsLevel::Off,
             sample_interval_ns: 0,
             stall_deadline_ns: 0,
-            fault_withhold_decisions: false,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -144,9 +148,19 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Sets the decision-withholding fault injection (tests only).
+    #[deprecated(
+        since = "0.5.0",
+        note = "folded into FaultPlan; use with_faults(FaultPlan::new().with_withhold_decisions(..))"
+    )]
     pub fn with_fault_withhold_decisions(mut self, on: bool) -> Self {
-        self.fault_withhold_decisions = on;
+        self.faults.withhold_decisions = on;
         self
     }
 }
@@ -229,6 +243,33 @@ pub enum Msg {
         /// The operator whose read finished.
         op: crate::graph::OpId,
     },
+    /// At-least-once delivery envelope (fault-injection runs only): a
+    /// sequence-numbered wrapper the sender retransmits until the receiver
+    /// acknowledges it. The receiver dedups by `(src, seq)` and always
+    /// re-acks, so duplicates and retransmissions are invisible to the
+    /// wrapped payload's handler (see [`crate::relay`]).
+    Reliable {
+        /// The sending machine (where acks go).
+        src: u16,
+        /// Per-link sequence number assigned by the sender.
+        seq: u64,
+        /// The guarded payload.
+        payload: Box<Msg>,
+    },
+    /// Acknowledges [`Msg::Reliable`]`{seq}`; `peer` is the acknowledging
+    /// machine.
+    Ack {
+        /// The machine that received and acknowledged the envelope.
+        peer: u16,
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// Self-addressed retransmission timer: re-send everything still
+    /// unacknowledged toward `peer`, with exponential backoff.
+    RetryTick {
+        /// The destination machine whose unacked traffic is due.
+        peer: u16,
+    },
 }
 
 /// Transport used by workers; implemented over the simulator and over
@@ -246,6 +287,14 @@ pub trait Net {
     /// virtual time on the simulator, monotonic wall-clock since engine
     /// start on real threads. Only consulted when tracing is enabled.
     fn now_ns(&mut self) -> u64;
+    /// Delivers `msg` to `machine` after `delay_ns` as a **local timer**:
+    /// exempt from network fault injection, used by the relay's
+    /// retransmission backoff. Defaults to [`Net::schedule`]; drivers whose
+    /// `schedule` ignores the delay (the thread driver delivers scheduled
+    /// messages immediately) override it with a real timer.
+    fn timer(&mut self, delay_ns: u64, machine: u16, msg: Msg) {
+        self.schedule(delay_ns, machine, msg);
+    }
 }
 
 /// A fatal runtime error (lambda failures, protocol violations).

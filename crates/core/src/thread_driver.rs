@@ -10,20 +10,32 @@
 //! Termination uses in-flight message counting: every send increments a
 //! shared counter before the message enters a channel and the receiver
 //! decrements it only after fully processing the message (including any
-//! sends that processing performed). When the counter is zero, every
-//! worker is quiescent; the driver then checks that the program exited and
-//! all hosts are idle.
+//! sends that processing performed). Delayed deliveries (relay
+//! retransmission timers, fault-injected duplicate/reorder copies) are
+//! registered in a shared timer heap — counted as in flight at
+//! registration time and serviced by the monitor loop — so a zero counter
+//! means nothing is pending anywhere: no channel message, no timer. The
+//! driver then checks that the program exited and all hosts are idle.
+//!
+//! Fault injection ([`crate::rt::FaultPlan`]) is applied send-side: every
+//! remote send consults the same pure per-link verdict function the
+//! simulator uses (seed × link × per-link send index), so a plan's
+//! drop/duplicate/reorder schedule is deterministic here too — though the
+//! *interleaving* under real threads is not. Partition windows are
+//! evaluated against wall-clock nanoseconds since engine start. Machine
+//! pause windows and slowdowns are simulator-only refinements (real
+//! threads have no virtual clock to scale) and are ignored here.
 
 use crate::engine::{extract_outputs, EngineResult};
 use crate::obs::{self, ObsLevel};
-use crate::rt::{EngineConfig, EngineShared, Msg, Net, RuntimeError};
+use crate::rt::{EngineConfig, EngineShared, Msg, Net, RuntimeError, Verdict};
 use crate::worker::Worker;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mitos_fs::InMemoryFs;
 use mitos_ir::nir::FuncIr;
 use mitos_sim::SimReport;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,22 +44,79 @@ enum TMsg {
     Stop,
 }
 
+/// Pending delayed deliveries: `(due_ns, destination, message)`. Each
+/// entry was counted in `inflight` when registered; the monitor loop
+/// moves due entries into the destination channel without re-counting.
+type TimerHeap = Mutex<Vec<(u64, u16, Msg)>>;
+
+/// Shared fault-injection state for a threaded run (present only when the
+/// plan has network faults). Counters mirror the simulator's
+/// [`SimReport`] fault fields.
+struct ThreadFaults {
+    plan: crate::rt::FaultPlan,
+    /// Per-link physical send counters, indexed `src * machines + dst`;
+    /// feeds the pure verdict function so retransmits get fresh verdicts.
+    link_seq: Vec<AtomicU64>,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+}
+
 struct ThreadNet<'a> {
+    /// The sending machine (fault verdicts are per directed link).
+    machine: u16,
     senders: &'a [Sender<TMsg>],
     inflight: &'a AtomicI64,
+    timers: &'a TimerHeap,
+    faults: Option<&'a ThreadFaults>,
     sent: u64,
     /// Engine start; trace timestamps are monotonic ns since this point.
     epoch: Instant,
 }
 
-impl Net for ThreadNet<'_> {
-    fn send(&mut self, machine: u16, msg: Msg, _bytes: u64) {
+impl ThreadNet<'_> {
+    /// Delivers directly into the destination channel (past the fault
+    /// layer).
+    fn push_raw(&mut self, machine: u16, msg: Msg) {
         self.inflight.fetch_add(1, Ordering::SeqCst);
         self.sent += 1;
         // A send can only fail after Stop, when delivery no longer matters.
         if self.senders[machine as usize].send(TMsg::M(msg)).is_err() {
             self.inflight.fetch_sub(1, Ordering::SeqCst);
         }
+    }
+}
+
+impl Net for ThreadNet<'_> {
+    fn send(&mut self, machine: u16, msg: Msg, _bytes: u64) {
+        if machine != self.machine {
+            if let Some(f) = self.faults {
+                let now = self.epoch.elapsed().as_nanos() as u64;
+                let idx = self.machine as usize * self.senders.len() + machine as usize;
+                let k = f.link_seq[idx].fetch_add(1, Ordering::Relaxed);
+                if f.plan.partitioned(self.machine, machine, now) {
+                    f.dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                match f.plan.verdict(self.machine, machine, k) {
+                    Verdict::Deliver => {}
+                    Verdict::Drop => {
+                        f.dropped.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Verdict::Duplicate { extra_delay_ns } => {
+                        f.duplicated.fetch_add(1, Ordering::Relaxed);
+                        self.timer(extra_delay_ns, machine, msg.clone());
+                    }
+                    Verdict::Reorder { extra_delay_ns } => {
+                        f.reordered.fetch_add(1, Ordering::Relaxed);
+                        self.timer(extra_delay_ns, machine, msg);
+                        return;
+                    }
+                }
+            }
+        }
+        self.push_raw(machine, msg);
     }
 
     fn charge(&mut self, _ns: u64) {
@@ -57,6 +126,16 @@ impl Net for ThreadNet<'_> {
     fn schedule(&mut self, _delay_ns: u64, machine: u16, msg: Msg) {
         // Disk delays are not simulated on real threads; deliver directly.
         self.send(machine, msg, 0);
+    }
+
+    fn timer(&mut self, delay_ns: u64, machine: u16, msg: Msg) {
+        // Genuinely delayed (unlike `schedule`): relay retransmission
+        // backoff and fault-injected duplicate/reorder copies rely on the
+        // delay actually elapsing. Counted as in flight now so quiescence
+        // detection waits for pending timers.
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        let due = self.epoch.elapsed().as_nanos() as u64 + delay_ns;
+        self.timers.lock().push((due, machine, msg));
     }
 
     fn now_ns(&mut self) -> u64 {
@@ -114,6 +193,21 @@ pub fn run_threads_live(
         (0..machines).map(|_| unbounded()).collect();
     let senders: Vec<Sender<TMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
     let inflight = AtomicI64::new(0);
+    let timers: TimerHeap = Mutex::new(Vec::new());
+    let faults: Option<ThreadFaults> =
+        shared
+            .config
+            .faults
+            .net_faults_active()
+            .then(|| ThreadFaults {
+                plan: shared.config.faults.clone(),
+                link_seq: (0..machines as usize * machines as usize)
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+                dropped: AtomicU64::new(0),
+                duplicated: AtomicU64::new(0),
+                reordered: AtomicU64::new(0),
+            });
     let idle_flags: Vec<AtomicBool> = (0..machines).map(|_| AtomicBool::new(false)).collect();
     let exited_flags: Vec<AtomicBool> = (0..machines).map(|_| AtomicBool::new(false)).collect();
     let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
@@ -140,6 +234,8 @@ pub fn run_threads_live(
         for (m, (_, receiver)) in channels.iter().enumerate() {
             let senders = &senders;
             let inflight = &inflight;
+            let timers = &timers;
+            let faults = faults.as_ref();
             let idle_flags = &idle_flags;
             let exited_flags = &exited_flags;
             let first_error = &first_error;
@@ -153,8 +249,11 @@ pub fn run_threads_live(
                         TMsg::M(msg) => msg,
                     };
                     let mut net = ThreadNet {
+                        machine: m as u16,
                         senders,
                         inflight,
+                        timers,
+                        faults,
                         sent: 0,
                         epoch,
                     };
@@ -175,6 +274,23 @@ pub fn run_threads_live(
         loop {
             std::thread::sleep(std::time::Duration::from_micros(200));
             let now = epoch.elapsed().as_nanos() as u64;
+            {
+                // Service due timers: move them into their destination
+                // channels. They were counted in `inflight` at
+                // registration, so no re-count here.
+                let mut heap = timers.lock();
+                let mut i = 0;
+                while i < heap.len() {
+                    if heap[i].0 <= now {
+                        let (_, machine, msg) = heap.swap_remove(i);
+                        if senders[machine as usize].send(TMsg::M(msg)).is_err() {
+                            inflight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
             if interval > 0 && now >= next_sample {
                 let s = shared.telemetry.snapshot(now, snapshots.last());
                 on_snapshot(&s);
@@ -219,11 +335,19 @@ pub fn run_threads_live(
             if all_exited && all_idle {
                 break;
             }
-            if all_exited && inflight.load(Ordering::SeqCst) == 0 && !all_idle {
-                // Nothing in flight, program exited, but hosts hold state:
-                // a genuine deadlock; diagnose it after the threads return
-                // their workers rather than spinning.
-                stall = Some(("threaded run deadlocked".to_string(), 0));
+            // Nothing in flight anywhere — no channel message, no pending
+            // timer — yet the program has not exited or hosts still hold
+            // state: a genuine deadlock (e.g. a dropped decision broadcast
+            // with recovery off). With a stall deadline armed, let the
+            // watchdog wait it out (its timing is part of the contract);
+            // otherwise break now rather than spinning forever, and
+            // diagnose after the threads return their workers.
+            if deadline == 0 {
+                stall = Some((
+                    "threaded run quiesced before the program exited (runtime deadlock)"
+                        .to_string(),
+                    0,
+                ));
                 break;
             }
         }
@@ -240,14 +364,33 @@ pub fn run_threads_live(
         .into_iter()
         .map(|w| w.into_inner().expect("worker returned"))
         .collect();
+    let fault_counts = faults
+        .as_ref()
+        .map(|f| {
+            (
+                f.dropped.load(Ordering::Relaxed),
+                f.duplicated.load(Ordering::Relaxed),
+                f.reordered.load(Ordering::Relaxed),
+            )
+        })
+        .unwrap_or((0, 0, 0));
     if let Some((reason, idle_ns)) = stall {
         // The threads have returned their workers: introspect them for the
         // structured diagnosis (blocked operators, awaited inputs/decisions,
-        // pending conditional-send watchers).
-        return Err(RuntimeError::stalled(
-            reason,
-            crate::obs::diagnose(&workers, deadline, idle_ns),
-        ));
+        // pending conditional-send watchers). A fault-injected run names
+        // the injected faults alongside.
+        let mut diag = crate::obs::diagnose(&workers, deadline, idle_ns);
+        if shared.config.faults.is_active() {
+            let retransmits = workers.iter().map(Worker::retransmits).sum();
+            diag.fault = Some(obs::fault_note(
+                &shared.config.faults,
+                fault_counts.0,
+                fault_counts.1,
+                fault_counts.2,
+                retransmits,
+            ));
+        }
+        return Err(RuntimeError::stalled(reason, diag));
     }
     if !workers[0].path().exited() {
         return Err(RuntimeError::new("threaded run ended before program exit"));
@@ -269,6 +412,9 @@ pub fn run_threads_live(
     // simulator's virtual end_time.
     let sim = SimReport {
         end_time: wall_ns,
+        faults_dropped: fault_counts.0,
+        faults_duplicated: fault_counts.1,
+        faults_reordered: fault_counts.2,
         ..SimReport::default()
     };
     Ok(EngineResult {

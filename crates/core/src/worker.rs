@@ -11,6 +11,7 @@ use crate::graph::OpId;
 use crate::host::{Host, HostOut};
 use crate::obs::{EventKind, ObsBuf, OP_NONE};
 use crate::path::ExecutionPath;
+use crate::relay::{Relay, ReliableNet};
 use crate::rt::{EngineShared, Msg, Net, RuntimeError};
 use mitos_ir::nir::Terminator;
 use mitos_ir::BlockId;
@@ -47,6 +48,9 @@ pub struct Worker {
     /// Observability buffer (events + metrics); drained at join via
     /// [`Worker::take_obs`].
     obs: ObsBuf,
+    /// At-least-once delivery state; active only when the configured
+    /// [`crate::rt::FaultPlan`] injects network faults with recovery on.
+    relay: Relay,
 }
 
 impl Worker {
@@ -79,6 +83,11 @@ impl Worker {
             None
         };
         let obs = ObsBuf::new(shared.config.obs, machine);
+        let relay = Relay::new(
+            machine,
+            shared.machines,
+            shared.config.faults.net_faults_active() && shared.config.faults.retransmit,
+        );
         Worker {
             machine,
             shared,
@@ -91,7 +100,19 @@ impl Worker {
             decisions_broadcast: 0,
             data_messages: 0,
             obs,
+            relay,
         }
+    }
+
+    /// Envelopes this worker retransmitted (fault-injection runs only).
+    pub fn retransmits(&self) -> u64 {
+        self.relay.retransmits
+    }
+
+    /// Duplicate deliveries this worker discarded (fault-injection runs
+    /// only).
+    pub fn dups_dropped(&self) -> u64 {
+        self.relay.dups_dropped
     }
 
     /// Drains this worker's observability buffer (called once, at join).
@@ -136,6 +157,19 @@ impl Worker {
         // Live telemetry: every handled message is progress (the stall
         // watchdog watches this timestamp). Charges zero virtual time.
         self.shared.telemetry.touch(self.machine, net.now_ns());
+        let result = if self.relay.enabled() {
+            self.handle_reliable(msg, net)
+        } else {
+            self.ingest(msg, net)
+        };
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+
+    /// Counts and dispatches one logical message (post-dedup when the
+    /// recovery protocol is active).
+    fn ingest(&mut self, msg: Msg, net: &mut dyn Net) -> Result<(), RuntimeError> {
         if let Msg::Data { elems, .. } = &msg {
             self.shared
                 .telemetry
@@ -144,10 +178,63 @@ impl Worker {
         if matches!(msg, Msg::Data { .. } | Msg::BagDone { .. }) {
             self.data_messages += 1;
         }
-        let result = self.dispatch(msg, net);
-        if let Err(e) = result {
-            self.error = Some(e);
-        }
+        self.dispatch(msg, net)
+    }
+
+    /// Relay interception under network faults: unwraps, dedups, and acks
+    /// envelopes, retires acks, services retransmission timers, and routes
+    /// everything this worker sends back through the relay so outgoing
+    /// guarded traffic is wrapped too.
+    fn handle_reliable(&mut self, msg: Msg, net: &mut dyn Net) -> Result<(), RuntimeError> {
+        // The relay is taken out of `self` so a `ReliableNet` can borrow it
+        // alongside `self` inside dispatch; restored on every path.
+        let mut relay = std::mem::take(&mut self.relay);
+        let result = match msg {
+            Msg::Reliable { src, seq, payload } => {
+                if relay.accept(net, src, seq) {
+                    let mut rnet = ReliableNet {
+                        inner: net,
+                        relay: &mut relay,
+                    };
+                    self.ingest(*payload, &mut rnet)
+                } else {
+                    self.obs
+                        .record(net, OP_NONE, EventKind::DuplicateDropped { peer: src, seq });
+                    self.shared.telemetry.dup_dropped(self.machine);
+                    Ok(())
+                }
+            }
+            Msg::Ack { peer, seq } => {
+                relay.on_ack(peer, seq);
+                Ok(())
+            }
+            Msg::RetryTick { peer } => {
+                let note = self.shared.config.faults.summary();
+                match relay.on_tick(net, peer, &note) {
+                    Ok(resent) => {
+                        for (peer, seq, attempt) in resent {
+                            self.obs.record(
+                                net,
+                                OP_NONE,
+                                EventKind::RetransmitSent { peer, seq, attempt },
+                            );
+                            self.shared.telemetry.retransmit(self.machine);
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            other => {
+                let mut rnet = ReliableNet {
+                    inner: net,
+                    relay: &mut relay,
+                };
+                self.ingest(other, &mut rnet)
+            }
+        };
+        self.relay = relay;
+        result
     }
 
     fn dispatch(&mut self, msg: Msg, net: &mut dyn Net) -> Result<(), RuntimeError> {
@@ -233,6 +320,13 @@ impl Worker {
                     self.hosts[hi].on_release(pos, &self.path, &mut out)?;
                 }
             }
+            Msg::Reliable { .. } | Msg::Ack { .. } | Msg::RetryTick { .. } => {
+                // Intercepted in handle_reliable; reaching dispatch means an
+                // envelope arrived with the recovery protocol disabled.
+                return Err(RuntimeError::new(
+                    "relay protocol message reached a worker whose recovery protocol is off",
+                ));
+            }
         }
         self.drain_effects(net, decisions, computed)
     }
@@ -265,7 +359,7 @@ impl Worker {
                     OP_NONE,
                     EventKind::DecisionBroadcast { pos: index, block },
                 );
-                if !self.shared.config.fault_withhold_decisions {
+                if !self.shared.config.faults.withhold_decisions {
                     for m in 0..self.shared.machines {
                         if m != self.machine {
                             net.send(m, Msg::Decision { index, block }, 16);

@@ -1,8 +1,12 @@
 //! Cross-iteration coordination tests: loop-carried state, phis, and
-//! conditional edges, checked on multi-machine simulated clusters.
+//! conditional edges, checked on multi-machine simulated clusters —
+//! including under injected faults (`fault_*` tests): the Sec. 5.2.3
+//! input-bag selection rules and the Sec. 5.2.4 conditional-output
+//! discard must survive duplicated and reordered condition-decision
+//! broadcasts bit-identically.
 
-use mitos_core::rt::EngineConfig;
-use mitos_core::{run_sim, EngineResult};
+use mitos_core::rt::{EngineConfig, FaultPlan};
+use mitos_core::{run_sim, run_threads, EngineResult};
 use mitos_fs::InMemoryFs;
 use mitos_lang::Value;
 use mitos_sim::SimConfig;
@@ -172,6 +176,124 @@ fn pipelined_and_barrier_paths_are_identical() {
     assert_eq!(a.path, b.path);
     assert_eq!(a.outputs, b.outputs);
     assert_eq!(a.decisions, b.decisions, "same control-flow decisions");
+}
+
+/// A nested-loop program that leans on both coordination mechanisms under
+/// test: the inner loop's join picks its build-side input bag via the
+/// Sec. 5.2.3 prefix rules (the outer bag `x` is invariant across inner
+/// iterations), and the conditional `output` inside the `if` exercises the
+/// Sec. 5.2.4 conditional-output discard on every untaken iteration.
+const NESTED_COND_SRC: &str = r#"
+    total = 0;
+    i = 0;
+    while (i < 3) {
+        x = bag((1, i), (2, i + 10));
+        j = 0;
+        while (j < 2) {
+            y = bag((1, j), (2, j));
+            z = x join y;
+            if ((i + j) % 2 == 0) {
+                output(z, "taken");
+            }
+            total = total + z.count();
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    output(total, "t");
+"#;
+
+/// Runs [`NESTED_COND_SRC`] on the simulator with `plan` installed and
+/// metrics collection on.
+fn run_nested_with_plan(plan: FaultPlan, machines: u16) -> EngineResult {
+    let func = mitos_ir::compile_str(NESTED_COND_SRC).unwrap();
+    let fs = InMemoryFs::new();
+    run_sim(
+        &func,
+        &fs,
+        EngineConfig::new()
+            .with_obs(mitos_core::ObsLevel::Metrics)
+            .with_faults(plan),
+        SimConfig::with_machines(machines),
+    )
+    .unwrap()
+}
+
+/// Sec. 5.2.3 + 5.2.4 under **duplicated** condition-decision broadcasts:
+/// receiver-side dedup must make input-bag selection and conditional-output
+/// discard land on exactly the fault-free result.
+#[test]
+fn fault_duplicated_decisions_preserve_selection_and_discard() {
+    let clean = run_nested_with_plan(FaultPlan::default(), 3);
+    let dup = run_nested_with_plan(FaultPlan::new().with_duplicate(0.5).with_seed(11), 3);
+    assert!(
+        dup.sim.faults_duplicated > 0,
+        "the plan must actually duplicate: {:?}",
+        dup.sim
+    );
+    assert_eq!(dup.outputs, clean.outputs, "outputs under duplication");
+    assert_eq!(dup.path, clean.path, "execution path under duplication");
+    let cond_dropped = |r: &EngineResult| r.obs.as_ref().unwrap().metrics.total_cond_dropped();
+    assert!(
+        cond_dropped(&clean) > 0,
+        "the program must exercise conditional-output discard"
+    );
+    assert_eq!(
+        cond_dropped(&dup),
+        cond_dropped(&clean),
+        "5.2.4 discards exactly the same bags under duplicated decisions"
+    );
+}
+
+/// Sec. 5.2.3 + 5.2.4 under **reordered** condition-decision broadcasts:
+/// the path-prefix coordination is order-tolerant by design, so late
+/// decisions must not change which input bags are selected or which
+/// conditional outputs are discarded.
+#[test]
+fn fault_reordered_decisions_preserve_selection_and_discard() {
+    let clean = run_nested_with_plan(FaultPlan::default(), 3);
+    let reord = run_nested_with_plan(
+        FaultPlan::new()
+            .with_reorder(0.6)
+            .with_reorder_delay_ns(800_000)
+            .with_seed(23),
+        3,
+    );
+    assert!(
+        reord.sim.faults_reordered > 0,
+        "the plan must actually reorder: {:?}",
+        reord.sim
+    );
+    assert_eq!(reord.outputs, clean.outputs, "outputs under reordering");
+    assert_eq!(reord.path, clean.path, "execution path under reordering");
+    let cond_dropped = |r: &EngineResult| r.obs.as_ref().unwrap().metrics.total_cond_dropped();
+    assert_eq!(
+        cond_dropped(&reord),
+        cond_dropped(&clean),
+        "5.2.4 discards exactly the same bags under reordered decisions"
+    );
+}
+
+/// The same invariants on the thread driver, with drops added so the
+/// at-least-once relay has to retransmit: results must still equal the
+/// fault-free run's.
+#[test]
+fn fault_chaos_on_threads_matches_fault_free() {
+    let func = mitos_ir::compile_str(NESTED_COND_SRC).unwrap();
+    let clean_fs = InMemoryFs::new();
+    let clean = run_threads(&func, &clean_fs, EngineConfig::default(), 3).unwrap();
+    let plan = FaultPlan::new()
+        .with_drop(0.15)
+        .with_duplicate(0.2)
+        .with_reorder(0.3)
+        .with_seed(7);
+    for round in 0..3 {
+        let fs = InMemoryFs::new();
+        let r = run_threads(&func, &fs, EngineConfig::new().with_faults(plan.clone()), 3)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(r.outputs, clean.outputs, "round {round}");
+        assert_eq!(r.path, clean.path, "round {round}");
+    }
 }
 
 #[test]

@@ -8,7 +8,7 @@ use mitos_core::graph::LogicalGraph;
 use mitos_core::obs::watchdog::{Awaited, OpStall};
 use mitos_core::obs::{ObsLevel, TelemetryHub};
 use mitos_core::path::PathRules;
-use mitos_core::rt::{EngineConfig, EngineShared, Msg, Net};
+use mitos_core::rt::{EngineConfig, EngineShared, FaultPlan, Msg, Net};
 use mitos_core::{run_sim_live, run_threads, run_threads_live, EngineResult, Worker};
 use mitos_fs::InMemoryFs;
 use mitos_lang::Value;
@@ -120,7 +120,7 @@ fn withheld_decision_broadcast_trips_watchdog() {
     let deadline = 150_000_000; // 150ms wall clock
     let cfg = EngineConfig::new()
         .with_stall_deadline_ns(deadline)
-        .with_fault_withhold_decisions(true);
+        .with_faults(FaultPlan::new().with_withhold_decisions(true));
     // The stall report's operator ids refer to the graph the engine
     // actually ran, i.e. the post-fusion plan.
     let graph = mitos_core::planned_graph(&func, &cfg).unwrap();
@@ -222,6 +222,47 @@ fn withheld_decision_broadcast_trips_watchdog() {
         "{text}"
     );
     assert!(text.contains("awaiting input"), "{text}");
+}
+
+/// The pre-`FaultPlan` setter still works: it now writes through to
+/// `EngineConfig::faults.withhold_decisions`.
+#[test]
+#[allow(deprecated)]
+fn deprecated_withhold_setter_folds_into_fault_plan() {
+    let cfg = EngineConfig::new().with_fault_withhold_decisions(true);
+    assert!(cfg.faults.withhold_decisions);
+    assert!(cfg.faults.is_active(), "withholding is an active fault");
+    assert!(
+        !cfg.faults.net_faults_active(),
+        "withholding alone must not arm the delivery protocol"
+    );
+    let off = EngineConfig::new().with_fault_withhold_decisions(false);
+    assert!(!off.faults.withhold_decisions);
+    assert_eq!(off.faults, FaultPlan::default());
+}
+
+/// The migrated path on the simulator: a withheld decision broadcast is
+/// diagnosed as quiescence-without-exit, and the stall report names the
+/// injected fault.
+#[test]
+fn withheld_decisions_on_sim_name_the_fault_in_the_stall_report() {
+    let func = mitos_ir::compile_str(LOOP_SRC).unwrap();
+    let fs = loop_fs();
+    let cfg = EngineConfig::new().with_faults(FaultPlan::new().with_withhold_decisions(true));
+    let err = mitos_core::run_sim(&func, &fs, cfg, SimConfig::with_machines(3))
+        .expect_err("withheld decisions must stall the simulated run");
+    assert!(err.message.contains("quiesced"), "{}", err.message);
+    let report = *err.stall.expect("structured StallReport attached");
+    let fault = report.fault.as_deref().expect("stall names the fault");
+    assert!(
+        fault.contains("decision broadcasts withheld"),
+        "fault note: {fault}"
+    );
+    assert!(
+        report.render().contains("injected faults:"),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]

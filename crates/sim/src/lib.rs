@@ -25,7 +25,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Virtual time, in nanoseconds.
 pub type Time = u64;
@@ -94,6 +94,307 @@ impl SimConfig {
             machines,
             ..SimConfig::default()
         }
+    }
+}
+
+/// A timed window during which a machine processes no messages. Arrivals
+/// queue in its inbox and drain when the window closes (no loss).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PauseWindow {
+    /// The paused machine.
+    pub machine: MachineId,
+    /// Start of the window (virtual ns, inclusive).
+    pub from_ns: Time,
+    /// End of the window (virtual ns, exclusive).
+    pub until_ns: Time,
+}
+
+/// A timed symmetric link partition: messages between `a` and `b` that
+/// depart inside the window are dropped (both directions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the severed link.
+    pub a: MachineId,
+    /// The other side.
+    pub b: MachineId,
+    /// Start of the window (virtual ns, inclusive).
+    pub from_ns: Time,
+    /// End of the window (virtual ns, exclusive).
+    pub until_ns: Time,
+}
+
+/// What the fault schedule does to one physical remote message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver normally.
+    Deliver,
+    /// Drop the message.
+    Drop,
+    /// Deliver the message and a second copy `extra_delay_ns` later.
+    Duplicate {
+        /// Extra delay of the duplicate copy relative to the original.
+        extra_delay_ns: u64,
+    },
+    /// Delay delivery by `extra_delay_ns`, letting later sends overtake it.
+    Reorder {
+        /// Extra delay added on top of the normal delivery latency.
+        extra_delay_ns: u64,
+    },
+}
+
+/// splitmix64 finalizer: the fault schedule's only source of randomness,
+/// shared verbatim by the simulator and the threaded driver so the same
+/// seed yields the same per-link verdict sequence on both.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z = (z ^ (z >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^ (z >> 33)
+}
+
+/// Uniform in `[0, 1)` from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seeded, deterministic fault-injection schedule.
+///
+/// The verdict for the k-th physical message on a link is a pure function
+/// of `(seed, src, dst, k)` — no simulator RNG state is consumed — so the
+/// same plan produces a bit-identical fault schedule on every run, and
+/// retransmitted copies (new k) get fresh verdicts, which is what lets an
+/// at-least-once protocol make progress under any drop probability below
+/// one.
+///
+/// Network faults (drop / duplicate / reorder / partitions) apply only to
+/// remote, non-timer messages. Pauses and slowdowns model machine-side
+/// delays and lose nothing. The default plan is inert: a run with it is
+/// bit-identical to a run without.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault schedule (independent of [`SimConfig::seed`]).
+    pub seed: u64,
+    /// Per-message drop probability on remote links, in `[0, 1]`.
+    pub drop: f64,
+    /// Per-message duplication probability on remote links.
+    pub duplicate: f64,
+    /// Per-message reordering probability on remote links.
+    pub reorder: f64,
+    /// Bound on the extra delay given to reordered messages and duplicate
+    /// copies (ns).
+    pub reorder_delay_ns: u64,
+    /// Timed symmetric link partitions.
+    pub partitions: Vec<Partition>,
+    /// Timed per-machine processing pauses.
+    pub pauses: Vec<PauseWindow>,
+    /// Per-machine CPU slowdown factors (`(machine, factor)`, factor ≥ 1):
+    /// every message costs `factor` times as much on that machine.
+    pub slowdowns: Vec<(MachineId, u32)>,
+    /// Whether the runtime's recovery protocol (acks, dedup, retransmit)
+    /// may run. With this off, injected loss goes unrecovered and the
+    /// stall watchdog is expected to fire.
+    pub retransmit: bool,
+    /// Withhold all condition-decision broadcasts (the former
+    /// `MITOS_FAULT_WITHHOLD_DECISIONS` switch, folded in here): the
+    /// canonical unrecoverable control-plane fault.
+    pub withhold_decisions: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA017,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_delay_ns: 500_000,
+            partitions: Vec::new(),
+            pauses: Vec::new(),
+            slowdowns: Vec::new(),
+            retransmit: true,
+            withhold_decisions: false,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An inert plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Sets the fault-schedule seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-message drop probability.
+    pub fn with_drop(mut self, p: f64) -> FaultPlan {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> FaultPlan {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the per-message reordering probability.
+    pub fn with_reorder(mut self, p: f64) -> FaultPlan {
+        self.reorder = p;
+        self
+    }
+
+    /// Sets the extra-delay bound for reordered/duplicated copies.
+    pub fn with_reorder_delay_ns(mut self, ns: u64) -> FaultPlan {
+        self.reorder_delay_ns = ns;
+        self
+    }
+
+    /// Adds a timed symmetric partition between `a` and `b`.
+    pub fn with_partition(
+        mut self,
+        a: MachineId,
+        b: MachineId,
+        from_ns: Time,
+        until_ns: Time,
+    ) -> FaultPlan {
+        self.partitions.push(Partition {
+            a,
+            b,
+            from_ns,
+            until_ns,
+        });
+        self
+    }
+
+    /// Adds a timed processing pause on `machine`.
+    pub fn with_pause(mut self, machine: MachineId, from_ns: Time, until_ns: Time) -> FaultPlan {
+        self.pauses.push(PauseWindow {
+            machine,
+            from_ns,
+            until_ns,
+        });
+        self
+    }
+
+    /// Adds a CPU slowdown factor for `machine`.
+    pub fn with_slowdown(mut self, machine: MachineId, factor: u32) -> FaultPlan {
+        self.slowdowns.push((machine, factor));
+        self
+    }
+
+    /// Enables or disables the runtime recovery protocol.
+    pub fn with_retransmit(mut self, on: bool) -> FaultPlan {
+        self.retransmit = on;
+        self
+    }
+
+    /// Withholds condition-decision broadcasts.
+    pub fn with_withhold_decisions(mut self, on: bool) -> FaultPlan {
+        self.withhold_decisions = on;
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.net_faults_active()
+            || !self.pauses.is_empty()
+            || !self.slowdowns.is_empty()
+            || self.withhold_decisions
+    }
+
+    /// Whether any network-level fault (drop / duplicate / reorder /
+    /// partition) is configured — i.e. whether messages can be lost or
+    /// multiplied and the runtime needs its recovery protocol.
+    pub fn net_faults_active(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.reorder > 0.0 || !self.partitions.is_empty()
+    }
+
+    /// The verdict for the `k`-th physical message sent from `src` to
+    /// `dst`. Pure in `(seed, src, dst, k)`.
+    pub fn verdict(&self, src: MachineId, dst: MachineId, k: u64) -> Verdict {
+        let link = ((src as u64) << 17) | ((dst as u64) << 1) | 1;
+        let h0 = mix64(self.seed ^ mix64(link).wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let h1 = mix64(h0 ^ 0xD6E8_FEB8_6659_FD93);
+        let h2 = mix64(h1 ^ 0xA5A5_A5A5_A5A5_A5A5);
+        let bound = self.reorder_delay_ns.max(1);
+        if unit(h0) < self.drop {
+            Verdict::Drop
+        } else if unit(h1) < self.duplicate {
+            Verdict::Duplicate {
+                extra_delay_ns: h2 % bound,
+            }
+        } else if unit(h2) < self.reorder {
+            Verdict::Reorder {
+                extra_delay_ns: (h2 >> 7) % bound + 1,
+            }
+        } else {
+            Verdict::Deliver
+        }
+    }
+
+    /// Whether the link `a`–`b` is partitioned at time `t_ns`.
+    pub fn partitioned(&self, a: MachineId, b: MachineId, t_ns: Time) -> bool {
+        self.partitions.iter().any(|p| {
+            ((p.a == a && p.b == b) || (p.a == b && p.b == a))
+                && p.from_ns <= t_ns
+                && t_ns < p.until_ns
+        })
+    }
+
+    /// If `machine` is paused at `t_ns`, the time the pause ends.
+    pub fn pause_until(&self, machine: MachineId, t_ns: Time) -> Option<Time> {
+        self.pauses
+            .iter()
+            .filter(|p| p.machine == machine && p.from_ns <= t_ns && t_ns < p.until_ns)
+            .map(|p| p.until_ns)
+            .max()
+    }
+
+    /// CPU cost multiplier for `machine` (1 when not slowed).
+    pub fn slowdown_factor(&self, machine: MachineId) -> u64 {
+        self.slowdowns
+            .iter()
+            .filter(|(m, _)| *m == machine)
+            .map(|(_, f)| *f as u64)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// One-line human-readable description for stall reports and errors.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.drop > 0.0 {
+            parts.push(format!("drop {:.2}", self.drop));
+        }
+        if self.duplicate > 0.0 {
+            parts.push(format!("duplicate {:.2}", self.duplicate));
+        }
+        if self.reorder > 0.0 {
+            parts.push(format!("reorder {:.2}", self.reorder));
+        }
+        if !self.partitions.is_empty() {
+            parts.push(format!("{} partition window(s)", self.partitions.len()));
+        }
+        if !self.pauses.is_empty() {
+            parts.push(format!("{} pause window(s)", self.pauses.len()));
+        }
+        if !self.slowdowns.is_empty() {
+            parts.push(format!("{} slowed machine(s)", self.slowdowns.len()));
+        }
+        if self.withhold_decisions {
+            parts.push("decision broadcasts withheld".to_string());
+        }
+        if !self.retransmit {
+            parts.push("recovery protocol disabled".to_string());
+        }
+        if parts.is_empty() {
+            parts.push("none".to_string());
+        }
+        format!("{} (fault seed {:#x})", parts.join(", "), self.seed)
     }
 }
 
@@ -176,6 +477,12 @@ pub struct SimReport {
     pub cpu_ns: u64,
     /// Largest inbox depth observed on any machine.
     pub max_inbox: usize,
+    /// Remote messages dropped by the fault plan (including partitions).
+    pub faults_dropped: u64,
+    /// Remote messages duplicated by the fault plan.
+    pub faults_duplicated: u64,
+    /// Remote messages delayed past later sends by the fault plan.
+    pub faults_reordered: u64,
 }
 
 enum Event<M> {
@@ -202,7 +509,17 @@ pub struct Sim<W: World> {
     rng: StdRng,
     report: SimReport,
     outbox: Vec<Outgoing<W::Msg>>,
+    faults: FaultPlan,
+    /// Physical messages sent per (src, dst) link, keying the fault
+    /// schedule. Only maintained while network faults are active.
+    link_seq: HashMap<(MachineId, MachineId), u64>,
+    /// Clones a message for duplication faults; installed by
+    /// [`Sim::set_fault_plan`], whose `Clone` bound makes it available.
+    cloner: Option<MsgCloner<W::Msg>>,
 }
+
+/// Clones a message for duplication faults (see [`Sim::set_fault_plan`]).
+type MsgCloner<M> = fn(&M) -> M;
 
 impl<W: World> Sim<W> {
     /// Creates a simulator over `world`.
@@ -225,8 +542,24 @@ impl<W: World> Sim<W> {
             rng: StdRng::seed_from_u64(config.seed),
             report: SimReport::default(),
             outbox: Vec::new(),
+            faults: FaultPlan::default(),
+            link_seq: HashMap::new(),
+            cloner: None,
             config,
         }
+    }
+
+    /// Installs a fault-injection plan (before `run`). Requires `Clone`
+    /// messages because duplication faults materialize a second copy. The
+    /// default plan is inert; with one installed, verdicts come from the
+    /// plan's own hash schedule, so the simulator's jitter PRNG stream —
+    /// and therefore a fault-free run — is unaffected.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan)
+    where
+        W::Msg: Clone,
+    {
+        self.cloner = Some(|m| m.clone());
+        self.faults = plan;
     }
 
     /// Injects an initial message at time 0 (before `run`).
@@ -310,6 +643,12 @@ impl<W: World> Sim<W> {
                     }
                 }
                 Event::Process { machine } => {
+                    if let Some(until) = self.faults.pause_until(machine, t) {
+                        // The machine is paused: arrivals keep queueing,
+                        // processing resumes when the window closes.
+                        self.push_event(until, Event::Process { machine });
+                        continue;
+                    }
                     let m = &mut self.machines[machine as usize];
                     let Some((dest, msg)) = m.inbox.pop_front() else {
                         m.scheduled = false;
@@ -324,7 +663,8 @@ impl<W: World> Sim<W> {
                     };
                     self.world.handle(dest, msg, &mut ctx);
                     let charged = ctx.charged_ns;
-                    let cost = self.config.dispatch_cost_ns + charged;
+                    let cost = (self.config.dispatch_cost_ns + charged)
+                        * self.faults.slowdown_factor(machine);
                     self.report.cpu_ns += cost;
                     let done = t + cost;
                     let m = &mut self.machines[machine as usize];
@@ -339,23 +679,62 @@ impl<W: World> Sim<W> {
                     let outgoing = std::mem::take(&mut self.outbox);
                     for out in outgoing {
                         let arrival = match out.timer_delay {
+                            // Timers are local clock events, exempt from
+                            // network fault injection.
                             Some(delay) => done + delay,
+                            None if out.to.machine == machine => {
+                                done + self.config.local_latency_ns
+                            }
                             None => {
-                                if out.to.machine == machine {
-                                    done + self.config.local_latency_ns
+                                let base = self.config.net_latency_ns
+                                    + (out.bytes * 1000) / self.config.net_bytes_per_us.max(1);
+                                let jitter = if self.config.jitter_pct > 0 {
+                                    let pct = self.rng.gen_range(0..=self.config.jitter_pct as u64);
+                                    base * pct / 100
                                 } else {
-                                    let base = self.config.net_latency_ns
-                                        + (out.bytes * 1000) / self.config.net_bytes_per_us.max(1);
-                                    let jitter = if self.config.jitter_pct > 0 {
-                                        let pct =
-                                            self.rng.gen_range(0..=self.config.jitter_pct as u64);
-                                        base * pct / 100
-                                    } else {
-                                        0
+                                    0
+                                };
+                                self.report.remote_bytes += out.bytes;
+                                let mut arrival = done + base + jitter;
+                                if self.faults.net_faults_active() {
+                                    let k = {
+                                        let c = self
+                                            .link_seq
+                                            .entry((machine, out.to.machine))
+                                            .or_insert(0);
+                                        let k = *c;
+                                        *c += 1;
+                                        k
                                     };
-                                    self.report.remote_bytes += out.bytes;
-                                    done + base + jitter
+                                    if self.faults.partitioned(machine, out.to.machine, done) {
+                                        self.report.faults_dropped += 1;
+                                        continue;
+                                    }
+                                    match self.faults.verdict(machine, out.to.machine, k) {
+                                        Verdict::Deliver => {}
+                                        Verdict::Drop => {
+                                            self.report.faults_dropped += 1;
+                                            continue;
+                                        }
+                                        Verdict::Duplicate { extra_delay_ns } => {
+                                            if let Some(clone) = self.cloner {
+                                                self.report.faults_duplicated += 1;
+                                                self.push_event(
+                                                    arrival + extra_delay_ns,
+                                                    Event::Arrive {
+                                                        to: out.to,
+                                                        msg: clone(&out.msg),
+                                                    },
+                                                );
+                                            }
+                                        }
+                                        Verdict::Reorder { extra_delay_ns } => {
+                                            self.report.faults_reordered += 1;
+                                            arrival += extra_delay_ns;
+                                        }
+                                    }
                                 }
+                                arrival
                             }
                         };
                         self.push_event(
@@ -607,6 +986,200 @@ mod tests {
         let report = sim.run();
         assert_eq!(report.remote_bytes, 700);
         assert_eq!(report.messages, 3);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run_with = |fault_seed: u64| {
+            let mut sim = Sim::new(
+                quiet(3),
+                Relay {
+                    log: vec![],
+                    bytes: 100,
+                },
+            );
+            sim.set_fault_plan(
+                FaultPlan::new()
+                    .with_seed(fault_seed)
+                    .with_drop(0.3)
+                    .with_duplicate(0.3)
+                    .with_reorder(0.3),
+            );
+            sim.inject(
+                ActorId::new(0, 0),
+                Hop {
+                    hops_left: 40,
+                    cpu: 10,
+                },
+            );
+            let report = sim.run();
+            (report, sim.into_world().log)
+        };
+        let (r1, l1) = run_with(7);
+        let (r2, l2) = run_with(7);
+        assert_eq!(r1, r2);
+        assert_eq!(l1, l2);
+        assert!(
+            r1.faults_dropped + r1.faults_duplicated + r1.faults_reordered > 0,
+            "plan injected nothing: {r1:?}"
+        );
+        let (r3, _) = run_with(8);
+        assert_ne!(
+            (r1.faults_dropped, r1.faults_duplicated, r1.faults_reordered),
+            (r3.faults_dropped, r3.faults_duplicated, r3.faults_reordered),
+            "fault schedule should vary by seed"
+        );
+    }
+
+    #[test]
+    fn inert_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut config = quiet(3);
+            config.jitter_pct = 25;
+            let mut sim = Sim::new(
+                config,
+                Relay {
+                    log: vec![],
+                    bytes: 64,
+                },
+            );
+            if let Some(p) = plan {
+                sim.set_fault_plan(p);
+            }
+            sim.inject(
+                ActorId::new(0, 0),
+                Hop {
+                    hops_left: 12,
+                    cpu: 50,
+                },
+            );
+            let report = sim.run();
+            (report, sim.into_world().log)
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::new())));
+    }
+
+    #[test]
+    fn drop_one_severs_the_chain() {
+        let mut sim = Sim::new(
+            quiet(2),
+            Relay {
+                log: vec![],
+                bytes: 0,
+            },
+        );
+        sim.set_fault_plan(FaultPlan::new().with_drop(1.0));
+        sim.inject(
+            ActorId::new(0, 0),
+            Hop {
+                hops_left: 5,
+                cpu: 0,
+            },
+        );
+        let report = sim.run();
+        assert_eq!(sim.world().log.len(), 1, "first hop only (injected)");
+        assert_eq!(report.faults_dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let mut sim = Sim::new(
+            quiet(2),
+            Relay {
+                log: vec![],
+                bytes: 0,
+            },
+        );
+        sim.set_fault_plan(FaultPlan::new().with_duplicate(1.0).with_drop(0.0));
+        sim.inject(
+            ActorId::new(0, 0),
+            Hop {
+                hops_left: 1,
+                cpu: 0,
+            },
+        );
+        let report = sim.run();
+        // Injected message + original delivery + duplicate copy.
+        assert_eq!(sim.world().log.len(), 3);
+        assert_eq!(report.faults_duplicated, 1);
+    }
+
+    #[test]
+    fn partition_window_drops_only_inside_window() {
+        let mut sim = Sim::new(
+            quiet(2),
+            Relay {
+                log: vec![],
+                bytes: 0,
+            },
+        );
+        // The first remote send departs at t=0; partition 0..1 ns covers it.
+        sim.set_fault_plan(FaultPlan::new().with_partition(0, 1, 0, 1));
+        sim.inject(
+            ActorId::new(0, 0),
+            Hop {
+                hops_left: 3,
+                cpu: 0,
+            },
+        );
+        let report = sim.run();
+        assert_eq!(report.faults_dropped, 1);
+        assert_eq!(sim.world().log.len(), 1);
+    }
+
+    #[test]
+    fn pause_window_defers_processing_without_loss() {
+        struct Busy {
+            started_at: Vec<Time>,
+        }
+        impl World for Busy {
+            type Msg = ();
+            fn handle(&mut self, _dest: ActorId, _msg: (), ctx: &mut SimCtx<()>) {
+                self.started_at.push(ctx.now());
+            }
+        }
+        let mut sim = Sim::new(quiet(1), Busy { started_at: vec![] });
+        sim.set_fault_plan(FaultPlan::new().with_pause(0, 0, 4000));
+        sim.inject(ActorId::new(0, 0), ());
+        sim.run();
+        assert_eq!(sim.world().started_at, vec![4000], "processed after pause");
+    }
+
+    #[test]
+    fn slowdown_scales_per_message_cost() {
+        struct Busy;
+        impl World for Busy {
+            type Msg = ();
+            fn handle(&mut self, _dest: ActorId, _msg: (), ctx: &mut SimCtx<()>) {
+                ctx.charge(100);
+            }
+        }
+        let mut sim = Sim::new(quiet(1), Busy);
+        sim.set_fault_plan(FaultPlan::new().with_slowdown(0, 3));
+        sim.inject(ActorId::new(0, 0), ());
+        let report = sim.run();
+        assert_eq!(report.end_time, 300);
+    }
+
+    #[test]
+    fn verdicts_are_pure_in_seed_link_and_index() {
+        let plan = FaultPlan::new()
+            .with_seed(42)
+            .with_drop(0.2)
+            .with_duplicate(0.2)
+            .with_reorder(0.2);
+        for k in 0..64 {
+            assert_eq!(plan.verdict(0, 1, k), plan.verdict(0, 1, k));
+        }
+        let other = plan.clone().with_seed(43);
+        assert!(
+            (0..256).any(|k| plan.verdict(0, 1, k) != other.verdict(0, 1, k)),
+            "different seeds should give different schedules"
+        );
+        assert!(
+            (0..256).any(|k| plan.verdict(0, 1, k) != plan.verdict(1, 0, k)),
+            "links should have independent schedules"
+        );
     }
 
     #[test]

@@ -80,4 +80,22 @@ echo "$ablations_out" | grep -q "Ablation: operator chain fusion" || {
     exit 1
 }
 
+# Chaos smoke gate: a fixed-seed fault plan with moderate drop, duplication
+# and reordering must be fully absorbed by the at-least-once recovery
+# protocol — stdout bit-identical to the fault-free run.
+chaos_clean="$(./target/release/mitos run examples/nested_loops.mt --machines 3)"
+chaos_faulted="$(./target/release/mitos run examples/nested_loops.mt --machines 3 \
+    --fault-drop 0.2 --fault-dup 0.1 --fault-reorder 0.2 --fault-seed 7)"
+[ "$chaos_clean" = "$chaos_faulted" ] || {
+    echo "check.sh: chaos smoke gate failed — faulted output differs on nested_loops.mt" >&2
+    exit 1
+}
+
+# Fault matrix: the Sec. 5.2.3 / 5.2.4 coordination invariants under
+# duplicated and reordered decision broadcasts, on both drivers.
+cargo test -q --offline -p mitos-core --test coordination fault_ || {
+    echo "check.sh: fault-matrix coordination tests failed" >&2
+    exit 1
+}
+
 echo "check.sh: all green"

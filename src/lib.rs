@@ -72,7 +72,7 @@ pub use mitos_lang as lang;
 pub use mitos_sim as sim;
 pub use mitos_workloads as workloads;
 
-pub use mitos_core::rt::EngineConfig;
+pub use mitos_core::rt::{EngineConfig, FaultPlan};
 pub use mitos_core::{ObsLevel, ObsReport, Snapshot, StallReport};
 use mitos_fs::InMemoryFs;
 use mitos_ir::{BlockId, FuncIr};
@@ -259,8 +259,11 @@ pub struct LiveOptions {
     /// quiescence-without-exit and is diagnosed the same way.
     pub deadline_ns: u64,
     /// Fault injection for watchdog tests: condition decisions are applied
-    /// locally but never broadcast, wedging every other worker (see
-    /// [`mitos_core::rt::EngineConfig::fault_withhold_decisions`]).
+    /// locally but never broadcast, wedging every other worker. Shorthand
+    /// for [`FaultPlan::with_withhold_decisions`] on the run's
+    /// [`EngineConfig::faults`] plan (richer fault injection — message
+    /// drop/duplication/reordering, partitions — goes through
+    /// [`Run::config`] with [`EngineConfig::with_faults`]).
     pub fault_withhold_decisions: bool,
 }
 
@@ -372,6 +375,15 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// Installs a deterministic fault-injection plan ([`FaultPlan`]) on the
+    /// run's [`EngineConfig`]. Mitos engines only: the baselines and the
+    /// reference interpreter reject an active plan (they model fault-free
+    /// execution), and [`Run::execute`] fails accordingly.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
     /// Runs the program. File effects land in `fs`.
     pub fn execute(self, fs: &InMemoryFs) -> Result<Outcome, Error> {
         let Run {
@@ -388,7 +400,7 @@ impl<'a> Run<'a> {
         let live = live.unwrap_or(LiveOptions {
             sample_interval_ns: config.sample_interval_ns,
             deadline_ns: config.stall_deadline_ns,
-            fault_withhold_decisions: config.fault_withhold_decisions,
+            fault_withhold_decisions: config.faults.withhold_decisions,
         });
         if live != LiveOptions::default()
             && !matches!(
@@ -407,14 +419,32 @@ impl<'a> Run<'a> {
                 stall: None,
             });
         }
+        if config.faults.is_active()
+            && !matches!(
+                engine,
+                Engine::Mitos
+                    | Engine::MitosNoPipelining
+                    | Engine::MitosNoHoisting
+                    | Engine::MitosThreads
+            )
+        {
+            return Err(Error {
+                message: format!(
+                    "fault injection (--fault-* / EngineConfig::faults) requires a Mitos \
+                     engine (mitos|mitos-nopipe|mitos-nohoist|threads), not `{engine}` — \
+                     the baselines and the reference interpreter run fault-free only"
+                ),
+                stall: None,
+            });
+        }
         let mut noop = |_: &Snapshot| {};
         let on_snapshot = on_snapshot.unwrap_or(&mut noop);
         let mitos_config = || {
             let mut cfg = config
                 .clone()
                 .with_sample_interval_ns(live.sample_interval_ns)
-                .with_stall_deadline_ns(live.deadline_ns)
-                .with_fault_withhold_decisions(live.fault_withhold_decisions);
+                .with_stall_deadline_ns(live.deadline_ns);
+            cfg.faults.withhold_decisions = live.fault_withhold_decisions;
             if let Some(obs) = obs {
                 cfg = cfg.with_obs(obs);
             }

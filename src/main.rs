@@ -23,11 +23,17 @@ fn usage() -> ! {
          mitos-nohoist|flink|flink-jobs|spark|threads|reference]\n             \
          [--input name=path]... [--output-dir dir]\n             \
          [--explain] [--trace out.json] [--no-fuse]\n             \
-         [--progress] [--watch] [--interval MS] [--deadline MS]\n          \
+         [--progress] [--watch] [--interval MS] [--deadline MS]\n             \
+         [--fault-drop P] [--fault-dup P] [--fault-reorder P]\n             \
+         [--fault-partition A:B:FROM_MS:UNTIL_MS]... [--fault-seed N] [--fault-no-retransmit]\n          \
          # --progress: one live status line per interval (stderr)\n          \
          # --watch: live per-operator table per interval (stderr)\n          \
          # --deadline: stall watchdog; no progress for MS ms aborts with exit 2\n          \
-         # --no-fuse: disable operator chain fusion in the physical planner\n  \
+         # --no-fuse: disable operator chain fusion in the physical planner\n          \
+         # --fault-*: seeded deterministic fault injection (Mitos engines only);\n          \
+         #   drop/dup/reorder are per-message probabilities in [0,1]; recovery runs\n          \
+         #   an at-least-once retransmission protocol unless --fault-no-retransmit,\n          \
+         #   in which case an unrecoverable stall exits 2 naming the faults\n  \
          mitos explain <program> [run options]   # per-operator runtime report\n  \
          mitos profile <program> [run options] [--profile-json out.json] [--dot out.dot]\n          \
          # per-iteration attribution + critical path (Mitos engines only)\n  \
@@ -154,6 +160,13 @@ fn main() -> ExitCode {
             let mut watch = false;
             let mut interval_ms: u64 = 200;
             let mut deadline_ms: Option<u64> = None;
+            let mut fault_drop: f64 = 0.0;
+            let mut fault_dup: f64 = 0.0;
+            let mut fault_reorder: f64 = 0.0;
+            let mut fault_partitions: Vec<(u16, u16, u64, u64)> = Vec::new();
+            let mut fault_seed: Option<u64> = None;
+            let mut fault_no_retransmit = false;
+            let mut fault_flags = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -222,6 +235,65 @@ fn main() -> ExitCode {
                                 .unwrap_or_else(|| usage()),
                         );
                     }
+                    "--fault-drop" => {
+                        i += 1;
+                        fault_drop = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|p| (0.0..=1.0).contains(p))
+                            .unwrap_or_else(|| usage());
+                        fault_flags = true;
+                    }
+                    "--fault-dup" => {
+                        i += 1;
+                        fault_dup = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|p| (0.0..=1.0).contains(p))
+                            .unwrap_or_else(|| usage());
+                        fault_flags = true;
+                    }
+                    "--fault-reorder" => {
+                        i += 1;
+                        fault_reorder = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|p| (0.0..=1.0).contains(p))
+                            .unwrap_or_else(|| usage());
+                        fault_flags = true;
+                    }
+                    "--fault-partition" => {
+                        i += 1;
+                        let spec = args.get(i).unwrap_or_else(|| usage());
+                        let parts: Vec<&str> = spec.split(':').collect();
+                        let machine = |j: usize| parts.get(j).and_then(|s| s.parse::<u16>().ok());
+                        let millis = |j: usize| {
+                            parts
+                                .get(j)
+                                .and_then(|s| s.parse::<u64>().ok())
+                                .map(|ms| ms.saturating_mul(1_000_000))
+                        };
+                        match (machine(0), machine(1), millis(2), millis(3)) {
+                            (Some(a), Some(b), Some(from), Some(until)) if parts.len() == 4 => {
+                                fault_partitions.push((a, b, from, until));
+                            }
+                            _ => usage(),
+                        }
+                        fault_flags = true;
+                    }
+                    "--fault-seed" => {
+                        i += 1;
+                        fault_seed = Some(
+                            args.get(i)
+                                .and_then(|s| s.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        );
+                        fault_flags = true;
+                    }
+                    "--fault-no-retransmit" => {
+                        fault_no_retransmit = true;
+                        fault_flags = true;
+                    }
                     _ => usage(),
                 }
                 i += 1;
@@ -258,6 +330,26 @@ fn main() -> ExitCode {
                      (mitos|mitos-nopipe|mitos-nohoist|threads), not `{engine}`"
                 );
                 return ExitCode::from(2);
+            }
+            // Fault injection exists only where the recovery protocol does.
+            if fault_flags && !obs_capable {
+                eprintln!(
+                    "error: --fault-* requires a Mitos engine \
+                     (mitos|mitos-nopipe|mitos-nohoist|threads), not `{engine}` — \
+                     the baselines and the reference interpreter run fault-free only"
+                );
+                return ExitCode::from(2);
+            }
+            let mut faults = mitos::FaultPlan::new()
+                .with_drop(fault_drop)
+                .with_duplicate(fault_dup)
+                .with_reorder(fault_reorder)
+                .with_retransmit(!fault_no_retransmit);
+            if let Some(seed) = fault_seed {
+                faults = faults.with_seed(seed);
+            }
+            for (a, b, from_ns, until_ns) in fault_partitions {
+                faults = faults.with_partition(a, b, from_ns, until_ns);
             }
             let fs = InMemoryFs::new();
             for (name, path) in &inputs {
@@ -300,7 +392,9 @@ fn main() -> ExitCode {
                 fault_withhold_decisions: std::env::var("MITOS_FAULT_WITHHOLD_DECISIONS")
                     .is_ok_and(|v| v == "1"),
             };
-            let engine_cfg = EngineConfig::new().with_fusion(!no_fuse);
+            let engine_cfg = EngineConfig::new()
+                .with_fusion(!no_fuse)
+                .with_faults(faults);
             // The watch table indexes operators by id, so it must see the
             // plan the engine actually runs (post-fusion).
             let graph_for_watch = if watch {

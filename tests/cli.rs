@@ -197,6 +197,99 @@ fn withheld_decisions_trip_watchdog_and_exit_2() {
 }
 
 #[test]
+fn fault_drop_without_retransmit_exits_2_naming_the_dropped_traffic() {
+    let program = write_temp("prog9.mt", PROGRAM);
+    let data = write_temp(
+        "visits9.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--machines",
+            "2",
+            "--fault-drop",
+            "1.0",
+            "--fault-no-retransmit",
+            "--input",
+            &format!("visits={}", data.display()),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let err = String::from_utf8_lossy(&output.stderr);
+    // The stall report names the injected fault and what it withheld.
+    assert!(err.contains("runtime error:"), "{err}");
+    assert!(err.contains("injected faults:"), "{err}");
+    assert!(err.contains("dropped"), "{err}");
+    assert!(err.contains("drop 1.00"), "{err}");
+    assert!(err.contains("recovery protocol disabled"), "{err}");
+}
+
+#[test]
+fn fault_recovery_reproduces_the_fault_free_output() {
+    let program = write_temp("prog10.mt", PROGRAM);
+    let data = write_temp(
+        "visits10.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let run = |extra: &[&str]| -> String {
+        let mut args = vec![
+            "run".to_string(),
+            program.to_str().unwrap().to_string(),
+            "--machines".to_string(),
+            "3".to_string(),
+            "--input".to_string(),
+            format!("visits={}", data.display()),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let output = mitos().args(&args).output().unwrap();
+        assert!(output.status.success(), "{extra:?}: {output:?}");
+        String::from_utf8_lossy(&output.stdout).to_string()
+    };
+    let clean = run(&[]);
+    let faulted = run(&[
+        "--fault-drop",
+        "0.2",
+        "--fault-dup",
+        "0.1",
+        "--fault-reorder",
+        "0.2",
+        "--fault-seed",
+        "7",
+    ]);
+    assert_eq!(faulted, clean, "recovered run must match fault-free output");
+}
+
+#[test]
+fn fault_flags_require_a_mitos_engine() {
+    let program = write_temp("prog11.mt", PROGRAM);
+    let flag_sets: [&[&str]; 3] = [
+        &["--fault-drop", "0.1"],
+        &["--fault-partition", "0:1:0:50"],
+        &["--fault-no-retransmit"],
+    ];
+    for flags in flag_sets {
+        for engine in ["spark", "flink-jobs", "reference"] {
+            let mut args = vec!["run", program.to_str().unwrap(), "--engine", engine];
+            args.extend_from_slice(flags);
+            let output = mitos().args(&args).output().unwrap();
+            assert_eq!(
+                output.status.code(),
+                Some(2),
+                "{engine} {flags:?}: {output:?}"
+            );
+            let err = String::from_utf8_lossy(&output.stderr);
+            assert!(
+                err.contains("--fault-* requires a Mitos engine"),
+                "{engine} {flags:?}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
 fn explain_prints_operator_stats() {
     let program = write_temp("prog5.mt", PROGRAM);
     let data = write_temp(

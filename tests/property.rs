@@ -12,7 +12,7 @@ use mitos::fs::InMemoryFs;
 use mitos::lang::ast::{Lambda, Program, Stmt, SurfExpr};
 use mitos::lang::expr::BinOp;
 use mitos::sim::SimConfig;
-use mitos::{Engine, EngineConfig, Run};
+use mitos::{Engine, EngineConfig, FaultPlan, Run};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -381,5 +381,85 @@ proptest! {
         let reparsed = mitos::lang::parse(&src)
             .unwrap_or_else(|e| panic!("{e}\n{src}"));
         prop_assert_eq!(program, reparsed);
+    }
+}
+
+/// A random seeded [`FaultPlan`]: moderate per-message drop, duplication
+/// and reordering probabilities (drops stay below the level where
+/// retransmission rounds dominate the wall clock), always with the
+/// at-least-once recovery protocol on.
+fn arb_fault_plan() -> BoxedStrategy<FaultPlan> {
+    (
+        any::<u64>(),
+        0.0f64..0.25,
+        0.0f64..0.4,
+        0.0f64..0.5,
+        50_000u64..1_000_000,
+    )
+        .prop_map(|(seed, drop, dup, reorder, delay)| {
+            FaultPlan::new()
+                .with_seed(seed)
+                .with_drop(drop)
+                .with_duplicate(dup)
+                .with_reorder(reorder)
+                .with_reorder_delay_ns(delay)
+        })
+        .boxed()
+}
+
+proptest! {
+    // The chaos gate runs more cases than the equivalence suites above:
+    // each case exercises BOTH Mitos drivers (simulator and real threads)
+    // under an independent random fault schedule.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    /// The chaos property (this PR's gate): a random program under a
+    /// random seeded fault plan — message drops recovered by
+    /// retransmission, duplicates deduplicated, reorderings tolerated —
+    /// produces outputs and a final execution path bit-identical to the
+    /// same program's fault-free run, on the simulator and on real
+    /// threads.
+    #[test]
+    fn chaos_faults_never_change_results(
+        program in arb_program(),
+        machines in 2u16..5,
+        seed in 0u64..1000,
+        plan in arb_fault_plan(),
+    ) {
+        let src = program.to_string();
+        let func = mitos::ir::compile(&program)
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let mut cluster = SimConfig::with_machines(machines);
+        cluster.seed = seed;
+        cluster.jitter_pct = 35;
+        for engine in [Engine::Mitos, Engine::MitosThreads] {
+            let fs = InMemoryFs::new();
+            let clean = Run::new(&func)
+                .engine(engine)
+                .cluster(cluster)
+                .execute(&fs)
+                .unwrap_or_else(|e| panic!("{engine} fault-free: {e}\n{src}"));
+            let fs = InMemoryFs::new();
+            let faulted = Run::new(&func)
+                .engine(engine)
+                .cluster(cluster)
+                .faults(plan.clone())
+                .execute(&fs)
+                .unwrap_or_else(|e| panic!(
+                    "{engine} under {}: {e}\n{src}", plan.summary()
+                ));
+            prop_assert_eq!(
+                &faulted.outputs, &clean.outputs,
+                "{} outputs diverged under {}:\n{}", engine, plan.summary(), src
+            );
+            prop_assert_eq!(
+                &faulted.path, &clean.path,
+                "{} path diverged under {}:\n{}", engine, plan.summary(), src
+            );
+        }
     }
 }
