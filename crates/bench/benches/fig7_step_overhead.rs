@@ -6,6 +6,7 @@
 
 use mitos_baselines::{run_naiad_loop, run_tf_loop, NaiadConfig, TfConfig};
 use mitos_bench::{full_scale, trivial_loop_program, BenchReport, System, Table};
+use mitos_core::{build_step_trees, EngineConfig, ObsLevel, PhaseHistograms};
 use mitos_fs::InMemoryFs;
 use mitos_sim::SimConfig;
 
@@ -79,6 +80,33 @@ fn main() {
     }
     table.print();
     report.factor("spark_vs_mitos_step_max", max_spark);
+
+    // Where does the per-step overhead go? One traced Mitos run at a
+    // mid-sweep cluster size, decomposed into the control-plane phases
+    // (see `mitos_core::obs::histo`) and recorded as extra rows.
+    let cluster = SimConfig::with_machines(5);
+    let traced_cfg = EngineConfig::new().with_obs(ObsLevel::Trace);
+    let fs = InMemoryFs::new();
+    let traced = mitos_core::run_sim(&func, &fs, traced_cfg.clone(), cluster).expect("traced run");
+    let histos = PhaseHistograms::from_trees(&build_step_trees(traced.obs.as_ref().unwrap()));
+    println!("\nMitos control-plane phase latencies (5 machines, ns):");
+    for (phase, h) in histos.phases() {
+        println!(
+            "  {phase:<13} p50={:>8} p99={:>8} max={:>8} (n={})",
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max_ns,
+            h.count
+        );
+        report.row(vec![
+            ("phase", phase.into()),
+            ("p50_ns", h.quantile(0.5).into()),
+            ("p99_ns", h.quantile(0.99).into()),
+            ("max_ns", h.max_ns.into()),
+            ("count", h.count.into()),
+        ]);
+    }
+    report.provenance(cluster.seed, traced_cfg.digest());
     report.write();
     println!("\npaper: job-per-step systems grow linearly with machines and sit");
     println!("~100x above the native-iteration systems, which stay flat.");

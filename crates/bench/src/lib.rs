@@ -23,6 +23,27 @@ pub fn full_scale() -> bool {
     std::env::var_os("MITOS_BENCH_FULL").is_some()
 }
 
+/// The commit the bench binary measures: `MITOS_GIT_SHA` when set (CI
+/// exports it so builds from detached checkouts still stamp correctly),
+/// else `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("MITOS_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// The systems compared across the figures.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum System {
@@ -301,6 +322,7 @@ pub struct BenchReport {
     title: String,
     rows: Vec<Vec<(String, Cell)>>,
     factors: Vec<(String, f64)>,
+    provenance: Option<(String, u64, u64)>,
 }
 
 impl BenchReport {
@@ -312,7 +334,17 @@ impl BenchReport {
             title: title.to_string(),
             rows: Vec::new(),
             factors: Vec::new(),
+            provenance: None,
         }
+    }
+
+    /// Stamps the report with its provenance: the git commit it measured
+    /// (from `MITOS_GIT_SHA`, falling back to `git rev-parse`), the bench
+    /// seed, and the engine-config digest
+    /// ([`EngineConfig::digest`]) — so `scripts/bench_compare.sh` can warn
+    /// when two reports measured different configurations.
+    pub fn provenance(&mut self, seed: u64, config_digest: u64) {
+        self.provenance = Some((git_sha(), seed, config_digest));
     }
 
     /// Records one row of the measured series as named cells; keys are
@@ -363,7 +395,14 @@ impl BenchReport {
             };
             out.push_str(&format!("{}:{}", json_str(k), val));
         }
-        out.push_str("}}\n");
+        out.push('}');
+        if let Some((sha, seed, digest)) = &self.provenance {
+            out.push_str(&format!(
+                ",\"git_sha\":{},\"seed\":{seed},\"config_digest\":{digest}",
+                json_str(sha)
+            ));
+        }
+        out.push_str("}\n");
         out
     }
 
@@ -470,6 +509,29 @@ mod tests {
             json.contains("\"factors\":{\"spark_vs_mitos_max\":10}"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn bench_report_stamps_provenance_after_factors() {
+        let mut r = BenchReport::new("figP", "provenance");
+        r.factor("f", 1.0);
+        r.provenance(42, 0xdead_beef);
+        let json = r.to_json();
+        let digest = 0xdead_beefu64;
+        assert!(
+            json.contains(&format!("\"seed\":42,\"config_digest\":{digest}")),
+            "{json}"
+        );
+        let sha_at = json.find("\"git_sha\":").expect("git_sha stamped");
+        let factors_at = json.find("\"factors\":").unwrap();
+        assert!(
+            factors_at < sha_at,
+            "provenance must follow the factors object: {json}"
+        );
+        // Without the stamp the report keeps its original schema.
+        assert!(!BenchReport::new("figQ", "bare")
+            .to_json()
+            .contains("git_sha"));
     }
 
     #[test]

@@ -156,6 +156,7 @@ pub fn run_sim_live(
         fs: fs.clone(),
         machines: cluster.machines,
         telemetry,
+        flight: crate::obs::recorder::FlightRecorder::new(cluster.machines),
     });
     let workers = (0..cluster.machines)
         .map(|m| Worker::new(shared.clone(), m))
@@ -189,6 +190,7 @@ pub fn run_sim_live(
     // plan summary plus what the simulator's fault layer actually did.
     let diagnose_with_faults = |workers: &[Worker]| {
         let mut diag = obs::diagnose(workers, 0, 0);
+        diag.flight = shared.flight.dump_lines();
         if shared.config.faults.is_active() {
             let retransmits = workers.iter().map(Worker::retransmits).sum();
             diag.fault = Some(obs::fault_note(

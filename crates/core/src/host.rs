@@ -468,6 +468,15 @@ impl Host {
     /// Starts the output bag for the occurrence at `pos`: selects input
     /// bags (5.2.3), garbage-collects superseded buffers, consults the
     /// hoisting cache, and initializes operator state.
+    ///
+    /// Stream-order invariant: `BagOpened` is recorded *before* any of
+    /// this bag's `InputSelected`/`HoistHit` events, and the bag's
+    /// `BagFinalized` after all of them — the span layer
+    /// ([`crate::obs::span`]) associates those children with "the bag
+    /// this `(machine, op)` has open right now", so the per-machine
+    /// record order is load-bearing. (`SendResolved` is exempt: a
+    /// conditional send may resolve after the bag closed, so it carries
+    /// its own bag identifier instead.)
     fn start_bag(
         &mut self,
         pos: u32,

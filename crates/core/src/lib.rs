@@ -37,8 +37,9 @@ pub use engine::{extract_outputs, run_sim, run_sim_live, run_source_sim, EngineR
 pub use fuse::{fuse_graph, planned_graph};
 pub use graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
 pub use obs::{
-    build_profile, critical_path, progress_line, watch_table, BagNode, CriticalPath, Event,
-    EventKind, ObsLevel, ObsReport, Profile, Snapshot, StallReport, TelemetryHub,
+    build_profile, build_step_trees, critical_path, progress_line, render_tree, watch_table,
+    BagNode, CriticalPath, Event, EventKind, FlightRecorder, Histogram, ObsLevel, ObsReport,
+    PhaseHistograms, Profile, Snapshot, SpanCtx, StallReport, StepTree, TelemetryHub,
 };
 pub use path::{BagId, ExecutionPath, LoopInfo, LoopNest, PathRules, SendDecision};
 pub use relay::{Relay, ReliableNet};

@@ -91,6 +91,9 @@ fn args_json(kind: &EventKind) -> String {
         EventKind::DecisionBroadcast { pos, block } => {
             format!("{{\"pos\":{pos},\"block\":{block}}}")
         }
+        EventKind::DecisionReceived { pos, block, parent } => {
+            format!("{{\"pos\":{pos},\"block\":{block},\"parent\":{parent}}}")
+        }
         EventKind::PathAppended { pos, block } => {
             format!("{{\"pos\":{pos},\"block\":{block}}}")
         }
@@ -101,8 +104,13 @@ fn args_json(kind: &EventKind) -> String {
             format!("{{\"bag_len\":{bag_len},\"count\":{count}}}")
         }
         EventKind::StepReleased { pos } => format!("{{\"pos\":{pos}}}"),
-        EventKind::RetransmitSent { peer, seq, attempt } => {
-            format!("{{\"peer\":{peer},\"seq\":{seq},\"attempt\":{attempt}}}")
+        EventKind::RetransmitSent {
+            peer,
+            seq,
+            attempt,
+            step,
+        } => {
+            format!("{{\"peer\":{peer},\"seq\":{seq},\"attempt\":{attempt},\"step\":{step}}}")
         }
         EventKind::DuplicateDropped { peer, seq } => {
             format!("{{\"peer\":{peer},\"seq\":{seq}}}")

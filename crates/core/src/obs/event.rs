@@ -132,6 +132,17 @@ pub enum EventKind {
         /// The chosen successor block.
         block: BlockId,
     },
+    /// A remote control-flow manager received a broadcast decision. The
+    /// wire-carried trace context ties the receipt back to the decider's
+    /// span (see [`crate::obs::span`]).
+    DecisionReceived {
+        /// Path position the decision resolves.
+        pos: u32,
+        /// The chosen successor block.
+        block: BlockId,
+        /// Parent span id carried on the wire (the decider's Decide span).
+        parent: u64,
+    },
     /// The local execution path gained a block occurrence.
     PathAppended {
         /// New path position.
@@ -168,6 +179,11 @@ pub enum EventKind {
         seq: u64,
         /// Retransmission round (1 = first retry).
         attempt: u32,
+        /// Step index when the retransmitted payload is a
+        /// [`crate::rt::Msg::Decision`]; `u32::MAX` for every other
+        /// payload. Lets the span layer annotate receipt spans with
+        /// attempt counts without conflating data retransmissions.
+        step: u32,
     },
     /// Receiver-side dedup discarded a duplicate reliable delivery
     /// (fault-injection runs only).
@@ -192,6 +208,7 @@ impl EventKind {
             EventKind::PunctuationSent { .. } => "punctuation_sent",
             EventKind::SinkWrote { .. } => "sink_wrote",
             EventKind::DecisionBroadcast { .. } => "decision_broadcast",
+            EventKind::DecisionReceived { .. } => "decision_received",
             EventKind::PathAppended { .. } => "path_appended",
             EventKind::IoStarted { .. } => "io_started",
             EventKind::IoFinished { .. } => "io_finished",

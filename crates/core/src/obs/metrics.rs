@@ -150,6 +150,9 @@ pub struct MetricsRegistry {
     pub edges: Vec<EdgeMetrics>,
     /// Control-flow decisions broadcast by the control-flow managers.
     pub decisions_broadcast: u64,
+    /// Broadcast decisions received by remote control-flow managers
+    /// (post-dedup when the recovery protocol is active).
+    pub decisions_received: u64,
     /// Block occurrences appended to local execution paths.
     pub path_appends: u64,
     /// Superstep barrier releases (non-pipelined mode).
@@ -222,6 +225,7 @@ impl MetricsRegistry {
             EventKind::PunctuationSent { .. } => self.op_mut(op).punctuations += 1,
             EventKind::SinkWrote { count, .. } => self.op_mut(op).sink_written += count,
             EventKind::DecisionBroadcast { .. } => self.decisions_broadcast += 1,
+            EventKind::DecisionReceived { .. } => self.decisions_received += 1,
             EventKind::PathAppended { .. } => self.path_appends += 1,
             EventKind::IoStarted { .. } => self.op_mut(op).io_reads += 1,
             EventKind::IoFinished { count, .. } => self.op_mut(op).io_elements += count,
@@ -234,6 +238,7 @@ impl MetricsRegistry {
                 || matches!(
                     kind,
                     EventKind::DecisionBroadcast { .. }
+                        | EventKind::DecisionReceived { .. }
                         | EventKind::PathAppended { .. }
                         | EventKind::StepReleased { .. }
                         | EventKind::RetransmitSent { .. }
@@ -259,6 +264,7 @@ impl MetricsRegistry {
             a.merge(b);
         }
         self.decisions_broadcast += other.decisions_broadcast;
+        self.decisions_received += other.decisions_received;
         self.path_appends += other.path_appends;
         self.steps_released += other.steps_released;
         self.retransmits += other.retransmits;

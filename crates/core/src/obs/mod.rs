@@ -23,18 +23,24 @@ pub mod chrome;
 pub mod critical;
 pub mod event;
 pub mod explain;
+pub mod histo;
 pub mod live;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
+pub mod span;
 pub mod watchdog;
 
 pub use chrome::{chrome_trace, validate_json};
 pub use critical::{critical_path, BagNode, CriticalPath};
 pub use event::{Event, EventKind, InputRule, OP_NONE};
 pub use explain::{explain_parts, explain_report};
+pub use histo::{Histogram, PhaseHistograms};
 pub use live::{progress_line, watch_table, OpSnapshot, Snapshot, TelemetryHub, WorkerSnapshot};
 pub use metrics::{EdgeMetrics, LatencyStats, MetricsRegistry, OpMetrics};
 pub use profile::{build_profile, Profile};
+pub use recorder::{FlightRecorder, FLIGHT_SLOTS};
+pub use span::{build_step_trees, render_tree, span_id, Span, SpanCtx, SpanKind, StepTree};
 pub use watchdog::{diagnose, fault_note, Awaited, OpStall, StallReport, WorkerStall};
 
 use crate::path::LoopNest;

@@ -137,6 +137,11 @@ pub struct StallReport {
     /// retransmission rounds), so an unrecoverable stall names its cause.
     /// `None` on fault-free runs (see [`fault_note`]).
     pub fault: Option<String>,
+    /// The always-on flight recorder's dump: one line per worker holding
+    /// its last ring of handled messages (captured even at
+    /// [`crate::obs::ObsLevel::Off`]). Empty when the driver did not
+    /// attach a dump.
+    pub flight: Vec<String>,
 }
 
 impl StallReport {
@@ -208,6 +213,12 @@ impl StallReport {
         if !any {
             let _ = writeln!(out, "  all workers exited and idle");
         }
+        if !self.flight.is_empty() {
+            let _ = writeln!(out, "  flight recorder (most recent events per worker):");
+            for line in &self.flight {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
         out
     }
 }
@@ -225,6 +236,7 @@ pub fn diagnose(workers: &[crate::worker::Worker], deadline_ns: u64, idle_ns: u6
             .map(crate::worker::Worker::stall_info)
             .collect(),
         fault: None,
+        flight: Vec::new(),
     }
 }
 

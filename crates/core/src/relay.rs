@@ -196,15 +196,18 @@ impl Relay {
     }
 
     /// A retransmission timer fired for `peer`: re-sends everything still
-    /// unacked and re-arms with backoff. Returns `(peer, seq, attempt)` per
-    /// retransmitted envelope for observability, or an error once the
-    /// attempt budget is exhausted (`fault_note` names the injected plan).
+    /// unacked and re-arms with backoff. Returns `(peer, seq, attempt,
+    /// step)` per retransmitted envelope for observability — `step` is the
+    /// decision index when the payload is a [`Msg::Decision`] and
+    /// `u32::MAX` otherwise, so the span layer can count decision-delivery
+    /// attempts — or an error once the attempt budget is exhausted
+    /// (`fault_note` names the injected plan).
     pub fn on_tick(
         &mut self,
         net: &mut dyn Net,
         peer: u16,
         fault_note: &str,
-    ) -> Result<Vec<(u16, u64, u32)>, RuntimeError> {
+    ) -> Result<Vec<(u16, u64, u32, u32)>, RuntimeError> {
         let m = peer as usize;
         self.tick_armed[m] = false;
         if self.unacked[m].is_empty() {
@@ -230,6 +233,10 @@ impl Relay {
             .collect();
         let mut recorded = Vec::with_capacity(resend.len());
         for (seq, msg, bytes) in resend {
+            let step = match &msg {
+                Msg::Decision { index, .. } => *index,
+                _ => u32::MAX,
+            };
             net.send(
                 peer,
                 Msg::Reliable {
@@ -240,7 +247,7 @@ impl Relay {
                 bytes + 24,
             );
             self.retransmits += 1;
-            recorded.push((peer, seq, attempt));
+            recorded.push((peer, seq, attempt, step));
         }
         self.arm(net, peer);
         Ok(recorded)
@@ -305,7 +312,11 @@ mod tests {
     }
 
     fn decision() -> Msg {
-        Msg::Decision { index: 3, block: 1 }
+        Msg::Decision {
+            index: 3,
+            block: 1,
+            ctx: crate::obs::span::SpanCtx::default(),
+        }
     }
 
     #[test]
@@ -369,7 +380,7 @@ mod tests {
         net.sent.clear();
         net.timers.clear();
         let resent = relay.on_tick(&mut net, 1, "drop 1.00").unwrap();
-        assert_eq!(resent, vec![(1, 0, 1)]);
+        assert_eq!(resent, vec![(1, 0, 1, 3)], "step = the decision's index");
         assert_eq!(net.sent.len(), 1);
         assert_eq!(net.timers.len(), 1);
         assert_eq!(net.timers[0].0, BASE_BACKOFF_NS << 1, "backoff doubled");

@@ -163,6 +163,19 @@ impl EngineConfig {
         self.faults.withhold_decisions = on;
         self
     }
+
+    /// A stable 64-bit digest of the full configuration (FNV-1a over the
+    /// `Debug` rendering). Stamped into bench reports so
+    /// `scripts/bench_compare.sh` can warn when two reports were produced
+    /// under different engine configurations.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
 }
 
 /// Nanoseconds per millisecond: the runtime keeps **all** durations in
@@ -187,6 +200,10 @@ pub struct EngineShared {
     /// workers and sampled by the drivers into
     /// [`crate::obs::live::Snapshot`]s.
     pub telemetry: crate::obs::live::TelemetryHub,
+    /// Always-on per-worker flight recorder (fixed-size lock-free rings,
+    /// active even at [`ObsLevel::Off`]); its last events are dumped into
+    /// stall reports and fault post-mortems.
+    pub flight: crate::obs::recorder::FlightRecorder,
 }
 
 /// Messages exchanged between workers (one worker actor per machine).
@@ -201,6 +218,11 @@ pub enum Msg {
         index: u32,
         /// The chosen basic block.
         block: BlockId,
+        /// Wire-carried trace context: the decider's step id and Decide
+        /// span id, so receivers can tie their receipt spans back to the
+        /// broadcasting span (see [`crate::obs::span`]). Deterministic —
+        /// derived from protocol coordinates, never a clock.
+        ctx: crate::obs::span::SpanCtx,
     },
     /// A batch of bag elements on a physical edge.
     Data {

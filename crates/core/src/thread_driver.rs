@@ -186,6 +186,7 @@ pub fn run_threads_live(
         fs: fs.clone(),
         machines,
         telemetry,
+        flight: crate::obs::recorder::FlightRecorder::new(machines),
     });
 
     let epoch = Instant::now();
@@ -380,6 +381,7 @@ pub fn run_threads_live(
         // pending conditional-send watchers). A fault-injected run names
         // the injected faults alongside.
         let mut diag = crate::obs::diagnose(&workers, deadline, idle_ns);
+        diag.flight = shared.flight.dump_lines();
         if shared.config.faults.is_active() {
             let retransmits = workers.iter().map(Worker::retransmits).sum();
             diag.fault = Some(obs::fault_note(

@@ -155,8 +155,12 @@ impl Worker {
             return;
         }
         // Live telemetry: every handled message is progress (the stall
-        // watchdog watches this timestamp). Charges zero virtual time.
-        self.shared.telemetry.touch(self.machine, net.now_ns());
+        // watchdog watches this timestamp). The always-on flight recorder
+        // reuses the same clock read and never touches the net, so both
+        // charge zero virtual time.
+        let now = net.now_ns();
+        self.shared.telemetry.touch(self.machine, now);
+        self.shared.flight.record(self.machine, now, &msg);
         let result = if self.relay.enabled() {
             self.handle_reliable(msg, net)
         } else {
@@ -212,11 +216,16 @@ impl Worker {
                 let note = self.shared.config.faults.summary();
                 match relay.on_tick(net, peer, &note) {
                     Ok(resent) => {
-                        for (peer, seq, attempt) in resent {
+                        for (peer, seq, attempt, step) in resent {
                             self.obs.record(
                                 net,
                                 OP_NONE,
-                                EventKind::RetransmitSent { peer, seq, attempt },
+                                EventKind::RetransmitSent {
+                                    peer,
+                                    seq,
+                                    attempt,
+                                    step,
+                                },
                             );
                             self.shared.telemetry.retransmit(self.machine);
                         }
@@ -252,7 +261,18 @@ impl Worker {
                 self.notify_append(pos, 0, net, &mut decisions, &mut computed)?;
                 self.advance(net, &mut decisions, &mut computed)?;
             }
-            Msg::Decision { index, block } => {
+            Msg::Decision { index, block, ctx } => {
+                // Remote receipt of a broadcast decision: tie our receipt
+                // span back to the decider's span via the wire context.
+                self.obs.record(
+                    net,
+                    OP_NONE,
+                    EventKind::DecisionReceived {
+                        pos: index,
+                        block,
+                        parent: ctx.parent,
+                    },
+                );
                 self.pending_decisions.insert(index, block);
                 self.advance(net, &mut decisions, &mut computed)?;
             }
@@ -352,17 +372,29 @@ impl Worker {
             }
             let mut new_decisions: Vec<(u32, BlockId)> = Vec::new();
             for (index, block) in std::mem::take(&mut decisions) {
-                // Broadcast to every other control-flow manager...
+                // Broadcast to every other control-flow manager... The
+                // Decide span id is deterministic (step + machine only),
+                // so every receiver can recompute and verify it.
                 self.decisions_broadcast += 1;
+                let parent = crate::obs::span::span_id(
+                    index,
+                    self.machine,
+                    crate::obs::span::SpanKind::Decide,
+                    0,
+                );
                 self.obs.record(
                     net,
                     OP_NONE,
                     EventKind::DecisionBroadcast { pos: index, block },
                 );
                 if !self.shared.config.faults.withhold_decisions {
+                    let ctx = crate::obs::span::SpanCtx {
+                        step: index,
+                        parent,
+                    };
                     for m in 0..self.shared.machines {
                         if m != self.machine {
-                            net.send(m, Msg::Decision { index, block }, 16);
+                            net.send(m, Msg::Decision { index, block, ctx }, 16);
                         }
                     }
                 }

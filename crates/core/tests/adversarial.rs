@@ -53,6 +53,7 @@ fn run_with_policy(src: &str, machines: u16, mut policy: Policy, fs: &InMemoryFs
         fs: fs.clone(),
         machines,
         telemetry,
+        flight: mitos_core::FlightRecorder::new(machines),
     });
     let mut workers: Vec<Worker> = (0..machines)
         .map(|m| Worker::new(shared.clone(), m))

@@ -326,6 +326,7 @@ fn per_worker_event_timestamps_are_monotone_over_net_now_ns() {
         fs: fs.clone(),
         machines,
         telemetry,
+        flight: mitos_core::FlightRecorder::new(machines),
     });
     let mut workers: Vec<Worker> = (0..machines)
         .map(|m| Worker::new(shared.clone(), m))

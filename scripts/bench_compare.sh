@@ -58,6 +58,12 @@ factors() {
         sed 's/"\([^"]*\)":\(.*\)/\1 \2/'
 }
 
+# Extracts a top-level provenance field ("config_digest", "seed",
+# "git_sha"); empty when the report predates provenance stamping.
+prov() {
+    sed -n "s/.*\"$2\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p" "$1"
+}
+
 status=0
 printf '%-12s %-28s %12s %12s %9s  %s\n' \
     figure factor baseline fresh delta verdict
@@ -70,6 +76,19 @@ for f in $fresh; do
         printf '%-12s %-28s %12s %12s %9s  %s\n' "$fig" - - - - "NO BASELINE"
         status=1
         continue
+    fi
+    # A config-digest mismatch means the two reports measured different
+    # engine configurations, so the factor comparison below compares
+    # apples to oranges. Warn (non-fatal) rather than fail: the intended
+    # fix is re-seeding the baseline, which the drift verdicts already
+    # demand when the numbers moved.
+    base_digest=$(prov "$base" config_digest)
+    fresh_digest=$(prov "$f" config_digest)
+    if [ -n "$base_digest" ] && [ -n "$fresh_digest" ] &&
+        [ "$base_digest" != "$fresh_digest" ]; then
+        echo "WARN: $fig engine-config digest mismatch" \
+            "(baseline $base_digest @$(prov "$base" git_sha || echo '?')," \
+            "fresh $fresh_digest @$(prov "$f" git_sha || echo '?'))" >&2
     fi
     while read -r key fval; do
         [ -n "$key" ] || continue

@@ -98,4 +98,62 @@ cargo test -q --offline -p mitos-core --test coordination fault_ || {
     exit 1
 }
 
+# Causal tracing: trace-tree must reconstruct complete span trees (no
+# orphans) on both drivers, and reject non-Mitos engines with exit 2.
+for eng in mitos threads; do
+    tree_out="$(./target/release/mitos trace-tree examples/nested_loops.mt \
+        --machines 3 --engine "$eng")"
+    echo "$tree_out" | grep -q "0 orphan" || {
+        echo "check.sh: trace-tree smoke failed on engine $eng" >&2
+        exit 1
+    }
+done
+if ./target/release/mitos trace-tree examples/nested_loops.mt \
+    --machines 3 --engine spark >/dev/null 2>&1; then
+    echo "check.sh: trace-tree must refuse non-Mitos engines" >&2
+    exit 1
+elif [ $? -ne 2 ]; then
+    echo "check.sh: trace-tree on spark must exit 2" >&2
+    exit 1
+fi
+
+# Flight-recorder overhead guard on a fig7-style step-overhead loop at
+# ObsLevel::Off (no --trace/--profile flags). The recorder is always on;
+# MITOS_FLIGHT_OFF=1 disables it for the A/B.
+flight_mt="$(mktemp --suffix=.mt)"
+printf 's = 0;\nfor i = 1 to 60 {\n  b = bag((1, i));\n  s = s + b.count();\n}\noutput(s, "s");\n' > "$flight_mt"
+# Simulator: recording must charge zero virtual time — stdout and the
+# virtual-ms figure bit-identical with the recorder on and off.
+flight_on_out="$(./target/release/mitos run "$flight_mt" --machines 3 2>/tmp/flight_on.err)"
+flight_off_out="$(MITOS_FLIGHT_OFF=1 ./target/release/mitos run "$flight_mt" --machines 3 2>/tmp/flight_off.err)"
+[ "$flight_on_out" = "$flight_off_out" ] || {
+    echo "check.sh: flight recorder changed sim output" >&2
+    exit 1
+}
+vms_on="$(sed -n 's/.* machines, \([0-9.]*\) virtual ms.*/\1/p' /tmp/flight_on.err)"
+vms_off="$(sed -n 's/.* machines, \([0-9.]*\) virtual ms.*/\1/p' /tmp/flight_off.err)"
+[ -n "$vms_on" ] && [ "$vms_on" = "$vms_off" ] || {
+    echo "check.sh: flight recorder charged virtual time ($vms_on vs $vms_off)" >&2
+    exit 1
+}
+# Thread driver: median measured time over 5 runs must stay within 2%
+# (plus 2ms absolute slack for scheduler noise) of the disabled recorder.
+measured_median() {
+    for _ in 1 2 3 4 5; do
+        env "$@" ./target/release/mitos run "$flight_mt" \
+            --machines 3 --engine threads 2>&1 >/dev/null |
+            sed -n 's/.* machines, \([0-9.]*\) measured ms.*/\1/p'
+    done | sort -n | sed -n 3p
+}
+on_ms="$(measured_median MITOS_CHECK=1)"
+off_ms="$(measured_median MITOS_FLIGHT_OFF=1)"
+awk -v on="$on_ms" -v off="$off_ms" 'BEGIN {
+    if (on == "" || off == "") exit 1
+    exit (on <= off * 1.02 + 2.0) ? 0 : 1
+}' || {
+    echo "check.sh: flight recorder wall overhead on threads: ${on_ms}ms vs ${off_ms}ms (limit 2% + 2ms)" >&2
+    exit 1
+}
+rm -f "$flight_mt" /tmp/flight_on.err /tmp/flight_off.err
+
 echo "check.sh: all green"

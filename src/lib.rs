@@ -193,6 +193,26 @@ impl Outcome {
             .then(|| mitos_core::build_profile(obs, &self.path, self.virtual_ns))
     }
 
+    /// Reconstructs the per-step causal span trees (decision broadcast →
+    /// receipt → input-bag assembly → operator execute → send-resolve)
+    /// from the run's event stream (see [`mitos_core::obs::span`]).
+    /// Requires a run at [`ObsLevel::Trace`]; returns `None` otherwise.
+    /// Render one tree with [`mitos_core::render_tree`].
+    pub fn trace_trees(&self) -> Option<Vec<mitos_core::StepTree>> {
+        let obs = self.obs.as_ref()?;
+        (obs.level == ObsLevel::Trace).then(|| mitos_core::build_step_trees(obs))
+    }
+
+    /// Derives the per-phase control-plane latency histograms (broadcast,
+    /// assembly, execute, send-resolve; log₂ buckets) from the causal span
+    /// trees (see [`mitos_core::obs::histo`]). Requires a run at
+    /// [`ObsLevel::Trace`]; returns `None` otherwise. Export with
+    /// [`mitos_core::PhaseHistograms::prometheus`].
+    pub fn phase_histograms(&self) -> Option<mitos_core::PhaseHistograms> {
+        self.trace_trees()
+            .map(|t| mitos_core::PhaseHistograms::from_trees(&t))
+    }
+
     /// The run's live-telemetry snapshots (see [`Outcome::snapshots`]).
     pub fn snapshots(&self) -> &[Snapshot] {
         &self.snapshots

@@ -22,7 +22,7 @@ fn usage() -> ! {
         "usage:\n  mitos run <program> [--machines N] [--engine mitos|mitos-nopipe|\
          mitos-nohoist|flink|flink-jobs|spark|threads|reference]\n             \
          [--input name=path]... [--output-dir dir]\n             \
-         [--explain] [--trace out.json] [--no-fuse]\n             \
+         [--explain] [--trace out.json] [--metrics-out out.prom] [--no-fuse]\n             \
          [--progress] [--watch] [--interval MS] [--deadline MS]\n             \
          [--fault-drop P] [--fault-dup P] [--fault-reorder P]\n             \
          [--fault-partition A:B:FROM_MS:UNTIL_MS]... [--fault-seed N] [--fault-no-retransmit]\n          \
@@ -34,9 +34,14 @@ fn usage() -> ! {
          #   drop/dup/reorder are per-message probabilities in [0,1]; recovery runs\n          \
          #   an at-least-once retransmission protocol unless --fault-no-retransmit,\n          \
          #   in which case an unrecoverable stall exits 2 naming the faults\n  \
+         # --metrics-out: per-step control-plane phase latency histograms\n          \
+         #   (broadcast/assembly/execute/send-resolve) in Prometheus text format\n  \
          mitos explain <program> [run options]   # per-operator runtime report\n  \
          mitos profile <program> [run options] [--profile-json out.json] [--dot out.dot]\n          \
          # per-iteration attribution + critical path (Mitos engines only)\n  \
+         mitos trace-tree <program> [run options] [--step N]\n          \
+         # per-step causal span tree: decision broadcast -> receipt -> input\n          \
+         #   assembly -> execute -> send-resolve (Mitos engines only)\n  \
          mitos ssa <program>\n  \
          mitos graph <program> [--no-fuse]   # DOT dataflow (Figure 3b style)\n  \
          mitos check <program>"
@@ -143,15 +148,18 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "run" | "explain" | "profile" => {
+        "run" | "explain" | "profile" | "trace-tree" => {
             let explain_cmd = command == "explain";
             let profile_cmd = command == "profile";
+            let tracetree_cmd = command == "trace-tree";
             let mut machines: u16 = 4;
             let mut engine = Engine::Mitos;
             let mut inputs: Vec<(String, String)> = Vec::new();
             let mut output_dir: Option<String> = None;
             let mut explain = explain_cmd;
             let mut trace_path: Option<String> = None;
+            let mut metrics_out: Option<String> = None;
+            let mut step_filter: Option<u32> = None;
             let mut profile_json: Option<String> = None;
             let mut dot_path: Option<String> = None;
             let mut combiners = false;
@@ -205,6 +213,20 @@ fn main() -> ExitCode {
                     "--trace" => {
                         i += 1;
                         trace_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
+                    "--metrics-out" => {
+                        i += 1;
+                        metrics_out = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
+                    // Restricting the tree rendering to one path position
+                    // only makes sense under `mitos trace-tree`.
+                    "--step" if tracetree_cmd => {
+                        i += 1;
+                        step_filter = Some(
+                            args.get(i)
+                                .and_then(|s| s.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        );
                     }
                     // Profiler outputs only make sense where the profile
                     // is computed: under `mitos profile`.
@@ -298,15 +320,17 @@ fn main() -> ExitCode {
                 }
                 i += 1;
             }
-            // Tracing and profiling need timestamps; a bare --explain only
-            // needs the counters.
-            let obs = if trace_path.is_some() || profile_cmd {
-                ObsLevel::Trace
-            } else if explain {
-                ObsLevel::Metrics
-            } else {
-                ObsLevel::Off
-            };
+            // Tracing, profiling, span trees and the phase-histogram
+            // export need timestamps; a bare --explain only needs the
+            // counters.
+            let obs =
+                if trace_path.is_some() || profile_cmd || tracetree_cmd || metrics_out.is_some() {
+                    ObsLevel::Trace
+                } else if explain {
+                    ObsLevel::Metrics
+                } else {
+                    ObsLevel::Off
+                };
             // The event stream exists only on the Mitos engines; asking
             // for it anywhere else is a contradiction, not a warning.
             let obs_capable = matches!(
@@ -317,11 +341,21 @@ fn main() -> ExitCode {
                     | Engine::MitosThreads
             );
             let live_requested = progress || watch || deadline_ms.is_some();
-            if (profile_cmd || trace_path.is_some() || live_requested) && !obs_capable {
+            if (profile_cmd
+                || tracetree_cmd
+                || trace_path.is_some()
+                || metrics_out.is_some()
+                || live_requested)
+                && !obs_capable
+            {
                 let what = if profile_cmd {
                     "`mitos profile`"
+                } else if tracetree_cmd {
+                    "`mitos trace-tree`"
                 } else if trace_path.is_some() {
                     "--trace"
+                } else if metrics_out.is_some() {
+                    "--metrics-out"
                 } else {
                     "--progress/--watch/--deadline"
                 };
@@ -458,6 +492,57 @@ fn main() -> ExitCode {
                                  (mitos/mitos-nopipe/mitos-nohoist/threads); no trace written"
                             ),
                         }
+                    }
+                    if let Some(path) = &metrics_out {
+                        let Some(histos) = outcome.phase_histograms() else {
+                            eprintln!("error: run produced no trace for --metrics-out");
+                            return ExitCode::FAILURE;
+                        };
+                        if let Err(e) = std::fs::write(path, histos.prometheus()) {
+                            eprintln!("error: cannot write metrics {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!(
+                            "wrote Prometheus metrics {path} ({} steps, 4 phases)",
+                            histos.steps
+                        );
+                    }
+                    if tracetree_cmd {
+                        let Some(trees) = outcome.trace_trees() else {
+                            eprintln!("error: run produced no trace for trace-tree");
+                            return ExitCode::FAILURE;
+                        };
+                        // Operator display names, indexed by operator id.
+                        let max_op = outcome.op_stats.iter().map(|s| s.op).max().unwrap_or(0);
+                        let mut op_names = vec![String::new(); max_op as usize + 1];
+                        for s in &outcome.op_stats {
+                            op_names[s.op as usize] = format!("{} ({})", s.name, s.kind);
+                        }
+                        let mut orphans = 0usize;
+                        let mut shown = 0usize;
+                        for tree in &trees {
+                            orphans += tree.orphans.len();
+                            if step_filter.is_none_or(|s| s == tree.step) {
+                                shown += 1;
+                                print!("{}", mitos::core::render_tree(tree, &op_names));
+                            }
+                        }
+                        if let Some(s) = step_filter {
+                            if shown == 0 {
+                                eprintln!(
+                                    "error: no step {s} in this run ({} steps traced)",
+                                    trees.len()
+                                );
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                        println!(
+                            "{} step(s), {} span(s), {} orphan(s)",
+                            trees.len(),
+                            trees.iter().map(|t| t.spans.len()).sum::<usize>(),
+                            orphans,
+                        );
+                        return ExitCode::SUCCESS;
                     }
                     if profile_cmd {
                         let Some(profile) = outcome.profile() else {

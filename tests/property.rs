@@ -12,7 +12,7 @@ use mitos::fs::InMemoryFs;
 use mitos::lang::ast::{Lambda, Program, Stmt, SurfExpr};
 use mitos::lang::expr::BinOp;
 use mitos::sim::SimConfig;
-use mitos::{Engine, EngineConfig, FaultPlan, Run};
+use mitos::{Engine, EngineConfig, FaultPlan, ObsLevel, Run};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -422,7 +422,11 @@ proptest! {
     /// retransmission, duplicates deduplicated, reorderings tolerated —
     /// produces outputs and a final execution path bit-identical to the
     /// same program's fault-free run, on the simulator and on real
-    /// threads.
+    /// threads. Both runs trace, and the faulted run's causal span trees
+    /// must be isomorphic to the fault-free run's: retransmitted decision
+    /// broadcasts collapse into the one logical receipt span (annotated
+    /// with the send-attempt count), so the tree *shape* — the multiset of
+    /// root-to-node label paths — is identical, and no span is orphaned.
     #[test]
     fn chaos_faults_never_change_results(
         program in arb_program(),
@@ -441,12 +445,14 @@ proptest! {
             let clean = Run::new(&func)
                 .engine(engine)
                 .cluster(cluster)
+                .obs(ObsLevel::Trace)
                 .execute(&fs)
                 .unwrap_or_else(|e| panic!("{engine} fault-free: {e}\n{src}"));
             let fs = InMemoryFs::new();
             let faulted = Run::new(&func)
                 .engine(engine)
                 .cluster(cluster)
+                .obs(ObsLevel::Trace)
                 .faults(plan.clone())
                 .execute(&fs)
                 .unwrap_or_else(|e| panic!(
@@ -459,6 +465,57 @@ proptest! {
             prop_assert_eq!(
                 &faulted.path, &clean.path,
                 "{} path diverged under {}:\n{}", engine, plan.summary(), src
+            );
+
+            let clean_trees = clean.trace_trees().unwrap();
+            let faulted_trees = faulted.trace_trees().unwrap();
+            prop_assert_eq!(
+                faulted_trees.len(), clean_trees.len(),
+                "{} step-tree count diverged under {}:\n{}",
+                engine, plan.summary(), src
+            );
+            let mut retry_annotations = 0u64;
+            for (ct, ft) in clean_trees.iter().zip(&faulted_trees) {
+                prop_assert!(
+                    ct.orphans.is_empty(),
+                    "{engine} fault-free step {} orphaned {:?}:\n{src}",
+                    ct.step, ct.orphans
+                );
+                prop_assert!(
+                    ft.orphans.is_empty(),
+                    "{engine} step {} under {} orphaned {:?}:\n{src}",
+                    ft.step, plan.summary(), ft.orphans
+                );
+                prop_assert_eq!(
+                    ft.shape(), ct.shape(),
+                    "{} step {} tree shape diverged under {}:\n{}",
+                    engine, ft.step, plan.summary(), src
+                );
+                retry_annotations += ft
+                    .spans
+                    .iter()
+                    .map(|s| u64::from(s.attempts.saturating_sub(1)))
+                    .sum::<u64>();
+            }
+            // Every decision-broadcast retransmission the relay performed
+            // is accounted for as an extra attempt on exactly one receipt
+            // span — collapsed, not duplicated.
+            let decision_retries = faulted
+                .obs
+                .as_ref()
+                .unwrap()
+                .events
+                .iter()
+                .filter(|e| matches!(
+                    e.kind,
+                    mitos::core::obs::EventKind::RetransmitSent { step, .. }
+                        if step != u32::MAX
+                ))
+                .count() as u64;
+            prop_assert_eq!(
+                retry_annotations, decision_retries,
+                "{} attempt annotations diverged from decision retransmits under {}:\n{}",
+                engine, plan.summary(), src
             );
         }
     }
