@@ -136,6 +136,17 @@ pub mod channel {
             self.shared.queue.lock().unwrap().items.pop_front()
         }
 
+        /// Items currently queued (a racy instantaneous reading, like the
+        /// real crate's: the queue may change the moment the lock drops).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().items.len()
+        }
+
+        /// Whether the channel currently holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// A blocking iterator that ends when the channel closes.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }

@@ -8,7 +8,7 @@
 //! their send/drop tallies — a visual form of the explain report.
 
 use crate::graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
-use crate::obs::{CriticalPath, MetricsRegistry};
+use crate::obs::{CriticalPath, FlowReport, MetricsRegistry};
 use crate::path::PathRules;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -37,6 +37,23 @@ pub fn to_dot_annotated(
     graph: &LogicalGraph,
     metrics: Option<&MetricsRegistry>,
     critical: Option<&CriticalPath>,
+) -> String {
+    to_dot_full(graph, metrics, critical, None)
+}
+
+/// [`to_dot`] plus a data-plane heat overlay from a run's
+/// [`FlowReport`]: edge width and color scale with the observed
+/// serialized bytes (the hottest edges render bold red) and labels carry
+/// bytes/elements, so skewed or chatty edges stand out at a glance.
+pub fn to_dot_with_flow(graph: &LogicalGraph, flow: &FlowReport) -> String {
+    to_dot_full(graph, None, None, Some(flow))
+}
+
+fn to_dot_full(
+    graph: &LogicalGraph,
+    metrics: Option<&MetricsRegistry>,
+    critical: Option<&CriticalPath>,
+    flow: Option<&FlowReport>,
 ) -> String {
     let crit_ops: BTreeMap<u32, u64> = critical
         .map(|c| c.op_contrib.iter().copied().collect())
@@ -121,6 +138,10 @@ pub fn to_dot_annotated(
         let _ = writeln!(out, "  }}");
     }
 
+    // Hottest edge's byte count normalizes the heat overlay.
+    let max_flow_bytes = flow
+        .map(|f| f.edges.iter().map(|e| e.bytes()).max().unwrap_or(0))
+        .unwrap_or(0);
     // Edges; conditional (watched) edges are dashed and colored like the
     // condition that gates the target block.
     for (eid, edge) in graph.edges.iter().enumerate() {
@@ -153,6 +174,28 @@ pub fn to_dot_annotated(
             attrs.push("color=red".to_string());
             attrs.push("penwidth=3".to_string());
             label_parts.push(format!("crit={}", crate::obs::fmt_ns(ns)));
+        }
+        if let Some(ef) = flow
+            .and_then(|f| f.edges.get(eid))
+            .filter(|ef| ef.bytes() > 0)
+        {
+            // Heat scales with this edge's share of the hottest edge's
+            // bytes; edges that carried nothing keep the plain styling.
+            let frac = ef.bytes() as f64 / max_flow_bytes.max(1) as f64;
+            let color = if frac > 0.66 {
+                "red"
+            } else if frac > 0.33 {
+                "orange"
+            } else {
+                "gray40"
+            };
+            attrs.push(format!("color={color}"));
+            attrs.push(format!("penwidth={:.1}", 1.0 + 4.0 * frac));
+            label_parts.push(format!(
+                "{} / {} elems",
+                crate::obs::flow::fmt_bytes(ef.bytes()),
+                ef.elems_out()
+            ));
         }
         if !label_parts.is_empty() {
             attrs.push(format!("label=\"{}\"", label_parts.join("\\n")));
@@ -241,6 +284,36 @@ mod tests {
             dot.contains("sent=") || dot.contains("drop="),
             "conditional edge overlay: {dot}"
         );
+    }
+
+    #[test]
+    fn flow_overlay_heats_data_edges() {
+        use crate::rt::EngineConfig;
+        use mitos_fs::InMemoryFs;
+        use mitos_sim::SimConfig;
+
+        let src = r#"
+            total = 0;
+            i = 0;
+            while (i < 3) {
+                b = bag((1, i), (2, i), (3, i));
+                total = total + b.count();
+                i = i + 1;
+            }
+            output(total, "t");
+        "#;
+        let func = mitos_ir::compile_str(src).unwrap();
+        let cfg = EngineConfig::default();
+        let graph = crate::fuse::planned_graph(&func, &cfg).unwrap();
+        let fs = InMemoryFs::new();
+        let r = crate::engine::run_sim(&func, &fs, cfg, SimConfig::with_machines(2)).unwrap();
+        if !r.flow.enabled {
+            return; // MITOS_FLOW_OFF in the environment
+        }
+        let dot = to_dot_with_flow(&graph, &r.flow);
+        assert!(dot.contains("elems"), "flow labels present: {dot}");
+        assert!(dot.contains("penwidth=5.0"), "hottest edge bold: {dot}");
+        assert!(dot.contains("color=red"), "hottest edge red: {dot}");
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct EngineResult {
     /// simulator these are taken at exact virtual-time multiples of the
     /// interval and charge zero virtual time, so they are deterministic.
     pub snapshots: Vec<crate::obs::live::Snapshot>,
+    /// Always-on per-edge data-plane flow accounting (elements, messages,
+    /// serialized/wire/retransmitted bytes, relay-window watermarks,
+    /// queue-depth and backpressure samples), snapshotted at join. All
+    /// zeros (with `enabled: false`) when `MITOS_FLOW_OFF` is set.
+    pub flow: crate::obs::flow::FlowReport,
 }
 
 impl EngineResult {
@@ -149,6 +154,7 @@ pub fn run_sim_live(
         crate::fuse::planned_graph(func, &engine).map_err(|e| RuntimeError::new(e.message))?;
     let rules = PathRules::build(&graph);
     let telemetry = crate::obs::live::TelemetryHub::new(cluster.machines, graph.nodes.len());
+    let flow = crate::obs::flow::FlowRegistry::new(cluster.machines, graph.edges.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
@@ -157,6 +163,7 @@ pub fn run_sim_live(
         machines: cluster.machines,
         telemetry,
         flight: crate::obs::recorder::FlightRecorder::new(cluster.machines),
+        flow,
     });
     let workers = (0..cluster.machines)
         .map(|m| Worker::new(shared.clone(), m))
@@ -172,8 +179,10 @@ pub fn run_sim_live(
     let mut snapshots: Vec<crate::obs::live::Snapshot> = Vec::new();
     let report = if interval > 0 {
         let hub = shared.clone();
-        sim.run_sampled(interval, |t, _world| {
-            let s = hub.telemetry.snapshot(t, snapshots.last());
+        sim.run_sampled(interval, |t, _world, depths| {
+            hub.flow.sample_queues(depths, interval);
+            let mut s = hub.telemetry.snapshot(t, snapshots.last());
+            s.hot_edge = hub.flow.hottest();
             on_snapshot(&s);
             snapshots.push(s);
         })
@@ -191,6 +200,7 @@ pub fn run_sim_live(
     let diagnose_with_faults = |workers: &[Worker]| {
         let mut diag = obs::diagnose(workers, 0, 0);
         diag.flight = shared.flight.dump_lines();
+        diag.backpressure = shared.flow.snapshot().backpressure_lines(&shared.graph);
         if shared.config.faults.is_active() {
             let retransmits = workers.iter().map(Worker::retransmits).sum();
             diag.fault = Some(obs::fault_note(
@@ -240,6 +250,7 @@ pub fn run_sim_live(
         op_stats,
         obs: obs_report,
         snapshots,
+        flow: shared.flow.snapshot(),
     })
 }
 

@@ -1460,6 +1460,9 @@ impl Host {
         let batch = self.shared.config.cost.batch_elems.max(1);
         for chunk in elems.chunks(batch) {
             let bytes = self.shared.config.cost.wire_bytes(batch_bytes(chunk));
+            self.shared
+                .flow
+                .msg_out(edge, self.machine, machine, chunk.len() as u64, bytes);
             out.net.send(
                 machine,
                 Msg::Data {
@@ -1642,6 +1645,7 @@ impl Host {
             };
             for d in targets {
                 let machine = self.shared.graph.placement(dst, d);
+                self.shared.flow.msg_out(edge, self.machine, machine, 0, 24);
                 out.net.send(
                     machine,
                     Msg::BagDone {

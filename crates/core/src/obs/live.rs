@@ -206,6 +206,7 @@ impl TelemetryHub {
             delta_elements_out,
             workers,
             ops,
+            hot_edge: None,
         }
     }
 }
@@ -276,6 +277,11 @@ pub struct Snapshot {
     pub workers: Vec<WorkerSnapshot>,
     /// Per-operator totals.
     pub ops: Vec<OpSnapshot>,
+    /// The edge that has carried the most bytes so far, as
+    /// `(edge, bytes, elements)` — filled in by the drivers from the flow
+    /// registry ([`crate::obs::flow::FlowRegistry::hottest`]); [`None`]
+    /// before any data-plane traffic.
+    pub hot_edge: Option<(u32, u64, u64)>,
 }
 
 impl Snapshot {
@@ -357,6 +363,17 @@ pub fn watch_table(s: &Snapshot, graph: &crate::graph::LogicalGraph) -> String {
             o.bags_finished,
             o.inflight_bags(),
             o.elements_out,
+        );
+    }
+    // The hottest edge only appears once data-plane traffic exists, so
+    // quiet tables render exactly as before.
+    if let Some((edge, bytes, elems)) = s.hot_edge {
+        let _ = writeln!(
+            out,
+            "hottest edge: {} ({}, {} elems)",
+            super::flow::FlowReport::edge_label(graph, edge),
+            super::flow::fmt_bytes(bytes),
+            elems,
         );
     }
     let per_worker: Vec<String> = s

@@ -23,6 +23,7 @@ pub mod chrome;
 pub mod critical;
 pub mod event;
 pub mod explain;
+pub mod flow;
 pub mod histo;
 pub mod live;
 pub mod metrics;
@@ -35,6 +36,7 @@ pub use chrome::{chrome_trace, validate_json};
 pub use critical::{critical_path, BagNode, CriticalPath};
 pub use event::{Event, EventKind, InputRule, OP_NONE};
 pub use explain::{explain_parts, explain_report};
+pub use flow::{EdgeFlow, FlowRegistry, FlowReport, BACKPRESSURE_WINDOW};
 pub use histo::{Histogram, PhaseHistograms};
 pub use live::{progress_line, watch_table, OpSnapshot, Snapshot, TelemetryHub, WorkerSnapshot};
 pub use metrics::{EdgeMetrics, LatencyStats, MetricsRegistry, OpMetrics};
@@ -56,6 +58,29 @@ pub(crate) fn fmt_ns(ns: u64) -> String {
     } else {
         format!("{ns}ns")
     }
+}
+
+/// JSON string literal with the required escapes, shared by the
+/// hand-rolled JSON exporters ([`profile`], [`flow`]).
+pub(crate) fn json_str(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// How much the runtime records.

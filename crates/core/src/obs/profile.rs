@@ -18,7 +18,7 @@
 
 use super::critical::{bag_intervals, critical_path, CriticalPath};
 use super::event::EventKind;
-use super::{fmt_ns, ObsReport};
+use super::{fmt_ns, json_str, ObsReport};
 use crate::engine::OpStats;
 use mitos_ir::BlockId;
 use std::collections::BTreeMap;
@@ -540,24 +540,4 @@ fn push_map<'a, K: std::fmt::Display + 'a>(
         let _ = write!(out, "\"{k}\":{v}");
     }
     out.push('}');
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }

@@ -142,6 +142,11 @@ pub struct StallReport {
     /// [`crate::obs::ObsLevel::Off`]). Empty when the driver did not
     /// attach a dump.
     pub flight: Vec<String>,
+    /// Backpressure attribution from the flow registry: one line per edge
+    /// observed with a saturated relay window ("edge X backpressured
+    /// N ms"), hottest first. Empty on healthy runs (see
+    /// [`crate::obs::flow::FlowReport::backpressure_lines`]).
+    pub backpressure: Vec<String>,
 }
 
 impl StallReport {
@@ -213,6 +218,12 @@ impl StallReport {
         if !any {
             let _ = writeln!(out, "  all workers exited and idle");
         }
+        if !self.backpressure.is_empty() {
+            let _ = writeln!(out, "  backpressured edges:");
+            for line in &self.backpressure {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
         if !self.flight.is_empty() {
             let _ = writeln!(out, "  flight recorder (most recent events per worker):");
             for line in &self.flight {
@@ -237,6 +248,7 @@ pub fn diagnose(workers: &[crate::worker::Worker], deadline_ns: u64, idle_ns: u6
             .collect(),
         fault: None,
         flight: Vec::new(),
+        backpressure: Vec::new(),
     }
 }
 

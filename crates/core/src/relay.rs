@@ -28,6 +28,8 @@
 //! no network faults are configured, keeping fault-free runs bit-identical
 //! to builds without it.
 
+use crate::graph::EdgeId;
+use crate::obs::flow::FlowRegistry;
 use crate::rt::{Msg, Net, RuntimeError};
 use std::collections::{BTreeMap, HashSet};
 
@@ -84,6 +86,16 @@ fn guarded(msg: &Msg) -> bool {
     )
 }
 
+/// The data-plane edge a guarded payload travels on, if any — the key
+/// under which the flow registry accounts relay inflight windows and
+/// retransmitted bytes.
+fn data_edge(msg: &Msg) -> Option<EdgeId> {
+    match msg {
+        Msg::Data { edge, .. } | Msg::BagDone { edge, .. } => Some(*edge),
+        _ => None,
+    }
+}
+
 /// Short payload name for give-up diagnostics.
 fn payload_kind(msg: &Msg) -> &'static str {
     match msg {
@@ -127,7 +139,16 @@ impl Relay {
 
     /// Sends through `net`, wrapping remote guarded payloads in a
     /// sequence-numbered envelope and arming the retransmission timer.
-    pub fn send_via(&mut self, net: &mut dyn Net, machine: u16, msg: Msg, bytes: u64) {
+    /// Data-plane payloads entering the unacked buffer grow their edge's
+    /// inflight window in `flow`.
+    pub fn send_via(
+        &mut self,
+        net: &mut dyn Net,
+        machine: u16,
+        msg: Msg,
+        bytes: u64,
+        flow: &FlowRegistry,
+    ) {
         if !self.enabled || machine == self.machine || !guarded(&msg) {
             net.send(machine, msg, bytes);
             return;
@@ -144,6 +165,9 @@ impl Relay {
             },
             bytes + 24,
         );
+        if let Some(edge) = data_edge(&msg) {
+            flow.inflight_inc(edge, self.machine);
+        }
         self.unacked[m].insert(seq, Pending { msg, bytes });
         self.arm(net, machine);
     }
@@ -186,10 +210,15 @@ impl Relay {
         true
     }
 
-    /// Send side: an ack from `peer` retires the pending payload.
-    pub fn on_ack(&mut self, peer: u16, seq: u64) {
+    /// Send side: an ack from `peer` retires the pending payload (and
+    /// shrinks its edge's inflight window in `flow`).
+    pub fn on_ack(&mut self, peer: u16, seq: u64, flow: &FlowRegistry) {
         let m = peer as usize;
-        self.unacked[m].remove(&seq);
+        if let Some(pending) = self.unacked[m].remove(&seq) {
+            if let Some(edge) = data_edge(&pending.msg) {
+                flow.inflight_dec(edge, self.machine);
+            }
+        }
         if self.unacked[m].is_empty() {
             self.attempts[m] = 0;
         }
@@ -201,12 +230,15 @@ impl Relay {
     /// decision index when the payload is a [`Msg::Decision`] and
     /// `u32::MAX` otherwise, so the span layer can count decision-delivery
     /// attempts — or an error once the attempt budget is exhausted
-    /// (`fault_note` names the injected plan).
+    /// (`fault_note` names the injected plan). Data-plane resends charge
+    /// their envelope bytes to the edge's retransmission counters in
+    /// `flow`.
     pub fn on_tick(
         &mut self,
         net: &mut dyn Net,
         peer: u16,
         fault_note: &str,
+        flow: &FlowRegistry,
     ) -> Result<Vec<(u16, u64, u32, u32)>, RuntimeError> {
         let m = peer as usize;
         self.tick_armed[m] = false;
@@ -237,6 +269,9 @@ impl Relay {
                 Msg::Decision { index, .. } => *index,
                 _ => u32::MAX,
             };
+            if let Some(edge) = data_edge(&msg) {
+                flow.retransmit(edge, self.machine, bytes + 24);
+            }
             net.send(
                 peer,
                 Msg::Reliable {
@@ -261,11 +296,14 @@ pub struct ReliableNet<'a> {
     pub inner: &'a mut dyn Net,
     /// The owning worker's relay state.
     pub relay: &'a mut Relay,
+    /// Per-edge flow accounting for inflight windows and retransmissions.
+    pub flow: &'a FlowRegistry,
 }
 
 impl Net for ReliableNet<'_> {
     fn send(&mut self, machine: u16, msg: Msg, bytes: u64) {
-        self.relay.send_via(self.inner, machine, msg, bytes);
+        self.relay
+            .send_via(self.inner, machine, msg, bytes, self.flow);
     }
 
     fn charge(&mut self, ns: u64) {
@@ -319,11 +357,15 @@ mod tests {
         }
     }
 
+    fn flow() -> FlowRegistry {
+        FlowRegistry::new(2, 4)
+    }
+
     #[test]
     fn disabled_relay_passes_sends_through() {
         let mut relay = Relay::new(0, 2, false);
         let mut net = CaptureNet::default();
-        relay.send_via(&mut net, 1, decision(), 16);
+        relay.send_via(&mut net, 1, decision(), 16, &flow());
         assert!(matches!(net.sent[0].1, Msg::Decision { .. }));
         assert!(net.timers.is_empty());
     }
@@ -332,8 +374,8 @@ mod tests {
     fn guarded_remote_sends_are_wrapped_and_armed() {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
-        relay.send_via(&mut net, 1, decision(), 16);
-        relay.send_via(&mut net, 1, decision(), 16);
+        relay.send_via(&mut net, 1, decision(), 16, &flow());
+        relay.send_via(&mut net, 1, decision(), 16, &flow());
         match (&net.sent[0].1, &net.sent[1].1) {
             (Msg::Reliable { seq: 0, src: 0, .. }, Msg::Reliable { seq: 1, .. }) => {}
             other => panic!("expected two envelopes, got {other:?}"),
@@ -346,8 +388,8 @@ mod tests {
     fn local_and_unguarded_sends_bypass_the_relay() {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
-        relay.send_via(&mut net, 0, decision(), 16); // local
-        relay.send_via(&mut net, 1, Msg::Start, 0); // unguarded
+        relay.send_via(&mut net, 0, decision(), 16, &flow()); // local
+        relay.send_via(&mut net, 1, Msg::Start, 0, &flow()); // unguarded
         assert!(matches!(net.sent[0].1, Msg::Decision { .. }));
         assert!(matches!(net.sent[1].1, Msg::Start));
         assert!(net.timers.is_empty());
@@ -376,32 +418,64 @@ mod tests {
     fn ticks_retransmit_until_acked_with_backoff() {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
-        relay.send_via(&mut net, 1, decision(), 16);
+        let reg = flow();
+        relay.send_via(&mut net, 1, decision(), 16, &reg);
         net.sent.clear();
         net.timers.clear();
-        let resent = relay.on_tick(&mut net, 1, "drop 1.00").unwrap();
+        let resent = relay.on_tick(&mut net, 1, "drop 1.00", &reg).unwrap();
         assert_eq!(resent, vec![(1, 0, 1, 3)], "step = the decision's index");
         assert_eq!(net.sent.len(), 1);
         assert_eq!(net.timers.len(), 1);
         assert_eq!(net.timers[0].0, BASE_BACKOFF_NS << 1, "backoff doubled");
         assert_eq!(relay.retransmits, 1);
 
-        relay.on_ack(1, 0);
+        relay.on_ack(1, 0, &reg);
         net.sent.clear();
-        let resent = relay.on_tick(&mut net, 1, "drop 1.00").unwrap();
+        let resent = relay.on_tick(&mut net, 1, "drop 1.00", &reg).unwrap();
         assert!(resent.is_empty(), "nothing unacked, tick disarms");
         assert!(net.sent.is_empty());
         assert_eq!(relay.attempts[1], 0, "attempts reset after drain");
     }
 
     #[test]
+    fn data_resends_charge_per_edge_flow_counters() {
+        let mut relay = Relay::new(0, 2, true);
+        let mut net = CaptureNet::default();
+        let reg = flow();
+        if !reg.enabled() {
+            return; // MITOS_FLOW_OFF set in the environment
+        }
+        let data = Msg::Data {
+            edge: 2,
+            dst_inst: 0,
+            bag_len: 1,
+            elems: Vec::new(),
+        };
+        relay.send_via(&mut net, 1, data, 40, &reg);
+        relay.on_tick(&mut net, 1, "drop 1.00", &reg).unwrap();
+        relay.on_ack(1, 0, &reg);
+        let report = reg.snapshot();
+        let edge = &report.edges[2];
+        assert_eq!(edge.retrans_msgs(), 1);
+        assert_eq!(edge.retrans_bytes(), 40 + 24, "resend pays envelope too");
+        assert_eq!(edge.inflight_hwm(), 1, "window peaked at one unacked msg");
+        let report2 = reg.snapshot();
+        assert_eq!(
+            report2.edges[2].retrans_bytes(),
+            64,
+            "ack retired the window without disturbing retransmit totals"
+        );
+    }
+
+    #[test]
     fn exhausted_attempts_error_names_the_fault() {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
-        relay.send_via(&mut net, 1, decision(), 16);
+        let reg = flow();
+        relay.send_via(&mut net, 1, decision(), 16, &reg);
         let mut last = Ok(Vec::new());
         for _ in 0..=MAX_ATTEMPTS {
-            last = relay.on_tick(&mut net, 1, "drop 1.00 (fault seed 0x7)");
+            last = relay.on_tick(&mut net, 1, "drop 1.00 (fault seed 0x7)", &reg);
         }
         let err = last.expect_err("attempt budget exhausted");
         assert!(err.message.contains("gave up"), "{}", err.message);

@@ -204,6 +204,11 @@ pub struct EngineShared {
     /// active even at [`ObsLevel::Off`]); its last events are dumped into
     /// stall reports and fault post-mortems.
     pub flight: crate::obs::recorder::FlightRecorder,
+    /// Always-on per-edge data-plane flow accounting (relaxed-atomic
+    /// sharded counters for elements/messages/bytes/retransmissions plus
+    /// queue-depth and backpressure watermarks); snapshotted into
+    /// [`crate::obs::flow::FlowReport`] at join.
+    pub flow: crate::obs::flow::FlowRegistry,
 }
 
 /// Messages exchanged between workers (one worker actor per machine).

@@ -179,6 +179,7 @@ pub fn run_threads_live(
         crate::fuse::planned_graph(func, &engine).map_err(|e| RuntimeError::new(e.message))?;
     let rules = crate::path::PathRules::build(&graph);
     let telemetry = crate::obs::live::TelemetryHub::new(machines, graph.nodes.len());
+    let flow = crate::obs::flow::FlowRegistry::new(machines, graph.edges.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
@@ -187,6 +188,7 @@ pub fn run_threads_live(
         machines,
         telemetry,
         flight: crate::obs::recorder::FlightRecorder::new(machines),
+        flow,
     });
 
     let epoch = Instant::now();
@@ -227,6 +229,11 @@ pub fn run_threads_live(
     let deadline = shared.config.stall_deadline_ns;
     let mut snapshots: Vec<crate::obs::live::Snapshot> = Vec::new();
     let mut next_sample = interval;
+    // Wall-clock position of the previous queue-depth sample, so each
+    // monitor wake-up charges exactly the elapsed interval to the flow
+    // registry's backpressure accounting.
+    let mut last_flow_sample: u64 = 0;
+    let mut depths: Vec<usize> = vec![0; machines as usize];
     // `(reason, idle_ns)` when the run must be diagnosed post-join (the
     // workers are inside the scope's threads until Stop).
     let mut stall: Option<(String, u64)> = None;
@@ -292,8 +299,19 @@ pub fn run_threads_live(
                     }
                 }
             }
+            // Queue-depth and backpressure sampling on every wake-up: the
+            // monitor already runs anyway, and the registry never touches
+            // worker state, so this observes without perturbing.
+            for (d, (_, r)) in depths.iter_mut().zip(channels.iter()) {
+                *d = r.len();
+            }
+            shared
+                .flow
+                .sample_queues(&depths, now.saturating_sub(last_flow_sample));
+            last_flow_sample = now;
             if interval > 0 && now >= next_sample {
-                let s = shared.telemetry.snapshot(now, snapshots.last());
+                let mut s = shared.telemetry.snapshot(now, snapshots.last());
+                s.hot_edge = shared.flow.hottest();
                 on_snapshot(&s);
                 snapshots.push(s);
                 while next_sample <= now {
@@ -382,6 +400,7 @@ pub fn run_threads_live(
         // the injected faults alongside.
         let mut diag = crate::obs::diagnose(&workers, deadline, idle_ns);
         diag.flight = shared.flight.dump_lines();
+        diag.backpressure = shared.flow.snapshot().backpressure_lines(&shared.graph);
         if shared.config.faults.is_active() {
             let retransmits = workers.iter().map(Worker::retransmits).sum();
             diag.fault = Some(obs::fault_note(
@@ -429,6 +448,7 @@ pub fn run_threads_live(
         op_stats,
         obs: obs_report,
         snapshots,
+        flow: shared.flow.snapshot(),
     })
 }
 

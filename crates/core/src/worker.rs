@@ -174,13 +174,24 @@ impl Worker {
     /// Counts and dispatches one logical message (post-dedup when the
     /// recovery protocol is active).
     fn ingest(&mut self, msg: Msg, net: &mut dyn Net) -> Result<(), RuntimeError> {
-        if let Msg::Data { elems, .. } = &msg {
-            self.shared
-                .telemetry
-                .elements_in(self.machine, elems.len() as u64);
-        }
-        if matches!(msg, Msg::Data { .. } | Msg::BagDone { .. }) {
-            self.data_messages += 1;
+        // Receive-side flow accounting shares the post-dedup position with
+        // `data_messages`, so the per-edge message totals reconcile with it
+        // exactly — retransmissions and duplicates included.
+        match &msg {
+            Msg::Data { edge, elems, .. } => {
+                self.shared
+                    .telemetry
+                    .elements_in(self.machine, elems.len() as u64);
+                self.shared
+                    .flow
+                    .msg_in(*edge, self.machine, elems.len() as u64);
+                self.data_messages += 1;
+            }
+            Msg::BagDone { edge, .. } => {
+                self.shared.flow.msg_in(*edge, self.machine, 0);
+                self.data_messages += 1;
+            }
+            _ => {}
         }
         self.dispatch(msg, net)
     }
@@ -191,7 +202,10 @@ impl Worker {
     /// guarded traffic is wrapped too.
     fn handle_reliable(&mut self, msg: Msg, net: &mut dyn Net) -> Result<(), RuntimeError> {
         // The relay is taken out of `self` so a `ReliableNet` can borrow it
-        // alongside `self` inside dispatch; restored on every path.
+        // alongside `self` inside dispatch; restored on every path. The
+        // shared handle is cloned for the same reason: `ReliableNet` holds
+        // the flow registry across the `&mut self` ingest call.
+        let shared = self.shared.clone();
         let mut relay = std::mem::take(&mut self.relay);
         let result = match msg {
             Msg::Reliable { src, seq, payload } => {
@@ -199,6 +213,7 @@ impl Worker {
                     let mut rnet = ReliableNet {
                         inner: net,
                         relay: &mut relay,
+                        flow: &shared.flow,
                     };
                     self.ingest(*payload, &mut rnet)
                 } else {
@@ -209,12 +224,12 @@ impl Worker {
                 }
             }
             Msg::Ack { peer, seq } => {
-                relay.on_ack(peer, seq);
+                relay.on_ack(peer, seq, &self.shared.flow);
                 Ok(())
             }
             Msg::RetryTick { peer } => {
                 let note = self.shared.config.faults.summary();
-                match relay.on_tick(net, peer, &note) {
+                match relay.on_tick(net, peer, &note, &self.shared.flow) {
                     Ok(resent) => {
                         for (peer, seq, attempt, step) in resent {
                             self.obs.record(
@@ -238,6 +253,7 @@ impl Worker {
                 let mut rnet = ReliableNet {
                     inner: net,
                     relay: &mut relay,
+                    flow: &shared.flow,
                 };
                 self.ingest(other, &mut rnet)
             }

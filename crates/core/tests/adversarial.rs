@@ -46,6 +46,7 @@ fn run_with_policy(src: &str, machines: u16, mut policy: Policy, fs: &InMemoryFs
     let graph = LogicalGraph::build(&func).unwrap();
     let rules = PathRules::build(&graph);
     let telemetry = mitos_core::obs::TelemetryHub::new(machines, graph.nodes.len());
+    let flow = mitos_core::FlowRegistry::new(machines, graph.edges.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
@@ -54,6 +55,7 @@ fn run_with_policy(src: &str, machines: u16, mut policy: Policy, fs: &InMemoryFs
         machines,
         telemetry,
         flight: mitos_core::FlightRecorder::new(machines),
+        flow,
     });
     let mut workers: Vec<Worker> = (0..machines)
         .map(|m| Worker::new(shared.clone(), m))

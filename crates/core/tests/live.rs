@@ -318,6 +318,7 @@ fn per_worker_event_timestamps_are_monotone_over_net_now_ns() {
     let rules = PathRules::build(&graph);
     let machines: u16 = 3;
     let telemetry = TelemetryHub::new(machines, graph.nodes.len());
+    let flow = mitos_core::FlowRegistry::new(machines, graph.edges.len());
     let fs = loop_fs();
     let shared = Arc::new(EngineShared {
         graph,
@@ -327,6 +328,7 @@ fn per_worker_event_timestamps_are_monotone_over_net_now_ns() {
         machines,
         telemetry,
         flight: mitos_core::FlightRecorder::new(machines),
+        flow,
     });
     let mut workers: Vec<Worker> = (0..machines)
         .map(|m| Worker::new(shared.clone(), m))

@@ -589,12 +589,14 @@ impl<W: World> Sim<W> {
 
     /// Runs until no events remain; returns the run statistics.
     pub fn run(&mut self) -> SimReport {
-        self.run_sampled(0, |_, _| {})
+        self.run_sampled(0, |_, _, _| {})
     }
 
     /// Like [`Sim::run`], additionally invoking `sample` between events
     /// whenever virtual time first reaches each positive multiple of
     /// `interval_ns` (an `interval_ns` of 0 disables sampling entirely).
+    /// The sampler also receives the current per-machine inbox depths
+    /// (one entry per machine), so callers can observe queue build-up.
     ///
     /// Sampling is an observer: it runs outside any message handler,
     /// charges no CPU, schedules no events, and therefore perturbs neither
@@ -605,18 +607,22 @@ impl<W: World> Sim<W> {
     pub fn run_sampled(
         &mut self,
         interval_ns: Time,
-        mut sample: impl FnMut(Time, &W),
+        mut sample: impl FnMut(Time, &W, &[usize]),
     ) -> SimReport {
         // Safety valve against runaway engines: no realistic workload in
         // this repo approaches this; hitting it is a bug, not a long run.
         let max_events: u64 = 2_000_000_000;
         let mut processed: u64 = 0;
         let mut next_sample = interval_ns;
+        let mut depths: Vec<usize> = vec![0; self.machines.len()];
         while let Some(Reverse((t, _, slot))) = self.queue.pop() {
             let event = self.events[slot].take().expect("event taken once");
             if interval_ns > 0 {
                 while next_sample <= t {
-                    sample(next_sample, &self.world);
+                    for (d, m) in depths.iter_mut().zip(&self.machines) {
+                        *d = m.inbox.len();
+                    }
+                    sample(next_sample, &self.world, &depths);
                     next_sample += interval_ns;
                 }
             }

@@ -10,6 +10,7 @@
 # Usage:
 #   scripts/bench_compare.sh                 # compare, non-zero exit on drift
 #   scripts/bench_compare.sh --tolerance 30  # widen the band to ±30%
+#   scripts/bench_compare.sh --strict        # config-digest mismatch is fatal
 #   scripts/bench_compare.sh --seed          # adopt fresh results as baseline
 #
 # Env: MITOS_BENCH_DIR (fresh dir, default bench_out),
@@ -21,15 +22,17 @@ FRESH_DIR="${MITOS_BENCH_DIR:-bench_out}"
 BASE_DIR="bench_out/baseline"
 TOL="${MITOS_BENCH_TOLERANCE_PCT:-20}"
 SEED=0
+STRICT=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --seed) SEED=1 ;;
+        --strict) STRICT=1 ;;
         --tolerance)
             shift
             TOL="${1:?--tolerance needs a percentage}"
             ;;
         *)
-            echo "usage: $0 [--seed] [--tolerance PCT]" >&2
+            echo "usage: $0 [--seed] [--strict] [--tolerance PCT]" >&2
             exit 64
             ;;
     esac
@@ -79,16 +82,25 @@ for f in $fresh; do
     fi
     # A config-digest mismatch means the two reports measured different
     # engine configurations, so the factor comparison below compares
-    # apples to oranges. Warn (non-fatal) rather than fail: the intended
-    # fix is re-seeding the baseline, which the drift verdicts already
-    # demand when the numbers moved.
+    # apples to oranges. By default warn (non-fatal): the intended fix is
+    # re-seeding the baseline, which the drift verdicts already demand
+    # when the numbers moved. Under --strict (CI) the mismatch itself is
+    # a hard failure, so a config change can never slip through inside
+    # the tolerance band.
     base_digest=$(prov "$base" config_digest)
     fresh_digest=$(prov "$f" config_digest)
     if [ -n "$base_digest" ] && [ -n "$fresh_digest" ] &&
         [ "$base_digest" != "$fresh_digest" ]; then
-        echo "WARN: $fig engine-config digest mismatch" \
-            "(baseline $base_digest @$(prov "$base" git_sha || echo '?')," \
-            "fresh $fresh_digest @$(prov "$f" git_sha || echo '?'))" >&2
+        if [ "$STRICT" = 1 ]; then
+            echo "FAIL: $fig engine-config digest mismatch" \
+                "(baseline $base_digest @$(prov "$base" git_sha || echo '?')," \
+                "fresh $fresh_digest @$(prov "$f" git_sha || echo '?'))" >&2
+            status=1
+        else
+            echo "WARN: $fig engine-config digest mismatch" \
+                "(baseline $base_digest @$(prov "$base" git_sha || echo '?')," \
+                "fresh $fresh_digest @$(prov "$f" git_sha || echo '?'))" >&2
+        fi
     fi
     while read -r key fval; do
         [ -n "$key" ] || continue

@@ -64,8 +64,12 @@ rm -f "$fusion_log"
 }
 fusion_log="$(mktemp)"
 seq 0 199 > "$fusion_log"
-./target/release/mitos explain examples/log_pipeline.mt \
-    --machines 3 --input log="$fusion_log" | grep -q "map+filter" || {
+# Captured to a variable rather than piped straight into grep -q: the
+# quiet grep exits on first match and the closed pipe would SIGPIPE the
+# binary mid-report under pipefail.
+fusion_explain="$(./target/release/mitos explain examples/log_pipeline.mt \
+    --machines 3 --input log="$fusion_log")"
+echo "$fusion_explain" | grep -q "map+filter" || {
     echo "check.sh: explain does not show a fused chain on log_pipeline.mt" >&2
     exit 1
 }
@@ -155,5 +159,88 @@ awk -v on="$on_ms" -v off="$off_ms" 'BEGIN {
     exit 1
 }
 rm -f "$flight_mt" /tmp/flight_on.err /tmp/flight_off.err
+
+# Data-plane flow telemetry: the per-edge report must run end-to-end on
+# both drivers, refuse non-Mitos engines with exit 2, and the JSON
+# explain report must carry a reconciling flow block.
+for eng in mitos threads; do
+    flow_out="$(./target/release/mitos flow examples/nested_loops.mt \
+        --machines 3 --engine "$eng")"
+    echo "$flow_out" | grep -q "top edges by bytes" || {
+        echo "check.sh: mitos flow smoke failed on engine $eng" >&2
+        exit 1
+    }
+    echo "$flow_out" | grep -q "per-machine" || {
+        echo "check.sh: mitos flow missing per-machine skew on engine $eng" >&2
+        exit 1
+    }
+done
+if ./target/release/mitos flow examples/nested_loops.mt \
+    --machines 3 --engine spark >/dev/null 2>&1; then
+    echo "check.sh: mitos flow must refuse non-Mitos engines" >&2
+    exit 1
+elif [ $? -ne 2 ]; then
+    echo "check.sh: mitos flow on spark must exit 2" >&2
+    exit 1
+fi
+explain_json="$(./target/release/mitos explain examples/nested_loops.mt \
+    --machines 3 --json)"
+echo "$explain_json" | grep -q '"flow":{"enabled":true' || {
+    echo "check.sh: explain --json missing the flow block" >&2
+    exit 1
+}
+data_msgs="$(echo "$explain_json" | sed -n 's/.*"data_messages":\([0-9]*\).*/\1/p')"
+flow_msgs="$(echo "$explain_json" | sed -n 's/.*"flow":{"enabled":true,"messages":\([0-9]*\).*/\1/p')"
+[ -n "$data_msgs" ] && [ "$data_msgs" = "$flow_msgs" ] || {
+    echo "check.sh: flow messages ($flow_msgs) != data_messages ($data_msgs)" >&2
+    exit 1
+}
+
+# Flow-accounting overhead guard, mirroring the flight-recorder A/B:
+# always-on per-edge counters must charge zero virtual time on the
+# simulator (bit-identical stdout + virtual-ms with MITOS_FLOW_OFF=1)
+# and stay within the same wall-clock envelope on threads.
+flow_mt="$(mktemp --suffix=.mt)"
+printf 's = 0;\nfor i = 1 to 60 {\n  b = bag((1, i));\n  s = s + b.count();\n}\noutput(s, "s");\n' > "$flow_mt"
+flow_on_out="$(./target/release/mitos run "$flow_mt" --machines 3 2>/tmp/flow_on.err)"
+flow_off_out="$(MITOS_FLOW_OFF=1 ./target/release/mitos run "$flow_mt" --machines 3 2>/tmp/flow_off.err)"
+[ "$flow_on_out" = "$flow_off_out" ] || {
+    echo "check.sh: flow accounting changed sim output" >&2
+    exit 1
+}
+vms_on="$(sed -n 's/.* machines, \([0-9.]*\) virtual ms.*/\1/p' /tmp/flow_on.err)"
+vms_off="$(sed -n 's/.* machines, \([0-9.]*\) virtual ms.*/\1/p' /tmp/flow_off.err)"
+[ -n "$vms_on" ] && [ "$vms_on" = "$vms_off" ] || {
+    echo "check.sh: flow accounting charged virtual time ($vms_on vs $vms_off)" >&2
+    exit 1
+}
+flow_median() {
+    for _ in 1 2 3 4 5; do
+        env "$@" ./target/release/mitos run "$flow_mt" \
+            --machines 3 --engine threads 2>&1 >/dev/null |
+            sed -n 's/.* machines, \([0-9.]*\) measured ms.*/\1/p'
+    done | sort -n | sed -n 3p
+}
+on_ms="$(flow_median MITOS_CHECK=1)"
+off_ms="$(flow_median MITOS_FLOW_OFF=1)"
+awk -v on="$on_ms" -v off="$off_ms" 'BEGIN {
+    if (on == "" || off == "") exit 1
+    exit (on <= off * 1.02 + 2.0) ? 0 : 1
+}' || {
+    echo "check.sh: flow accounting wall overhead on threads: ${on_ms}ms vs ${off_ms}ms (limit 2% + 2ms)" >&2
+    exit 1
+}
+rm -f "$flow_mt" /tmp/flow_on.err /tmp/flow_off.err
+
+# Bench trajectory: when fresh bench reports exist (scripts/bench.sh),
+# compare them against the committed baseline with config-digest
+# mismatches escalated to hard failures (--strict); skipped when no
+# fresh reports are present so the gate stays fast by default.
+if ls "${MITOS_BENCH_DIR:-bench_out}"/BENCH_*.json >/dev/null 2>&1; then
+    scripts/bench_compare.sh --strict || {
+        echo "check.sh: bench trajectory drifted (see above)" >&2
+        exit 1
+    }
+fi
 
 echo "check.sh: all green"

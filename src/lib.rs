@@ -73,7 +73,7 @@ pub use mitos_sim as sim;
 pub use mitos_workloads as workloads;
 
 pub use mitos_core::rt::{EngineConfig, FaultPlan};
-pub use mitos_core::{ObsLevel, ObsReport, Snapshot, StallReport};
+pub use mitos_core::{FlowReport, ObsLevel, ObsReport, Snapshot, StallReport};
 use mitos_fs::InMemoryFs;
 use mitos_ir::{BlockId, FuncIr};
 use mitos_lang::Value;
@@ -146,6 +146,14 @@ pub struct Outcome {
     /// simulated engines, wall-clock sampled under
     /// [`Engine::MitosThreads`].
     pub snapshots: Vec<Snapshot>,
+    /// Always-on per-edge data-plane flow accounting (Mitos engines only;
+    /// `None` for the baselines and the reference interpreter, which have
+    /// no Mitos data plane to account). See [`Outcome::flow`].
+    pub flow: Option<FlowReport>,
+    /// Data-plane messages delivered post-dedup (Mitos engines only;
+    /// 0 otherwise). The flow report's per-edge message totals reconcile
+    /// exactly with this counter.
+    pub data_messages: u64,
 }
 
 impl Outcome {
@@ -217,6 +225,16 @@ impl Outcome {
     pub fn snapshots(&self) -> &[Snapshot] {
         &self.snapshots
     }
+
+    /// The run's per-edge data-plane flow report (elements, messages,
+    /// serialized/wire/retransmitted bytes, relay-window watermarks,
+    /// queue-depth and backpressure samples) — always populated by the
+    /// Mitos engines, `None` for the baselines and the reference
+    /// interpreter. Render with [`FlowReport::render`], export with
+    /// [`FlowReport::prometheus`].
+    pub fn flow(&self) -> Option<&FlowReport> {
+        self.flow.as_ref()
+    }
 }
 
 /// An error from compilation or execution.
@@ -226,8 +244,9 @@ pub struct Error {
     pub message: String,
     /// Structured stall diagnosis, present when the run was aborted by the
     /// stall watchdog or diagnosed as deadlocked (see
-    /// [`mitos_core::obs::watchdog`]).
-    pub stall: Option<StallReport>,
+    /// [`mitos_core::obs::watchdog`]). Boxed to keep the `Err` variant
+    /// small on every `Result<_, Error>` in the API.
+    pub stall: Option<Box<StallReport>>,
 }
 
 impl fmt::Display for Error {
@@ -251,7 +270,7 @@ impl From<mitos_core::RuntimeError> for Error {
     fn from(e: mitos_core::RuntimeError) -> Self {
         Error {
             message: e.message,
-            stall: e.stall.map(|b| *b),
+            stall: e.stall,
         }
     }
 }
@@ -489,6 +508,8 @@ impl<'a> Run<'a> {
                     decisions: r.decisions,
                     obs: r.obs,
                     snapshots: r.snapshots,
+                    flow: Some(r.flow),
+                    data_messages: r.data_messages,
                 })
             }
             Engine::FlinkNative => {
@@ -501,6 +522,8 @@ impl<'a> Run<'a> {
                     decisions: 0,
                     obs: None,
                     snapshots: Vec::new(),
+                    flow: None,
+                    data_messages: 0,
                 })
             }
             Engine::FlinkSeparateJobs => {
@@ -513,6 +536,8 @@ impl<'a> Run<'a> {
                     decisions: 0,
                     obs: None,
                     snapshots: Vec::new(),
+                    flow: None,
+                    data_messages: 0,
                 })
             }
             Engine::Spark => {
@@ -530,6 +555,8 @@ impl<'a> Run<'a> {
                     decisions: 0,
                     obs: None,
                     snapshots: Vec::new(),
+                    flow: None,
+                    data_messages: 0,
                 })
             }
             Engine::MitosThreads => {
@@ -549,6 +576,8 @@ impl<'a> Run<'a> {
                     decisions: r.decisions,
                     obs: r.obs,
                     snapshots: r.snapshots,
+                    flow: Some(r.flow),
+                    data_messages: r.data_messages,
                 })
             }
             Engine::Reference => {
@@ -566,6 +595,8 @@ impl<'a> Run<'a> {
                     decisions: 0,
                     obs: None,
                     snapshots: Vec::new(),
+                    flow: None,
+                    data_messages: 0,
                 })
             }
         }

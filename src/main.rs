@@ -36,7 +36,11 @@ fn usage() -> ! {
          #   in which case an unrecoverable stall exits 2 naming the faults\n  \
          # --metrics-out: per-step control-plane phase latency histograms\n          \
          #   (broadcast/assembly/execute/send-resolve) in Prometheus text format\n  \
-         mitos explain <program> [run options]   # per-operator runtime report\n  \
+         mitos explain <program> [run options] [--json]   # per-operator runtime report\n  \
+         mitos flow <program> [run options] [--json] [--dot out.dot]\n          \
+         # per-edge data-plane flow report: top edges by bytes/elements,\n          \
+         #   wire totals, per-machine skew, observed selectivity, backpressure\n          \
+         #   (Mitos engines only; --dot writes an edge heat overlay)\n  \
          mitos profile <program> [run options] [--profile-json out.json] [--dot out.dot]\n          \
          # per-iteration attribution + critical path (Mitos engines only)\n  \
          mitos trace-tree <program> [run options] [--step N]\n          \
@@ -82,6 +86,99 @@ fn render_value(v: &Value) -> String {
         Value::Str(s) => s.to_string(),
         other => format!("{other:?}"),
     }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `mitos explain --json`: the explain report as deterministic,
+/// hand-rolled JSON — run totals, per-operator counters, the recovery
+/// summary when observability recorded one, and the per-edge flow report
+/// (`null` on engines without a Mitos data plane).
+fn explain_json(
+    outcome: &mitos::Outcome,
+    engine: Engine,
+    machines: u16,
+    func: &ir::FuncIr,
+    engine_cfg: &EngineConfig,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"engine\":{},\"machines\":{machines},\"millis\":{:.6},\
+         \"path_blocks\":{},\"decisions\":{},\"hoist_hits\":{},\
+         \"data_messages\":{},",
+        json_str(&engine.to_string()),
+        outcome.millis(),
+        outcome.path.len(),
+        outcome.decisions,
+        outcome.op_stats.iter().map(|s| s.hoist_hits).sum::<u64>(),
+        outcome.data_messages,
+    );
+    out.push_str("\"ops\":[");
+    for (i, s) in outcome.op_stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"op\":{},\"name\":{},\"kind\":{},\"instances\":{},\
+             \"emitted\":{},\"hoist_hits\":{}}}",
+            s.op,
+            json_str(&s.name),
+            json_str(&s.kind),
+            s.instances,
+            s.emitted,
+            s.hoist_hits,
+        );
+    }
+    out.push_str("],");
+    if let Some(obs) = &outcome.obs {
+        let m = &obs.metrics;
+        let _ = write!(
+            out,
+            "\"metrics\":{{\"decisions_broadcast\":{},\"path_appends\":{},\
+             \"steps_released\":{},\"bags_opened\":{},\"elements_emitted\":{},\
+             \"elements_discarded\":{},\"conditional_dropped\":{},\
+             \"sink_written\":{},\"retransmissions\":{},\
+             \"duplicates_dropped\":{}}},",
+            m.decisions_broadcast,
+            m.path_appends,
+            m.steps_released,
+            m.ops.iter().map(|o| o.bags_opened).sum::<u64>(),
+            m.total_emitted(),
+            m.ops.iter().map(|o| o.elements_discarded).sum::<u64>(),
+            m.total_cond_dropped(),
+            m.total_sink_written(),
+            m.retransmits,
+            m.dup_msgs_dropped,
+        );
+    }
+    let flow = outcome.flow().and_then(|f| {
+        let g = mitos::core::planned_graph(func, engine_cfg).ok()?;
+        Some(f.to_json(&g))
+    });
+    let _ = write!(
+        out,
+        "\"flow\":{}",
+        flow.unwrap_or_else(|| "null".to_string())
+    );
+    out.push('}');
+    out
 }
 
 fn main() -> ExitCode {
@@ -148,8 +245,9 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "run" | "explain" | "profile" | "trace-tree" => {
+        "run" | "explain" | "flow" | "profile" | "trace-tree" => {
             let explain_cmd = command == "explain";
+            let flow_cmd = command == "flow";
             let profile_cmd = command == "profile";
             let tracetree_cmd = command == "trace-tree";
             let mut machines: u16 = 4;
@@ -162,6 +260,7 @@ fn main() -> ExitCode {
             let mut step_filter: Option<u32> = None;
             let mut profile_json: Option<String> = None;
             let mut dot_path: Option<String> = None;
+            let mut json = false;
             let mut combiners = false;
             let mut no_fuse = false;
             let mut progress = false;
@@ -234,10 +333,16 @@ fn main() -> ExitCode {
                         i += 1;
                         profile_json = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
-                    "--dot" if profile_cmd => {
+                    // The DOT overlay renders what the subcommand computed:
+                    // the critical path under `profile`, edge heat under
+                    // `flow`.
+                    "--dot" if profile_cmd || flow_cmd => {
                         i += 1;
                         dot_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
+                    // Machine-readable reports exist for the two report
+                    // subcommands only.
+                    "--json" if explain_cmd || flow_cmd => json = true,
                     "--combiners" => combiners = true,
                     "--no-fuse" => no_fuse = true,
                     "--progress" => progress = true,
@@ -341,14 +446,17 @@ fn main() -> ExitCode {
                     | Engine::MitosThreads
             );
             let live_requested = progress || watch || deadline_ms.is_some();
-            if (profile_cmd
+            if (flow_cmd
+                || profile_cmd
                 || tracetree_cmd
                 || trace_path.is_some()
                 || metrics_out.is_some()
                 || live_requested)
                 && !obs_capable
             {
-                let what = if profile_cmd {
+                let what = if flow_cmd {
+                    "`mitos flow`"
+                } else if profile_cmd {
                     "`mitos profile`"
                 } else if tracetree_cmd {
                     "`mitos trace-tree`"
@@ -466,13 +574,53 @@ fn main() -> ExitCode {
                         );
                     }
                     if explain {
+                        // Per-edge data-plane rows ride along whenever the
+                        // run had flow accounting (Mitos engines).
+                        let flow_rows = outcome
+                            .flow()
+                            .and_then(|f| {
+                                let g = mitos::core::planned_graph(&func, &engine_cfg).ok()?;
+                                Some(f.explain_rows(&g))
+                            })
+                            .unwrap_or_default();
                         // The subcommand's report is the product: stdout.
                         // As a flag on `run` it is diagnostics: stderr.
-                        if explain_cmd {
-                            print!("{}", outcome.explain());
+                        if explain_cmd && json {
+                            println!(
+                                "{}",
+                                explain_json(&outcome, engine, machines, &func, &engine_cfg)
+                            );
+                        } else if explain_cmd {
+                            print!("{}{}", outcome.explain(), flow_rows);
                         } else {
-                            eprint!("{}", outcome.explain());
+                            eprint!("{}{}", outcome.explain(), flow_rows);
                         }
+                    }
+                    if flow_cmd {
+                        // The engine gate above makes flow presence an
+                        // invariant here, not a user error.
+                        let flow = outcome.flow().expect("Mitos engines account flow");
+                        let graph = match mitos::core::planned_graph(&func, &engine_cfg) {
+                            Ok(g) => g,
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        if json {
+                            println!("{}", flow.to_json(&graph));
+                        } else {
+                            print!("{}", flow.render(&graph));
+                        }
+                        if let Some(path) = &dot_path {
+                            let dot = mitos::core::to_dot_with_flow(&graph, flow);
+                            if let Err(e) = std::fs::write(path, dot) {
+                                eprintln!("error: cannot write DOT {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("wrote flow heat-overlay DOT {path}");
+                        }
+                        return ExitCode::SUCCESS;
                     }
                     if let Some(path) = &trace_path {
                         match outcome.chrome_trace() {
@@ -498,12 +646,20 @@ fn main() -> ExitCode {
                             eprintln!("error: run produced no trace for --metrics-out");
                             return ExitCode::FAILURE;
                         };
-                        if let Err(e) = std::fs::write(path, histos.prometheus()) {
+                        let mut prom = histos.prometheus();
+                        // Per-edge flow series ride along with the phase
+                        // histograms in the same exposition file.
+                        if let Some(f) = outcome.flow() {
+                            if let Ok(g) = mitos::core::planned_graph(&func, &engine_cfg) {
+                                prom.push_str(&f.prometheus(&g));
+                            }
+                        }
+                        if let Err(e) = std::fs::write(path, prom) {
                             eprintln!("error: cannot write metrics {path}: {e}");
                             return ExitCode::FAILURE;
                         }
                         eprintln!(
-                            "wrote Prometheus metrics {path} ({} steps, 4 phases)",
+                            "wrote Prometheus metrics {path} ({} steps, 4 phases, per-edge flow)",
                             histos.steps
                         );
                     }

@@ -311,3 +311,165 @@ fn explain_prints_operator_stats() {
     assert!(err.contains("operator"), "{err}");
     assert!(err.contains("readFile"), "{err}");
 }
+
+#[test]
+fn flow_requires_a_mitos_engine() {
+    let program = write_temp("prog12.mt", PROGRAM);
+    for engine in ["spark", "flink", "flink-jobs", "reference"] {
+        let output = mitos()
+            .args(["flow", program.to_str().unwrap(), "--engine", engine])
+            .output()
+            .unwrap();
+        assert_eq!(output.status.code(), Some(2), "{engine}: {output:?}");
+        let err = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            err.contains("`mitos flow` requires a Mitos engine"),
+            "{engine}: {err}"
+        );
+    }
+}
+
+#[test]
+fn flow_reports_per_edge_traffic() {
+    let program = write_temp("prog13.mt", PROGRAM);
+    let data = write_temp(
+        "visits13.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let input = format!("visits={}", data.display());
+    for engine in ["mitos", "threads"] {
+        let output = mitos()
+            .args([
+                "flow",
+                program.to_str().unwrap(),
+                "--input",
+                &input,
+                "--engine",
+                engine,
+            ])
+            .env_remove("MITOS_FLOW_OFF")
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{engine}: {output:?}");
+        let text = String::from_utf8_lossy(&output.stdout);
+        assert!(text.contains("top edges by bytes"), "{engine}: {text}");
+        assert!(text.contains("counts"), "{engine}: {text}");
+        assert!(text.contains("per-machine"), "{engine}: {text}");
+        assert!(text.contains("data messages"), "{engine}: {text}");
+    }
+}
+
+#[test]
+fn flow_kill_switch_disables_accounting() {
+    let program = write_temp("prog14.mt", PROGRAM);
+    let data = write_temp(
+        "visits14.txt",
+        &(0..10).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .args([
+            "flow",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+        ])
+        .env("MITOS_FLOW_OFF", "1")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("flow accounting disabled"), "{text}");
+}
+
+#[test]
+fn flow_writes_heat_overlay_dot() {
+    let program = write_temp("prog15.mt", PROGRAM);
+    let data = write_temp(
+        "visits15.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let dot_path = std::env::temp_dir().join("mitos-cli-tests/flow15.dot");
+    let output = mitos()
+        .args([
+            "flow",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+            "--dot",
+            dot_path.to_str().unwrap(),
+        ])
+        .env_remove("MITOS_FLOW_OFF")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph mitos {"), "{dot}");
+    assert!(dot.contains("elems"), "heat labels present: {dot}");
+}
+
+#[test]
+fn explain_json_is_machine_readable() {
+    let program = write_temp("prog16.mt", PROGRAM);
+    let data = write_temp(
+        "visits16.txt",
+        &(0..20).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .args([
+            "explain",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+            "--json",
+        ])
+        .env_remove("MITOS_FLOW_OFF")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    // Validate shape with the repo's own JSON validator (no serde in the
+    // build environment).
+    mitos::core::obs::validate_json(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert!(text.contains("\"engine\":\"Mitos\""), "{text}");
+    assert!(text.contains("\"ops\":["), "{text}");
+    assert!(text.contains("\"data_messages\":"), "{text}");
+    assert!(text.contains("\"flow\":{"), "{text}");
+    assert!(text.contains("\"bytes_on_wire\":"), "{text}");
+}
+
+#[test]
+fn flow_json_reconciles_with_data_messages() {
+    let program = write_temp("prog17.mt", PROGRAM);
+    let data = write_temp(
+        "visits17.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .args([
+            "explain",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+            "--json",
+        ])
+        .env_remove("MITOS_FLOW_OFF")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    // The per-edge message total must reconcile exactly with the engine's
+    // post-dedup delivery counter, and both appear in the same document.
+    let field = |name: &str| -> u64 {
+        let at = text
+            .find(&format!("\"{name}\":"))
+            .unwrap_or_else(|| panic!("missing {name}: {text}"));
+        text[at + name.len() + 3..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(field("data_messages"), field("messages"), "{text}");
+    assert!(field("messages") > 0, "{text}");
+}

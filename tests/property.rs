@@ -517,6 +517,49 @@ proptest! {
                 "{} attempt annotations diverged from decision retransmits under {}:\n{}",
                 engine, plan.summary(), src
             );
+
+            // Data-plane flow accounting must reconcile exactly with the
+            // post-dedup delivery counter — fault-free and under chaos —
+            // and recovered retransmissions must never double-count: the
+            // faulted run's per-edge tallies are bit-identical to the
+            // fault-free run's, with only the retransmit counters free to
+            // differ.
+            let clean_flow = clean.flow().expect("Mitos engines account flow");
+            let faulted_flow = faulted.flow().expect("Mitos engines account flow");
+            if clean_flow.enabled && faulted_flow.enabled {
+                for (run, outcome, flow) in [
+                    ("fault-free", &clean, clean_flow),
+                    ("faulted", &faulted, faulted_flow),
+                ] {
+                    prop_assert_eq!(
+                        flow.messages_in_total(), outcome.data_messages,
+                        "{} {} run: flow messages != data_messages under {}:\n{}",
+                        engine, run, plan.summary(), src
+                    );
+                    for ef in &flow.edges {
+                        prop_assert_eq!(
+                            ef.elems_in(), ef.elems_out(),
+                            "{} {} run: edge {} delivered != sent elements under {}:\n{}",
+                            engine, run, ef.edge, plan.summary(), src
+                        );
+                        prop_assert_eq!(
+                            ef.msgs_in(), ef.msgs_out(),
+                            "{} {} run: edge {} delivered != sent messages under {}:\n{}",
+                            engine, run, ef.edge, plan.summary(), src
+                        );
+                    }
+                }
+                // Message and byte counts may chunk differently when fault
+                // delays shift flush boundaries; the element totals are the
+                // timing-independent invariant.
+                for (cf, ff) in clean_flow.edges.iter().zip(&faulted_flow.edges) {
+                    prop_assert_eq!(
+                        cf.elems_in(), ff.elems_in(),
+                        "{} edge {} element tally diverged under faults {}:\n{}",
+                        engine, cf.edge, plan.summary(), src
+                    );
+                }
+            }
         }
     }
 }
