@@ -24,9 +24,11 @@ fn main() {
         "Mitos",
         "Naiad",
         "TensorFlow",
+        "Mitos peak res (B)",
     ]);
     let mut report = BenchReport::new("fig7", "per-step overhead microbenchmark");
     let mut max_spark = 0.0f64;
+    let mut max_peak_resident = 0u64;
     for machines in [1u16, 3, 5, 9, 13, 19, 25] {
         let cluster = SimConfig::with_machines(machines);
         let per_step = |total_ms: f64| total_ms / steps as f64;
@@ -56,7 +58,15 @@ fn main() {
         let spark = run(System::Spark);
         let flink_sep = run(System::FlinkSeparateJobs);
         let flink = run(System::FlinkNative);
-        let mitos = run(System::Mitos);
+        // Run Mitos directly so the sweep can also record the state
+        // registry's peak residency at each cluster size — the control
+        // plane should hold O(1) bags per machine regardless of scale.
+        let fs = InMemoryFs::new();
+        let mitos_result =
+            mitos_core::run_sim(&func, &fs, EngineConfig::new(), cluster).expect("mitos run");
+        let mitos = per_step(mitos_result.sim.end_time as f64 / 1e6);
+        let peak_resident = mitos_result.mem.peak_resident();
+        max_peak_resident = max_peak_resident.max(peak_resident);
         let cell = |ms: f64| format!("{ms:.2}");
         table.row(vec![
             machines.to_string(),
@@ -66,6 +76,7 @@ fn main() {
             cell(mitos),
             cell(naiad),
             cell(tf),
+            peak_resident.to_string(),
         ]);
         report.row(vec![
             ("machines", machines.into()),
@@ -75,11 +86,17 @@ fn main() {
             ("mitos_step_ms", mitos.into()),
             ("naiad_step_ms", naiad.into()),
             ("tf_step_ms", tf.into()),
+            ("mitos_peak_resident_bytes", peak_resident.into()),
         ]);
         max_spark = max_spark.max(spark / mitos);
     }
     table.print();
     report.factor("spark_vs_mitos_step_max", max_spark);
+    if max_peak_resident > 0 {
+        // Deterministic under the simulator; omitted entirely when
+        // MITOS_MEM_OFF disabled the registry for an A/B run.
+        report.factor("mitos_peak_resident_bytes_max", max_peak_resident as f64);
+    }
 
     // Where does the per-step overhead go? One traced Mitos run at a
     // mid-sweep cluster size, decomposed into the control-plane phases

@@ -8,7 +8,7 @@
 //! their send/drop tallies — a visual form of the explain report.
 
 use crate::graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
-use crate::obs::{CriticalPath, FlowReport, MetricsRegistry};
+use crate::obs::{CriticalPath, FlowReport, MemReport, MetricsRegistry};
 use crate::path::PathRules;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -38,7 +38,7 @@ pub fn to_dot_annotated(
     metrics: Option<&MetricsRegistry>,
     critical: Option<&CriticalPath>,
 ) -> String {
-    to_dot_full(graph, metrics, critical, None)
+    to_dot_full(graph, metrics, critical, None, None)
 }
 
 /// [`to_dot`] plus a data-plane heat overlay from a run's
@@ -46,7 +46,15 @@ pub fn to_dot_annotated(
 /// serialized bytes (the hottest edges render bold red) and labels carry
 /// bytes/elements, so skewed or chatty edges stand out at a glance.
 pub fn to_dot_with_flow(graph: &LogicalGraph, flow: &FlowReport) -> String {
-    to_dot_full(graph, None, None, Some(flow))
+    to_dot_full(graph, None, None, Some(flow), None)
+}
+
+/// [`to_dot`] plus a state-residency heat overlay from a run's
+/// [`MemReport`]: node border width and color scale with each operator's
+/// peak resident bytes (the most memory-hungry operators render bold red)
+/// and labels carry the peak, so retention hotspots stand out at a glance.
+pub fn to_dot_with_mem(graph: &LogicalGraph, mem: &MemReport) -> String {
+    to_dot_full(graph, None, None, None, Some(mem))
 }
 
 fn to_dot_full(
@@ -54,6 +62,7 @@ fn to_dot_full(
     metrics: Option<&MetricsRegistry>,
     critical: Option<&CriticalPath>,
     flow: Option<&FlowReport>,
+    mem: Option<&MemReport>,
 ) -> String {
     let crit_ops: BTreeMap<u32, u64> = critical
         .map(|c| c.op_contrib.iter().copied().collect())
@@ -61,6 +70,17 @@ fn to_dot_full(
     let crit_edges: BTreeMap<u32, u64> = critical
         .map(|c| c.edge_contrib.iter().copied().collect())
         .unwrap_or_default();
+    // Per-operator peak resident bytes; the hungriest normalizes the heat.
+    let mem_ops: BTreeMap<u32, u64> = mem
+        .map(|m| {
+            m.ops_by_peak()
+                .into_iter()
+                .filter(|&(_, peak, _)| peak > 0)
+                .map(|(op, peak, _)| (op, peak))
+                .collect()
+        })
+        .unwrap_or_default();
+    let max_mem_peak = mem_ops.values().copied().max().unwrap_or(0);
     let rules = PathRules::build(graph);
     let mut out = String::new();
     let _ = writeln!(out, "digraph mitos {{");
@@ -132,6 +152,22 @@ fn to_dot_full(
                 attrs.push("color=red".to_string());
                 attrs.push("penwidth=3".to_string());
                 let _ = write!(label, "\\ncrit={}", crate::obs::fmt_ns(ns));
+            }
+            if let Some(&peak) = mem_ops.get(&id) {
+                // Heat scales with this operator's share of the hungriest
+                // operator's peak residency; operators that never held
+                // state keep the plain styling.
+                let frac = peak as f64 / max_mem_peak.max(1) as f64;
+                let color = if frac > 0.66 {
+                    "red"
+                } else if frac > 0.33 {
+                    "orange"
+                } else {
+                    "gray40"
+                };
+                attrs.push(format!("color={color}"));
+                attrs.push(format!("penwidth={:.1}", 1.0 + 4.0 * frac));
+                let _ = write!(label, "\\npeak={}", crate::obs::flow::fmt_bytes(peak));
             }
             let _ = writeln!(out, "    n{id} [label=\"{label}\", {}];", attrs.join(", "));
         }
@@ -314,6 +350,36 @@ mod tests {
         assert!(dot.contains("elems"), "flow labels present: {dot}");
         assert!(dot.contains("penwidth=5.0"), "hottest edge bold: {dot}");
         assert!(dot.contains("color=red"), "hottest edge red: {dot}");
+    }
+
+    #[test]
+    fn mem_overlay_heats_stateful_nodes() {
+        use crate::rt::EngineConfig;
+        use mitos_fs::InMemoryFs;
+        use mitos_sim::SimConfig;
+
+        let src = r#"
+            total = 0;
+            i = 0;
+            while (i < 3) {
+                b = bag((1, i), (2, i), (3, i));
+                total = total + b.count();
+                i = i + 1;
+            }
+            output(total, "t");
+        "#;
+        let func = mitos_ir::compile_str(src).unwrap();
+        let cfg = EngineConfig::default();
+        let graph = crate::fuse::planned_graph(&func, &cfg).unwrap();
+        let fs = InMemoryFs::new();
+        let r = crate::engine::run_sim(&func, &fs, cfg, SimConfig::with_machines(2)).unwrap();
+        if !r.mem.enabled {
+            return; // MITOS_MEM_OFF in the environment
+        }
+        let dot = to_dot_with_mem(&graph, &r.mem);
+        assert!(dot.contains("peak="), "mem labels present: {dot}");
+        assert!(dot.contains("penwidth=5.0"), "hungriest node bold: {dot}");
+        assert!(dot.contains("color=red"), "hungriest node red: {dot}");
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub struct EngineResult {
     /// queue-depth and backpressure samples), snapshotted at join. All
     /// zeros (with `enabled: false`) when `MITOS_FLOW_OFF` is set.
     pub flow: crate::obs::flow::FlowReport,
+    /// Always-on per-machine, per-retention-class memory/state residency
+    /// accounting (live bags, elements, approximate bytes, high-water
+    /// marks), snapshotted at join. All zeros (with `enabled: false`) when
+    /// `MITOS_MEM_OFF` is set.
+    pub mem: crate::obs::mem::MemReport,
 }
 
 impl EngineResult {
@@ -155,6 +160,7 @@ pub fn run_sim_live(
     let rules = PathRules::build(&graph);
     let telemetry = crate::obs::live::TelemetryHub::new(cluster.machines, graph.nodes.len());
     let flow = crate::obs::flow::FlowRegistry::new(cluster.machines, graph.edges.len());
+    let mem = crate::obs::mem::MemRegistry::new(cluster.machines, graph.nodes.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
@@ -164,6 +170,7 @@ pub fn run_sim_live(
         telemetry,
         flight: crate::obs::recorder::FlightRecorder::new(cluster.machines),
         flow,
+        mem,
     });
     let workers = (0..cluster.machines)
         .map(|m| Worker::new(shared.clone(), m))
@@ -181,8 +188,10 @@ pub fn run_sim_live(
         let hub = shared.clone();
         sim.run_sampled(interval, |t, _world, depths| {
             hub.flow.sample_queues(depths, interval);
+            hub.mem.sample();
             let mut s = hub.telemetry.snapshot(t, snapshots.last());
             s.hot_edge = hub.flow.hottest();
+            s.mem = hub.mem.watch_cell();
             on_snapshot(&s);
             snapshots.push(s);
         })
@@ -201,6 +210,7 @@ pub fn run_sim_live(
         let mut diag = obs::diagnose(workers, 0, 0);
         diag.flight = shared.flight.dump_lines();
         diag.backpressure = shared.flow.snapshot().backpressure_lines(&shared.graph);
+        diag.retained = shared.mem.snapshot().retained_lines();
         if shared.config.faults.is_active() {
             let retransmits = workers.iter().map(Worker::retransmits).sum();
             diag.fault = Some(obs::fault_note(
@@ -251,6 +261,7 @@ pub fn run_sim_live(
         obs: obs_report,
         snapshots,
         flow: shared.flow.snapshot(),
+        mem: shared.mem.snapshot(),
     })
 }
 

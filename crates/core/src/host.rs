@@ -9,6 +9,7 @@
 //! keeps it driver-agnostic (simulator or threads) and unit-testable.
 
 use crate::graph::{EdgeId, NodeKind, OpId};
+use crate::obs::mem::{elems_bytes, MemClass};
 use crate::obs::{EventKind, InputRule, ObsBuf};
 use crate::path::{ExecutionPath, SendDecision};
 use crate::rt::{batch_bytes, EngineShared, Msg, Net, RuntimeError, OUTPUT_PREFIX};
@@ -276,6 +277,15 @@ impl Host {
         out: &mut HostOut,
     ) -> Result<(), RuntimeError> {
         let input = self.shared.graph.edges[edge as usize].dst_input;
+        let is_new = !self.inputs[input].bufs.contains_key(&bag_len);
+        self.shared.mem.charge(
+            MemClass::AwaitingInputs,
+            self.machine,
+            self.op,
+            is_new as u64,
+            elems.len() as u64,
+            elems_bytes(&elems),
+        );
         let buf = self.inputs[input].bufs.entry(bag_len).or_default();
         buf.elems.extend(elems);
         self.poke(path, out)
@@ -292,6 +302,13 @@ impl Host {
     ) -> Result<(), RuntimeError> {
         let input = self.shared.graph.edges[edge as usize].dst_input;
         let expected = self.inputs[input].expected_senders;
+        if !self.inputs[input].bufs.contains_key(&bag_len) {
+            // Punctuation can open the buffer before any data: one live
+            // (still-empty) bag becomes resident.
+            self.shared
+                .mem
+                .charge(MemClass::AwaitingInputs, self.machine, self.op, 1, 0, 0);
+        }
         let buf = self.inputs[input].bufs.entry(bag_len).or_default();
         buf.done_senders += 1;
         buf.announced_total += count as u64;
@@ -420,10 +437,105 @@ impl Host {
         self.progress(path, out)
     }
 
+    // --- Memory accounting ------------------------------------------------
+
+    /// Garbage-collects buffered input bags with identifier length below
+    /// `keep`, crediting the freed residency. An associated function so
+    /// call sites can hold a mutable borrow of one input while reading the
+    /// registry.
+    fn gc_input(
+        state: &mut InputState,
+        keep: u32,
+        mem: &crate::obs::mem::MemRegistry,
+        machine: u16,
+        op: OpId,
+    ) {
+        let (mut bags, mut elems, mut bytes) = (0u64, 0u64, 0u64);
+        state.bufs.retain(|&l, b| {
+            if l >= keep {
+                true
+            } else {
+                bags += 1;
+                elems += b.elems.len() as u64;
+                bytes += elems_bytes(&b.elems);
+                false
+            }
+        });
+        if bags > 0 {
+            mem.credit(MemClass::AwaitingInputs, machine, op, bags, elems, bytes);
+        }
+    }
+
+    /// Approximate residency of a hoist-cache entry: `(elements, bytes)`.
+    fn kept_cost(kept: &Kept) -> (u64, u64) {
+        match kept {
+            Kept::Join { table, .. } => {
+                let (mut elems, mut bytes) = (0u64, 0u64);
+                for (k, vs) in table {
+                    elems += vs.len() as u64;
+                    bytes += k.estimated_bytes() + elems_bytes(vs);
+                }
+                (elems, bytes)
+            }
+            Kept::Cross { right, .. } => (right.len() as u64, elems_bytes(right)),
+        }
+    }
+
+    /// Credits a hoist-cache entry leaving the cache (reused into an active
+    /// bag, or invalidated by a changed input selection).
+    fn credit_kept(&self, kept: &Kept) {
+        let (elems, bytes) = Self::kept_cost(kept);
+        self.shared
+            .mem
+            .credit(MemClass::HoistCache, self.machine, self.op, 1, elems, bytes);
+    }
+
+    /// End-of-run input-buffer GC: once the path has exited and this host
+    /// is fully idle, no future occurrence can select a buffered input bag
+    /// (selection candidates only come from path appends), so everything
+    /// still buffered — kept during the run for potential re-selection — is
+    /// released. Late in-flight arrivals re-enter via `poke`, which runs
+    /// the sweep again.
+    fn exit_gc(&mut self) {
+        for state in &mut self.inputs {
+            let (mut bags, mut elems, mut bytes) = (0u64, 0u64, 0u64);
+            for b in state.bufs.values() {
+                bags += 1;
+                elems += b.elems.len() as u64;
+                bytes += elems_bytes(&b.elems);
+            }
+            if bags > 0 {
+                state.bufs.clear();
+                self.shared.mem.credit(
+                    MemClass::AwaitingInputs,
+                    self.machine,
+                    self.op,
+                    bags,
+                    elems,
+                    bytes,
+                );
+            }
+        }
+    }
+
     // --- Scheduling -------------------------------------------------------
 
-    /// Works through pending output bags as far as data allows.
+    /// Works through pending output bags as far as data allows, then (when
+    /// the run is over for this host) sweeps the input buffers.
     fn progress(&mut self, path: &ExecutionPath, out: &mut HostOut) -> Result<(), RuntimeError> {
+        self.progress_inner(path, out)?;
+        if path.exited() && self.idle() {
+            self.exit_gc();
+        }
+        Ok(())
+    }
+
+    /// Works through pending output bags as far as data allows.
+    fn progress_inner(
+        &mut self,
+        path: &ExecutionPath,
+        out: &mut HostOut,
+    ) -> Result<(), RuntimeError> {
         loop {
             if self.current.is_none() {
                 let Some(&pos) = self.pending_outputs.front() else {
@@ -527,7 +639,7 @@ impl Host {
             // GC: buffered bags older than the winner can never be selected
             // again (candidate prefixes grow monotonically).
             for state in &mut self.inputs {
-                state.bufs.retain(|&l, _| l >= win_len);
+                Self::gc_input(state, win_len, &self.shared.mem, self.machine, self.op);
             }
         } else {
             for (i, &e) in self.in_edges.iter().enumerate() {
@@ -567,7 +679,7 @@ impl Host {
             }
             for (i, state) in self.inputs.iter_mut().enumerate() {
                 if let Some(keep) = sel[i] {
-                    state.bufs.retain(|&l, _| l >= keep);
+                    Self::gc_input(state, keep, &self.shared.mem, self.machine, self.op);
                 }
             }
         }
@@ -579,17 +691,26 @@ impl Host {
         if self.shared.config.hoisting {
             match (&self.kind, &self.kept) {
                 (NodeKind::Join, Some(Kept::Join { bag_len, .. })) if sel[0] == Some(*bag_len) => {
-                    if let Some(Kept::Join { table, .. }) = self.kept.take() {
-                        state = OpState::Build(table);
-                        reused = true;
+                    if let Some(k) = self.kept.take() {
+                        // The cached table moves into the active bag's
+                        // operator state: cache residency becomes working
+                        // state (re-charged as cache at finalize).
+                        self.credit_kept(&k);
+                        if let Kept::Join { table, .. } = k {
+                            state = OpState::Build(table);
+                            reused = true;
+                        }
                     }
                 }
                 (NodeKind::Cross, Some(Kept::Cross { bag_len, .. }))
                     if sel[1] == Some(*bag_len) =>
                 {
-                    if let Some(Kept::Cross { right, .. }) = self.kept.take() {
-                        state = OpState::CrossRight(right);
-                        reused = true;
+                    if let Some(k) = self.kept.take() {
+                        self.credit_kept(&k);
+                        if let Kept::Cross { right, .. } = k {
+                            state = OpState::CrossRight(right);
+                            reused = true;
+                        }
                     }
                 }
                 _ => {}
@@ -612,7 +733,9 @@ impl Host {
                 );
             }
         } else if matches!(self.kind, NodeKind::Join | NodeKind::Cross) {
-            self.kept = None;
+            if let Some(k) = self.kept.take() {
+                self.credit_kept(&k); // invalidated: the selection changed
+            }
         }
 
         // Gating bookkeeping; a reused hoisted input's gate is pre-satisfied.
@@ -663,6 +786,11 @@ impl Host {
                 } else {
                     0
                 };
+                // One conditionally-sent bag is now resident until the path
+                // proves (or refutes) that its consumer runs.
+                self.shared
+                    .mem
+                    .charge(MemClass::AwaitingBarrier, self.machine, self.op, 1, 0, 0);
                 edges.push(EdgeSend::Undecided {
                     cursor: len,
                     buffer: Vec::new(),
@@ -1321,20 +1449,30 @@ impl Host {
         let active = self.current.take().expect("active");
         // Keep hoistable build state for the next output bag (Sec. 5.3).
         if self.shared.config.hoisting {
-            match (&self.kind, active.state) {
-                (NodeKind::Join, OpState::Build(table)) => {
-                    self.kept = Some(Kept::Join {
-                        bag_len: active.sel[0].expect("join build selected"),
-                        table,
-                    });
-                }
-                (NodeKind::Cross, OpState::CrossRight(right)) => {
-                    self.kept = Some(Kept::Cross {
-                        bag_len: active.sel[1].expect("cross right selected"),
-                        right,
-                    });
-                }
-                _ => {}
+            let new_kept = match (&self.kind, active.state) {
+                (NodeKind::Join, OpState::Build(table)) => Some(Kept::Join {
+                    bag_len: active.sel[0].expect("join build selected"),
+                    table,
+                }),
+                (NodeKind::Cross, OpState::CrossRight(right)) => Some(Kept::Cross {
+                    bag_len: active.sel[1].expect("cross right selected"),
+                    right,
+                }),
+                _ => None,
+            };
+            if let Some(k) = new_kept {
+                // Deliberately retained across output bags: charged to the
+                // hoist-cache class (excluded from the leak verdict).
+                let (elems, bytes) = Self::kept_cost(&k);
+                self.shared.mem.charge(
+                    MemClass::HoistCache,
+                    self.machine,
+                    self.op,
+                    1,
+                    elems,
+                    bytes,
+                );
+                self.kept = Some(k);
             }
         }
 
@@ -1405,6 +1543,14 @@ impl Host {
             match action {
                 Action::Skip => {}
                 Action::Buffer => {
+                    self.shared.mem.charge(
+                        MemClass::AwaitingBarrier,
+                        self.machine,
+                        self.op,
+                        0,
+                        elems.len() as u64,
+                        elems_bytes(&elems),
+                    );
                     if let EdgeSend::Undecided { buffer, .. } =
                         &mut self.outbags.get_mut(&bag_len).expect("outbag").edges[ei]
                     {
@@ -1522,7 +1668,7 @@ impl Host {
             let n_edges = self.out_edge_ids.len();
             for ei in 0..n_edges {
                 let edge = self.out_edge_ids[ei];
-                let (decision, next, buffered, buf_held, opened_ns) = {
+                let (decision, next, buffered, buf_held, buf_bytes, opened_ns) = {
                     let outbag = self.outbags.get_mut(&bag_len).expect("outbag");
                     let EdgeSend::Undecided {
                         cursor,
@@ -1534,12 +1680,13 @@ impl Host {
                     };
                     let (d, next) = self.shared.rules.decide_send(edge, path, bag_len, *cursor);
                     let buf_held = buffer.len() as u64;
+                    let buf_bytes = elems_bytes(buffer);
                     let buffered = if d == SendDecision::Send {
                         std::mem::take(buffer)
                     } else {
                         Vec::new()
                     };
-                    (d, next, buffered, buf_held, *opened_ns)
+                    (d, next, buffered, buf_held, buf_bytes, *opened_ns)
                 };
                 let outbag = self.outbags.get_mut(&bag_len).expect("outbag");
                 match decision {
@@ -1550,6 +1697,14 @@ impl Host {
                     }
                     SendDecision::Drop => {
                         outbag.edges[ei] = EdgeSend::Dropped;
+                        self.shared.mem.credit(
+                            MemClass::AwaitingBarrier,
+                            self.machine,
+                            self.op,
+                            1,
+                            buf_held,
+                            buf_bytes,
+                        );
                         resolved_any = true;
                         self.record_send_resolved(edge, bag_len, false, buf_held, opened_ns, out);
                     }
@@ -1560,6 +1715,14 @@ impl Host {
                             counts: vec![0; dst_n as usize],
                             done_sent: false,
                         };
+                        self.shared.mem.credit(
+                            MemClass::AwaitingBarrier,
+                            self.machine,
+                            self.op,
+                            1,
+                            buf_held,
+                            buf_bytes,
+                        );
                         to_flush.push((bag_len, ei, buffered));
                         resolved_any = true;
                         self.record_send_resolved(edge, bag_len, true, buf_held, opened_ns, out);

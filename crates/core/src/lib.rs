@@ -32,15 +32,15 @@ pub mod thread_driver;
 pub mod worker;
 
 pub use cost::CostModel;
-pub use dot::{to_dot, to_dot_annotated, to_dot_with_flow, to_dot_with_metrics};
+pub use dot::{to_dot, to_dot_annotated, to_dot_with_flow, to_dot_with_mem, to_dot_with_metrics};
 pub use engine::{extract_outputs, run_sim, run_sim_live, run_source_sim, EngineResult};
 pub use fuse::{fuse_graph, planned_graph};
 pub use graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
 pub use obs::{
     build_profile, build_step_trees, critical_path, progress_line, render_tree, watch_table,
-    BagNode, CriticalPath, EdgeFlow, Event, EventKind, FlightRecorder, FlowRegistry, FlowReport,
-    Histogram, ObsLevel, ObsReport, PhaseHistograms, Profile, Snapshot, SpanCtx, StallReport,
-    StepTree, TelemetryHub,
+    BagNode, ClassMem, CriticalPath, EdgeFlow, Event, EventKind, FlightRecorder, FlowRegistry,
+    FlowReport, Histogram, MachineMem, MemClass, MemRegistry, MemReport, ObsLevel, ObsReport,
+    PhaseHistograms, Profile, Snapshot, SpanCtx, StallReport, StepTree, TelemetryHub,
 };
 pub use path::{BagId, ExecutionPath, LoopInfo, LoopNest, PathRules, SendDecision};
 pub use relay::{Relay, ReliableNet};

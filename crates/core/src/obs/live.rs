@@ -207,6 +207,7 @@ impl TelemetryHub {
             workers,
             ops,
             hot_edge: None,
+            mem: None,
         }
     }
 }
@@ -282,6 +283,11 @@ pub struct Snapshot {
     /// registry ([`crate::obs::flow::FlowRegistry::hottest`]); [`None`]
     /// before any data-plane traffic.
     pub hot_edge: Option<(u32, u64, u64)>,
+    /// Resident state as `(current bytes, peak bytes)` across all machines
+    /// — filled in by the drivers from the memory registry
+    /// ([`crate::obs::mem::MemRegistry::watch_cell`]); [`None`] before any
+    /// residency (or when `MITOS_MEM_OFF` is set).
+    pub mem: Option<(u64, u64)>,
 }
 
 impl Snapshot {
@@ -374,6 +380,16 @@ pub fn watch_table(s: &Snapshot, graph: &crate::graph::LogicalGraph) -> String {
             super::flow::FlowReport::edge_label(graph, edge),
             super::flow::fmt_bytes(bytes),
             elems,
+        );
+    }
+    // Like the hottest edge, the residency line only appears once state
+    // has been resident, so quiet tables render exactly as before.
+    if let Some((cur, peak)) = s.mem {
+        let _ = writeln!(
+            out,
+            "resident state: {} (peak {})",
+            super::flow::fmt_bytes(cur),
+            super::flow::fmt_bytes(peak),
         );
     }
     let per_worker: Vec<String> = s

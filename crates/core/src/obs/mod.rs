@@ -26,6 +26,7 @@ pub mod explain;
 pub mod flow;
 pub mod histo;
 pub mod live;
+pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
@@ -39,6 +40,7 @@ pub use explain::{explain_parts, explain_report};
 pub use flow::{EdgeFlow, FlowRegistry, FlowReport, BACKPRESSURE_WINDOW};
 pub use histo::{Histogram, PhaseHistograms};
 pub use live::{progress_line, watch_table, OpSnapshot, Snapshot, TelemetryHub, WorkerSnapshot};
+pub use mem::{ClassMem, MachineMem, MemClass, MemRegistry, MemReport};
 pub use metrics::{EdgeMetrics, LatencyStats, MetricsRegistry, OpMetrics};
 pub use profile::{build_profile, Profile};
 pub use recorder::{FlightRecorder, FLIGHT_SLOTS};

@@ -147,6 +147,11 @@ pub struct StallReport {
     /// N ms"), hottest first. Empty on healthy runs (see
     /// [`crate::obs::flow::FlowReport::backpressure_lines`]).
     pub backpressure: Vec<String>,
+    /// Retained-state attribution from the memory registry: one line per
+    /// `(machine, retention class)` still holding live bags at stall time
+    /// (see [`crate::obs::mem::MemReport::retained_lines`]). Empty when
+    /// nothing is resident or `MITOS_MEM_OFF` is set.
+    pub retained: Vec<String>,
 }
 
 impl StallReport {
@@ -224,6 +229,12 @@ impl StallReport {
                 let _ = writeln!(out, "    {line}");
             }
         }
+        if !self.retained.is_empty() {
+            let _ = writeln!(out, "  retained state:");
+            for line in &self.retained {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
         if !self.flight.is_empty() {
             let _ = writeln!(out, "  flight recorder (most recent events per worker):");
             for line in &self.flight {
@@ -249,6 +260,7 @@ pub fn diagnose(workers: &[crate::worker::Worker], deadline_ns: u64, idle_ns: u6
         fault: None,
         flight: Vec::new(),
         backpressure: Vec::new(),
+        retained: Vec::new(),
     }
 }
 

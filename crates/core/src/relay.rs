@@ -29,7 +29,9 @@
 //! to builds without it.
 
 use crate::graph::EdgeId;
+use crate::obs::event::OP_NONE;
 use crate::obs::flow::FlowRegistry;
+use crate::obs::mem::{MemClass, MemRegistry, DEDUP_ENTRY_BYTES, ENVELOPE_BYTES};
 use crate::rt::{Msg, Net, RuntimeError};
 use std::collections::{BTreeMap, HashSet};
 
@@ -140,7 +142,8 @@ impl Relay {
     /// Sends through `net`, wrapping remote guarded payloads in a
     /// sequence-numbered envelope and arming the retransmission timer.
     /// Data-plane payloads entering the unacked buffer grow their edge's
-    /// inflight window in `flow`.
+    /// inflight window in `flow`; every buffered envelope charges its
+    /// payload-plus-envelope bytes to [`MemClass::RelayBuf`] in `mem`.
     pub fn send_via(
         &mut self,
         net: &mut dyn Net,
@@ -148,6 +151,7 @@ impl Relay {
         msg: Msg,
         bytes: u64,
         flow: &FlowRegistry,
+        mem: &MemRegistry,
     ) {
         if !self.enabled || machine == self.machine || !guarded(&msg) {
             net.send(machine, msg, bytes);
@@ -163,11 +167,23 @@ impl Relay {
                 seq,
                 payload: Box::new(msg.clone()),
             },
-            bytes + 24,
+            bytes + ENVELOPE_BYTES,
         );
         if let Some(edge) = data_edge(&msg) {
             flow.inflight_inc(edge, self.machine);
         }
+        let elems = match &msg {
+            Msg::Data { elems, .. } => elems.len() as u64,
+            _ => 0,
+        };
+        mem.charge(
+            MemClass::RelayBuf,
+            self.machine,
+            OP_NONE,
+            1,
+            elems,
+            bytes + ENVELOPE_BYTES,
+        );
         self.unacked[m].insert(seq, Pending { msg, bytes });
         self.arm(net, machine);
     }
@@ -188,36 +204,72 @@ impl Relay {
     }
 
     /// Receive side: acks `(src, seq)` and returns whether the payload is
-    /// fresh (deliver it) or a duplicate (discard it).
-    pub fn accept(&mut self, net: &mut dyn Net, src: u16, seq: u64) -> bool {
+    /// fresh (deliver it) or a duplicate (discard it). Fresh entries
+    /// charge [`MemClass::DedupTable`] residency in `mem`; watermark
+    /// compaction credits it back, so a gap-free run holds the table at
+    /// zero.
+    pub fn accept(&mut self, net: &mut dyn Net, src: u16, seq: u64, mem: &MemRegistry) -> bool {
         net.send(
             src,
             Msg::Ack {
                 peer: self.machine,
                 seq,
             },
-            24,
+            ENVELOPE_BYTES,
         );
         let s = src as usize;
         if seq < self.delivered_below[s] || !self.seen[s].insert(seq) {
             self.dups_dropped += 1;
             return false;
         }
+        mem.charge(
+            MemClass::DedupTable,
+            self.machine,
+            OP_NONE,
+            1,
+            0,
+            DEDUP_ENTRY_BYTES,
+        );
         // Compact the dense prefix into the watermark.
+        let mut compacted = 0u64;
         while self.seen[s].remove(&self.delivered_below[s]) {
             self.delivered_below[s] += 1;
+            compacted += 1;
+        }
+        if compacted > 0 {
+            mem.credit(
+                MemClass::DedupTable,
+                self.machine,
+                OP_NONE,
+                compacted,
+                0,
+                compacted * DEDUP_ENTRY_BYTES,
+            );
         }
         true
     }
 
     /// Send side: an ack from `peer` retires the pending payload (and
-    /// shrinks its edge's inflight window in `flow`).
-    pub fn on_ack(&mut self, peer: u16, seq: u64, flow: &FlowRegistry) {
+    /// shrinks its edge's inflight window in `flow` and its
+    /// [`MemClass::RelayBuf`] residency in `mem`).
+    pub fn on_ack(&mut self, peer: u16, seq: u64, flow: &FlowRegistry, mem: &MemRegistry) {
         let m = peer as usize;
         if let Some(pending) = self.unacked[m].remove(&seq) {
             if let Some(edge) = data_edge(&pending.msg) {
                 flow.inflight_dec(edge, self.machine);
             }
+            let elems = match &pending.msg {
+                Msg::Data { elems, .. } => elems.len() as u64,
+                _ => 0,
+            };
+            mem.credit(
+                MemClass::RelayBuf,
+                self.machine,
+                OP_NONE,
+                1,
+                elems,
+                pending.bytes + ENVELOPE_BYTES,
+            );
         }
         if self.unacked[m].is_empty() {
             self.attempts[m] = 0;
@@ -270,7 +322,7 @@ impl Relay {
                 _ => u32::MAX,
             };
             if let Some(edge) = data_edge(&msg) {
-                flow.retransmit(edge, self.machine, bytes + 24);
+                flow.retransmit(edge, self.machine, bytes + ENVELOPE_BYTES);
             }
             net.send(
                 peer,
@@ -279,7 +331,7 @@ impl Relay {
                     seq,
                     payload: Box::new(msg),
                 },
-                bytes + 24,
+                bytes + ENVELOPE_BYTES,
             );
             self.retransmits += 1;
             recorded.push((peer, seq, attempt, step));
@@ -298,12 +350,14 @@ pub struct ReliableNet<'a> {
     pub relay: &'a mut Relay,
     /// Per-edge flow accounting for inflight windows and retransmissions.
     pub flow: &'a FlowRegistry,
+    /// Residency accounting for the relay's retransmit buffer.
+    pub mem: &'a MemRegistry,
 }
 
 impl Net for ReliableNet<'_> {
     fn send(&mut self, machine: u16, msg: Msg, bytes: u64) {
         self.relay
-            .send_via(self.inner, machine, msg, bytes, self.flow);
+            .send_via(self.inner, machine, msg, bytes, self.flow, self.mem);
     }
 
     fn charge(&mut self, ns: u64) {
@@ -361,11 +415,15 @@ mod tests {
         FlowRegistry::new(2, 4)
     }
 
+    fn mem() -> MemRegistry {
+        MemRegistry::new(2, 4)
+    }
+
     #[test]
     fn disabled_relay_passes_sends_through() {
         let mut relay = Relay::new(0, 2, false);
         let mut net = CaptureNet::default();
-        relay.send_via(&mut net, 1, decision(), 16, &flow());
+        relay.send_via(&mut net, 1, decision(), 16, &flow(), &mem());
         assert!(matches!(net.sent[0].1, Msg::Decision { .. }));
         assert!(net.timers.is_empty());
     }
@@ -374,8 +432,8 @@ mod tests {
     fn guarded_remote_sends_are_wrapped_and_armed() {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
-        relay.send_via(&mut net, 1, decision(), 16, &flow());
-        relay.send_via(&mut net, 1, decision(), 16, &flow());
+        relay.send_via(&mut net, 1, decision(), 16, &flow(), &mem());
+        relay.send_via(&mut net, 1, decision(), 16, &flow(), &mem());
         match (&net.sent[0].1, &net.sent[1].1) {
             (Msg::Reliable { seq: 0, src: 0, .. }, Msg::Reliable { seq: 1, .. }) => {}
             other => panic!("expected two envelopes, got {other:?}"),
@@ -388,8 +446,8 @@ mod tests {
     fn local_and_unguarded_sends_bypass_the_relay() {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
-        relay.send_via(&mut net, 0, decision(), 16, &flow()); // local
-        relay.send_via(&mut net, 1, Msg::Start, 0, &flow()); // unguarded
+        relay.send_via(&mut net, 0, decision(), 16, &flow(), &mem()); // local
+        relay.send_via(&mut net, 1, Msg::Start, 0, &flow(), &mem()); // unguarded
         assert!(matches!(net.sent[0].1, Msg::Decision { .. }));
         assert!(matches!(net.sent[1].1, Msg::Start));
         assert!(net.timers.is_empty());
@@ -399,11 +457,15 @@ mod tests {
     fn receiver_acks_and_dedups() {
         let mut relay = Relay::new(1, 2, true);
         let mut net = CaptureNet::default();
-        assert!(relay.accept(&mut net, 0, 0));
-        assert!(!relay.accept(&mut net, 0, 0), "duplicate discarded");
-        assert!(relay.accept(&mut net, 0, 2), "gaps are fine");
-        assert!(relay.accept(&mut net, 0, 1));
-        assert!(!relay.accept(&mut net, 0, 1), "below-watermark duplicate");
+        let mreg = mem();
+        assert!(relay.accept(&mut net, 0, 0, &mreg));
+        assert!(!relay.accept(&mut net, 0, 0, &mreg), "duplicate discarded");
+        assert!(relay.accept(&mut net, 0, 2, &mreg), "gaps are fine");
+        assert!(relay.accept(&mut net, 0, 1, &mreg));
+        assert!(
+            !relay.accept(&mut net, 0, 1, &mreg),
+            "below-watermark duplicate"
+        );
         assert_eq!(relay.dups_dropped, 2);
         assert_eq!(net.sent.len(), 5, "every delivery is acked, even dups");
         assert!(net
@@ -412,6 +474,14 @@ mod tests {
             .all(|(m, s)| *m == 0 && matches!(s, Msg::Ack { peer: 1, .. })));
         assert_eq!(relay.delivered_below[0], 3, "watermark compacts");
         assert!(relay.seen[0].is_empty());
+        if mreg.enabled() {
+            let table = mreg.snapshot().class_total(MemClass::DedupTable);
+            assert_eq!(
+                (table.live, table.bytes),
+                (0, 0),
+                "compacted table holds no residency"
+            );
+        }
     }
 
     #[test]
@@ -419,7 +489,8 @@ mod tests {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
         let reg = flow();
-        relay.send_via(&mut net, 1, decision(), 16, &reg);
+        let mreg = mem();
+        relay.send_via(&mut net, 1, decision(), 16, &reg, &mreg);
         net.sent.clear();
         net.timers.clear();
         let resent = relay.on_tick(&mut net, 1, "drop 1.00", &reg).unwrap();
@@ -429,7 +500,7 @@ mod tests {
         assert_eq!(net.timers[0].0, BASE_BACKOFF_NS << 1, "backoff doubled");
         assert_eq!(relay.retransmits, 1);
 
-        relay.on_ack(1, 0, &reg);
+        relay.on_ack(1, 0, &reg, &mreg);
         net.sent.clear();
         let resent = relay.on_tick(&mut net, 1, "drop 1.00", &reg).unwrap();
         assert!(resent.is_empty(), "nothing unacked, tick disarms");
@@ -442,6 +513,7 @@ mod tests {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
         let reg = flow();
+        let mreg = mem();
         if !reg.enabled() {
             return; // MITOS_FLOW_OFF set in the environment
         }
@@ -451,9 +523,14 @@ mod tests {
             bag_len: 1,
             elems: Vec::new(),
         };
-        relay.send_via(&mut net, 1, data, 40, &reg);
+        relay.send_via(&mut net, 1, data, 40, &reg, &mreg);
+        if mreg.enabled() {
+            let buf = mreg.snapshot().class_total(MemClass::RelayBuf);
+            assert_eq!(buf.live, 1, "one unacked envelope resident");
+            assert_eq!(buf.bytes, 40 + ENVELOPE_BYTES);
+        }
         relay.on_tick(&mut net, 1, "drop 1.00", &reg).unwrap();
-        relay.on_ack(1, 0, &reg);
+        relay.on_ack(1, 0, &reg, &mreg);
         let report = reg.snapshot();
         let edge = &report.edges[2];
         assert_eq!(edge.retrans_msgs(), 1);
@@ -465,6 +542,15 @@ mod tests {
             64,
             "ack retired the window without disturbing retransmit totals"
         );
+        if mreg.enabled() {
+            let buf = mreg.snapshot().class_total(MemClass::RelayBuf);
+            assert_eq!((buf.live, buf.bytes), (0, 0), "ack drained the buffer");
+            assert_eq!(
+                mreg.snapshot().class_total(MemClass::RelayBuf).bytes_hwm,
+                40 + ENVELOPE_BYTES,
+                "peak survives the drain"
+            );
+        }
     }
 
     #[test]
@@ -472,7 +558,7 @@ mod tests {
         let mut relay = Relay::new(0, 2, true);
         let mut net = CaptureNet::default();
         let reg = flow();
-        relay.send_via(&mut net, 1, decision(), 16, &reg);
+        relay.send_via(&mut net, 1, decision(), 16, &reg, &mem());
         let mut last = Ok(Vec::new());
         for _ in 0..=MAX_ATTEMPTS {
             last = relay.on_tick(&mut net, 1, "drop 1.00 (fault seed 0x7)", &reg);
@@ -485,5 +571,64 @@ mod tests {
             err.message
         );
         assert!(err.message.contains("drop 1.00"), "{}", err.message);
+    }
+
+    /// The dedup table must stay bounded by the compaction watermark on a
+    /// long run, not grow monotonically: entries above the watermark are
+    /// exactly the out-of-order gap, and a dense delivery drains the table
+    /// back to empty.
+    #[test]
+    fn dedup_table_is_bounded_by_the_watermark() {
+        let mut relay = Relay::new(1, 2, true);
+        let mut net = CaptureNet::default();
+        let mreg = mem();
+        // Seeded xorshift over delivery order: deliver seqs in windows of
+        // 16, each window shuffled deterministically, with duplicates
+        // sprinkled in — a long reordered-and-duplicated stream.
+        let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut step = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut max_table = 0usize;
+        for window in 0..64u64 {
+            let base = window * 16;
+            let mut seqs: Vec<u64> = (base..base + 16).collect();
+            // Fisher-Yates with the seeded generator.
+            for i in (1..seqs.len()).rev() {
+                let j = (step() % (i as u64 + 1)) as usize;
+                seqs.swap(i, j);
+            }
+            for &seq in &seqs {
+                relay.accept(&mut net, 0, seq, &mreg);
+                if step() % 4 == 0 {
+                    relay.accept(&mut net, 0, seq, &mreg); // duplicate
+                }
+                max_table = max_table.max(relay.seen[0].len());
+                assert!(
+                    relay.seen[0].len() <= 16,
+                    "table exceeded the reorder window: {} entries",
+                    relay.seen[0].len()
+                );
+            }
+            // A window boundary is a dense prefix: compaction must have
+            // folded everything into the watermark.
+            assert!(
+                relay.seen[0].is_empty(),
+                "dense prefix not compacted at window {window}"
+            );
+            assert_eq!(relay.delivered_below[0], base + 16);
+        }
+        assert!(max_table > 1, "shuffle produced no reordering to test");
+        if mreg.enabled() {
+            let table = mreg.snapshot().class_total(MemClass::DedupTable);
+            assert_eq!((table.live, table.bytes), (0, 0), "drained to watermark");
+            assert!(
+                table.bytes_hwm >= DEDUP_ENTRY_BYTES,
+                "peak recorded while the gap was open"
+            );
+        }
     }
 }

@@ -209,6 +209,11 @@ pub struct EngineShared {
     /// queue-depth and backpressure watermarks); snapshotted into
     /// [`crate::obs::flow::FlowReport`] at join.
     pub flow: crate::obs::flow::FlowRegistry,
+    /// Always-on per-machine, per-retention-class memory/state residency
+    /// accounting (relaxed-atomic sharded gauges charged at bag
+    /// append/compute and credited at Release/GC, with high-water marks);
+    /// snapshotted into [`crate::obs::mem::MemReport`] at join.
+    pub mem: crate::obs::mem::MemRegistry,
 }
 
 /// Messages exchanged between workers (one worker actor per machine).

@@ -180,6 +180,7 @@ pub fn run_threads_live(
     let rules = crate::path::PathRules::build(&graph);
     let telemetry = crate::obs::live::TelemetryHub::new(machines, graph.nodes.len());
     let flow = crate::obs::flow::FlowRegistry::new(machines, graph.edges.len());
+    let mem = crate::obs::mem::MemRegistry::new(machines, graph.nodes.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
@@ -189,6 +190,7 @@ pub fn run_threads_live(
         telemetry,
         flight: crate::obs::recorder::FlightRecorder::new(machines),
         flow,
+        mem,
     });
 
     let epoch = Instant::now();
@@ -310,8 +312,10 @@ pub fn run_threads_live(
                 .sample_queues(&depths, now.saturating_sub(last_flow_sample));
             last_flow_sample = now;
             if interval > 0 && now >= next_sample {
+                shared.mem.sample();
                 let mut s = shared.telemetry.snapshot(now, snapshots.last());
                 s.hot_edge = shared.flow.hottest();
+                s.mem = shared.mem.watch_cell();
                 on_snapshot(&s);
                 snapshots.push(s);
                 while next_sample <= now {
@@ -401,6 +405,7 @@ pub fn run_threads_live(
         let mut diag = crate::obs::diagnose(&workers, deadline, idle_ns);
         diag.flight = shared.flight.dump_lines();
         diag.backpressure = shared.flow.snapshot().backpressure_lines(&shared.graph);
+        diag.retained = shared.mem.snapshot().retained_lines();
         if shared.config.faults.is_active() {
             let retransmits = workers.iter().map(Worker::retransmits).sum();
             diag.fault = Some(obs::fault_note(
@@ -449,6 +454,7 @@ pub fn run_threads_live(
         obs: obs_report,
         snapshots,
         flow: shared.flow.snapshot(),
+        mem: shared.mem.snapshot(),
     })
 }
 

@@ -209,11 +209,12 @@ impl Worker {
         let mut relay = std::mem::take(&mut self.relay);
         let result = match msg {
             Msg::Reliable { src, seq, payload } => {
-                if relay.accept(net, src, seq) {
+                if relay.accept(net, src, seq, &shared.mem) {
                     let mut rnet = ReliableNet {
                         inner: net,
                         relay: &mut relay,
                         flow: &shared.flow,
+                        mem: &shared.mem,
                     };
                     self.ingest(*payload, &mut rnet)
                 } else {
@@ -224,7 +225,7 @@ impl Worker {
                 }
             }
             Msg::Ack { peer, seq } => {
-                relay.on_ack(peer, seq, &self.shared.flow);
+                relay.on_ack(peer, seq, &self.shared.flow, &self.shared.mem);
                 Ok(())
             }
             Msg::RetryTick { peer } => {
@@ -254,6 +255,7 @@ impl Worker {
                     inner: net,
                     relay: &mut relay,
                     flow: &shared.flow,
+                    mem: &shared.mem,
                 };
                 self.ingest(other, &mut rnet)
             }

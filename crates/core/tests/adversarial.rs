@@ -47,6 +47,7 @@ fn run_with_policy(src: &str, machines: u16, mut policy: Policy, fs: &InMemoryFs
     let rules = PathRules::build(&graph);
     let telemetry = mitos_core::obs::TelemetryHub::new(machines, graph.nodes.len());
     let flow = mitos_core::FlowRegistry::new(machines, graph.edges.len());
+    let mem = mitos_core::MemRegistry::new(machines, graph.nodes.len());
     let shared = Arc::new(EngineShared {
         graph,
         rules,
@@ -56,6 +57,7 @@ fn run_with_policy(src: &str, machines: u16, mut policy: Policy, fs: &InMemoryFs
         telemetry,
         flight: mitos_core::FlightRecorder::new(machines),
         flow,
+        mem,
     });
     let mut workers: Vec<Worker> = (0..machines)
         .map(|m| Worker::new(shared.clone(), m))

@@ -319,6 +319,7 @@ fn per_worker_event_timestamps_are_monotone_over_net_now_ns() {
     let machines: u16 = 3;
     let telemetry = TelemetryHub::new(machines, graph.nodes.len());
     let flow = mitos_core::FlowRegistry::new(machines, graph.edges.len());
+    let mem = mitos_core::MemRegistry::new(machines, graph.nodes.len());
     let fs = loop_fs();
     let shared = Arc::new(EngineShared {
         graph,
@@ -329,6 +330,7 @@ fn per_worker_event_timestamps_are_monotone_over_net_now_ns() {
         telemetry,
         flight: mitos_core::FlightRecorder::new(machines),
         flow,
+        mem,
     });
     let mut workers: Vec<Worker> = (0..machines)
         .map(|m| Worker::new(shared.clone(), m))

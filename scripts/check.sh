@@ -232,6 +232,92 @@ awk -v on="$on_ms" -v off="$off_ms" 'BEGIN {
 }
 rm -f "$flow_mt" /tmp/flow_on.err /tmp/flow_off.err
 
+# State/memory telemetry: the residency report must run end-to-end on
+# both drivers, report leak-freedom after a fault-free run (the leak
+# detector: nothing retained outside deliberate caches once the exit
+# sweep has run), and refuse non-Mitos engines with exit 2.
+for eng in mitos threads; do
+    mem_out="$(./target/release/mitos mem examples/nested_loops.mt \
+        --machines 3 --engine "$eng")"
+    echo "$mem_out" | grep -q "state residency by class" || {
+        echo "check.sh: mitos mem smoke failed on engine $eng" >&2
+        exit 1
+    }
+    echo "$mem_out" | grep -q "leak-free" || {
+        echo "check.sh: mitos mem leak gate failed on engine $eng" >&2
+        exit 1
+    }
+done
+if ./target/release/mitos mem examples/nested_loops.mt \
+    --machines 3 --engine spark >/dev/null 2>&1; then
+    echo "check.sh: mitos mem must refuse non-Mitos engines" >&2
+    exit 1
+elif [ $? -ne 2 ]; then
+    echo "check.sh: mitos mem on spark must exit 2" >&2
+    exit 1
+fi
+echo "$explain_json" | grep -q '"mem":{"enabled":true' || {
+    echo "check.sh: explain --json missing the mem block" >&2
+    exit 1
+}
+mem_json="$(./target/release/mitos mem examples/nested_loops.mt --machines 3 --json)"
+echo "$mem_json" | grep -q '"leak_free":true' || {
+    echo "check.sh: fault-free run not leak-free: $mem_json" >&2
+    exit 1
+}
+
+# Chaos drain gate: under a seeded fault plan the relay's retransmit
+# buffer must fully ack and the dedup tables must compact to their
+# watermarks by quiescence — every transient class at zero residency.
+chaos_mem="$(./target/release/mitos mem examples/nested_loops.mt --machines 3 \
+    --fault-drop 0.2 --fault-dup 0.1 --fault-reorder 0.2 --fault-seed 7 --json)"
+echo "$chaos_mem" | grep -q '"leak_free":true' || {
+    echo "check.sh: chaos drain gate failed — state retained at quiescence: $chaos_mem" >&2
+    exit 1
+}
+for class in relay-buf dedup-table awaiting-inputs awaiting-barrier; do
+    echo "$chaos_mem" | grep -q "\"class\":\"$class\",\"live\":0,\"elems\":0,\"bytes\":0" || {
+        echo "check.sh: chaos drain gate — $class did not drain to zero: $chaos_mem" >&2
+        exit 1
+    }
+done
+
+# Memory-accounting overhead guard, mirroring the flow A/B: always-on
+# residency counters must charge zero virtual time on the simulator
+# (bit-identical stdout + virtual-ms with MITOS_MEM_OFF=1) and stay
+# within the same wall-clock envelope on threads.
+mem_mt="$(mktemp --suffix=.mt)"
+printf 's = 0;\nfor i = 1 to 60 {\n  b = bag((1, i));\n  s = s + b.count();\n}\noutput(s, "s");\n' > "$mem_mt"
+mem_on_out="$(./target/release/mitos run "$mem_mt" --machines 3 2>/tmp/mem_on.err)"
+mem_off_out="$(MITOS_MEM_OFF=1 ./target/release/mitos run "$mem_mt" --machines 3 2>/tmp/mem_off.err)"
+[ "$mem_on_out" = "$mem_off_out" ] || {
+    echo "check.sh: memory accounting changed sim output" >&2
+    exit 1
+}
+vms_on="$(sed -n 's/.* machines, \([0-9.]*\) virtual ms.*/\1/p' /tmp/mem_on.err)"
+vms_off="$(sed -n 's/.* machines, \([0-9.]*\) virtual ms.*/\1/p' /tmp/mem_off.err)"
+[ -n "$vms_on" ] && [ "$vms_on" = "$vms_off" ] || {
+    echo "check.sh: memory accounting charged virtual time ($vms_on vs $vms_off)" >&2
+    exit 1
+}
+mem_median() {
+    for _ in 1 2 3 4 5; do
+        env "$@" ./target/release/mitos run "$mem_mt" \
+            --machines 3 --engine threads 2>&1 >/dev/null |
+            sed -n 's/.* machines, \([0-9.]*\) measured ms.*/\1/p'
+    done | sort -n | sed -n 3p
+}
+on_ms="$(mem_median MITOS_CHECK=1)"
+off_ms="$(mem_median MITOS_MEM_OFF=1)"
+awk -v on="$on_ms" -v off="$off_ms" 'BEGIN {
+    if (on == "" || off == "") exit 1
+    exit (on <= off * 1.02 + 2.0) ? 0 : 1
+}' || {
+    echo "check.sh: memory accounting wall overhead on threads: ${on_ms}ms vs ${off_ms}ms (limit 2% + 2ms)" >&2
+    exit 1
+}
+rm -f "$mem_mt" /tmp/mem_on.err /tmp/mem_off.err
+
 # Bench trajectory: when fresh bench reports exist (scripts/bench.sh),
 # compare them against the committed baseline with config-digest
 # mismatches escalated to hard failures (--strict); skipped when no

@@ -73,7 +73,7 @@ pub use mitos_sim as sim;
 pub use mitos_workloads as workloads;
 
 pub use mitos_core::rt::{EngineConfig, FaultPlan};
-pub use mitos_core::{FlowReport, ObsLevel, ObsReport, Snapshot, StallReport};
+pub use mitos_core::{FlowReport, MemReport, ObsLevel, ObsReport, Snapshot, StallReport};
 use mitos_fs::InMemoryFs;
 use mitos_ir::{BlockId, FuncIr};
 use mitos_lang::Value;
@@ -154,6 +154,11 @@ pub struct Outcome {
     /// 0 otherwise). The flow report's per-edge message totals reconcile
     /// exactly with this counter.
     pub data_messages: u64,
+    /// Always-on per-machine, per-retention-class memory/state residency
+    /// accounting (Mitos engines only; `None` for the baselines and the
+    /// reference interpreter, which have no Mitos state to account). See
+    /// [`Outcome::mem`].
+    pub mem: Option<MemReport>,
 }
 
 impl Outcome {
@@ -234,6 +239,17 @@ impl Outcome {
     /// [`FlowReport::prometheus`].
     pub fn flow(&self) -> Option<&FlowReport> {
         self.flow.as_ref()
+    }
+
+    /// The run's memory/state residency report (per-machine,
+    /// per-retention-class live bags / elements / approximate bytes, with
+    /// high-water marks and leak attribution) — always populated by the
+    /// Mitos engines, `None` for the baselines and the reference
+    /// interpreter. Render with [`MemReport::render`], export with
+    /// [`MemReport::prometheus`]; a fault-free run that retains nothing
+    /// outside deliberate caches reports [`MemReport::leak_free`].
+    pub fn mem(&self) -> Option<&MemReport> {
+        self.mem.as_ref()
     }
 }
 
@@ -510,6 +526,7 @@ impl<'a> Run<'a> {
                     snapshots: r.snapshots,
                     flow: Some(r.flow),
                     data_messages: r.data_messages,
+                    mem: Some(r.mem),
                 })
             }
             Engine::FlinkNative => {
@@ -524,6 +541,7 @@ impl<'a> Run<'a> {
                     snapshots: Vec::new(),
                     flow: None,
                     data_messages: 0,
+                    mem: None,
                 })
             }
             Engine::FlinkSeparateJobs => {
@@ -538,6 +556,7 @@ impl<'a> Run<'a> {
                     snapshots: Vec::new(),
                     flow: None,
                     data_messages: 0,
+                    mem: None,
                 })
             }
             Engine::Spark => {
@@ -557,6 +576,7 @@ impl<'a> Run<'a> {
                     snapshots: Vec::new(),
                     flow: None,
                     data_messages: 0,
+                    mem: None,
                 })
             }
             Engine::MitosThreads => {
@@ -578,6 +598,7 @@ impl<'a> Run<'a> {
                     snapshots: r.snapshots,
                     flow: Some(r.flow),
                     data_messages: r.data_messages,
+                    mem: Some(r.mem),
                 })
             }
             Engine::Reference => {
@@ -597,6 +618,7 @@ impl<'a> Run<'a> {
                     snapshots: Vec::new(),
                     flow: None,
                     data_messages: 0,
+                    mem: None,
                 })
             }
         }

@@ -41,9 +41,13 @@ fn usage() -> ! {
          # per-edge data-plane flow report: top edges by bytes/elements,\n          \
          #   wire totals, per-machine skew, observed selectivity, backpressure\n          \
          #   (Mitos engines only; --dot writes an edge heat overlay)\n  \
+         mitos mem <program> [run options] [--json] [--dot out.dot]\n          \
+         # per-machine state-residency report: live bags/elements/bytes by\n          \
+         #   retention class, high-water marks, leak attribution\n          \
+         #   (Mitos engines only; --dot writes a node heat overlay)\n  \
          mitos profile <program> [run options] [--profile-json out.json] [--dot out.dot]\n          \
          # per-iteration attribution + critical path (Mitos engines only)\n  \
-         mitos trace-tree <program> [run options] [--step N]\n          \
+         mitos trace-tree <program> [run options] [--step N] [--json]\n          \
          # per-step causal span tree: decision broadcast -> receipt -> input\n          \
          #   assembly -> execute -> send-resolve (Mitos engines only)\n  \
          mitos ssa <program>\n  \
@@ -106,8 +110,9 @@ fn json_str(s: &str) -> String {
 
 /// `mitos explain --json`: the explain report as deterministic,
 /// hand-rolled JSON — run totals, per-operator counters, the recovery
-/// summary when observability recorded one, and the per-edge flow report
-/// (`null` on engines without a Mitos data plane).
+/// summary when observability recorded one, and the per-edge flow and
+/// state-residency reports (`null` on engines without a Mitos data
+/// plane).
 fn explain_json(
     outcome: &mitos::Outcome,
     engine: Engine,
@@ -168,16 +173,82 @@ fn explain_json(
             m.dup_msgs_dropped,
         );
     }
-    let flow = outcome.flow().and_then(|f| {
-        let g = mitos::core::planned_graph(func, engine_cfg).ok()?;
-        Some(f.to_json(&g))
-    });
+    let graph = mitos::core::planned_graph(func, engine_cfg).ok();
+    let flow = match (outcome.flow(), &graph) {
+        (Some(f), Some(g)) => f.to_json(g),
+        _ => "null".to_string(),
+    };
+    let mem = match (outcome.mem(), &graph) {
+        (Some(m), Some(g)) => m.to_json(g),
+        _ => "null".to_string(),
+    };
+    let _ = write!(out, "\"flow\":{flow},\"mem\":{mem}");
+    out.push('}');
+    out
+}
+
+/// `mitos trace-tree --json`: the causal span trees as deterministic,
+/// hand-rolled JSON. Span ids are already deterministic (see
+/// [`mitos::core::obs::span`]); under the simulator the timestamps are
+/// virtual, so the whole document is bit-stable across runs.
+fn trees_json(trees: &[mitos::core::StepTree], op_names: &[String]) -> String {
+    use std::fmt::Write as _;
+    let span_json = |out: &mut String, s: &mitos::core::obs::span::Span| {
+        let op = if s.op == u32::MAX {
+            "null".to_string()
+        } else {
+            s.op.to_string()
+        };
+        let name = op_names.get(s.op as usize).map_or("", |n| n.as_str());
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"parent\":{},\"kind\":{},\"machine\":{},\"op\":{op},\
+             \"op_name\":{},\"start_ns\":{},\"end_ns\":{},\"attempts\":{},\
+             \"label\":{},\"detail\":{}}}",
+            s.id,
+            s.parent,
+            json_str(s.kind.label()),
+            s.machine,
+            json_str(name),
+            s.start_ns,
+            s.end_ns,
+            s.attempts,
+            json_str(&s.label),
+            json_str(&s.detail),
+        );
+    };
+    let mut out = String::from("{\"steps\":[");
+    for (i, tree) in trees.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"step\":{},\"block\":{},\"decided\":{},\"spans\":[",
+            tree.step, tree.block, tree.decided,
+        );
+        for (j, s) in tree.spans.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            span_json(&mut out, s);
+        }
+        out.push_str("],\"orphans\":[");
+        for (j, s) in tree.orphans.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            span_json(&mut out, s);
+        }
+        out.push_str("]}");
+    }
     let _ = write!(
         out,
-        "\"flow\":{}",
-        flow.unwrap_or_else(|| "null".to_string())
+        "],\"step_count\":{},\"span_count\":{},\"orphan_count\":{}}}",
+        trees.len(),
+        trees.iter().map(|t| t.spans.len()).sum::<usize>(),
+        trees.iter().map(|t| t.orphans.len()).sum::<usize>(),
     );
-    out.push('}');
     out
 }
 
@@ -245,9 +316,10 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "run" | "explain" | "flow" | "profile" | "trace-tree" => {
+        "run" | "explain" | "flow" | "mem" | "profile" | "trace-tree" => {
             let explain_cmd = command == "explain";
             let flow_cmd = command == "flow";
+            let mem_cmd = command == "mem";
             let profile_cmd = command == "profile";
             let tracetree_cmd = command == "trace-tree";
             let mut machines: u16 = 4;
@@ -335,14 +407,14 @@ fn main() -> ExitCode {
                     }
                     // The DOT overlay renders what the subcommand computed:
                     // the critical path under `profile`, edge heat under
-                    // `flow`.
-                    "--dot" if profile_cmd || flow_cmd => {
+                    // `flow`, node residency heat under `mem`.
+                    "--dot" if profile_cmd || flow_cmd || mem_cmd => {
                         i += 1;
                         dot_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
-                    // Machine-readable reports exist for the two report
+                    // Machine-readable reports exist for the report
                     // subcommands only.
-                    "--json" if explain_cmd || flow_cmd => json = true,
+                    "--json" if explain_cmd || flow_cmd || mem_cmd || tracetree_cmd => json = true,
                     "--combiners" => combiners = true,
                     "--no-fuse" => no_fuse = true,
                     "--progress" => progress = true,
@@ -447,6 +519,7 @@ fn main() -> ExitCode {
             );
             let live_requested = progress || watch || deadline_ms.is_some();
             if (flow_cmd
+                || mem_cmd
                 || profile_cmd
                 || tracetree_cmd
                 || trace_path.is_some()
@@ -456,6 +529,8 @@ fn main() -> ExitCode {
             {
                 let what = if flow_cmd {
                     "`mitos flow`"
+                } else if mem_cmd {
+                    "`mitos mem`"
                 } else if profile_cmd {
                     "`mitos profile`"
                 } else if tracetree_cmd {
@@ -583,6 +658,8 @@ fn main() -> ExitCode {
                                 Some(f.explain_rows(&g))
                             })
                             .unwrap_or_default();
+                        // Residency rows likewise (always-on mem registry).
+                        let mem_rows = outcome.mem().map(|m| m.explain_rows()).unwrap_or_default();
                         // The subcommand's report is the product: stdout.
                         // As a flag on `run` it is diagnostics: stderr.
                         if explain_cmd && json {
@@ -591,9 +668,9 @@ fn main() -> ExitCode {
                                 explain_json(&outcome, engine, machines, &func, &engine_cfg)
                             );
                         } else if explain_cmd {
-                            print!("{}{}", outcome.explain(), flow_rows);
+                            print!("{}{}{}", outcome.explain(), flow_rows, mem_rows);
                         } else {
-                            eprint!("{}{}", outcome.explain(), flow_rows);
+                            eprint!("{}{}{}", outcome.explain(), flow_rows, mem_rows);
                         }
                     }
                     if flow_cmd {
@@ -622,6 +699,32 @@ fn main() -> ExitCode {
                         }
                         return ExitCode::SUCCESS;
                     }
+                    if mem_cmd {
+                        // The engine gate above makes residency accounting
+                        // an invariant here, not a user error.
+                        let mem = outcome.mem().expect("Mitos engines account residency");
+                        let graph = match mitos::core::planned_graph(&func, &engine_cfg) {
+                            Ok(g) => g,
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        if json {
+                            println!("{}", mem.to_json(&graph));
+                        } else {
+                            print!("{}", mem.render(&graph));
+                        }
+                        if let Some(path) = &dot_path {
+                            let dot = mitos::core::to_dot_with_mem(&graph, mem);
+                            if let Err(e) = std::fs::write(path, dot) {
+                                eprintln!("error: cannot write DOT {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("wrote mem residency DOT {path}");
+                        }
+                        return ExitCode::SUCCESS;
+                    }
                     if let Some(path) = &trace_path {
                         match outcome.chrome_trace() {
                             Some(json) => {
@@ -647,11 +750,15 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         };
                         let mut prom = histos.prometheus();
-                        // Per-edge flow series ride along with the phase
-                        // histograms in the same exposition file.
-                        if let Some(f) = outcome.flow() {
-                            if let Ok(g) = mitos::core::planned_graph(&func, &engine_cfg) {
+                        // Per-edge flow and per-class residency series ride
+                        // along with the phase histograms in the same
+                        // exposition file.
+                        if let Ok(g) = mitos::core::planned_graph(&func, &engine_cfg) {
+                            if let Some(f) = outcome.flow() {
                                 prom.push_str(&f.prometheus(&g));
+                            }
+                            if let Some(m) = outcome.mem() {
+                                prom.push_str(&m.prometheus(&g));
                             }
                         }
                         if let Err(e) = std::fs::write(path, prom) {
@@ -659,7 +766,8 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                         eprintln!(
-                            "wrote Prometheus metrics {path} ({} steps, 4 phases, per-edge flow)",
+                            "wrote Prometheus metrics {path} \
+                             ({} steps, 4 phases, per-edge flow, residency)",
                             histos.steps
                         );
                     }
@@ -674,17 +782,13 @@ fn main() -> ExitCode {
                         for s in &outcome.op_stats {
                             op_names[s.op as usize] = format!("{} ({})", s.name, s.kind);
                         }
-                        let mut orphans = 0usize;
-                        let mut shown = 0usize;
-                        for tree in &trees {
-                            orphans += tree.orphans.len();
-                            if step_filter.is_none_or(|s| s == tree.step) {
-                                shown += 1;
-                                print!("{}", mitos::core::render_tree(tree, &op_names));
-                            }
-                        }
+                        let selected: Vec<_> = trees
+                            .iter()
+                            .filter(|t| step_filter.is_none_or(|s| s == t.step))
+                            .cloned()
+                            .collect();
                         if let Some(s) = step_filter {
-                            if shown == 0 {
+                            if selected.is_empty() {
                                 eprintln!(
                                     "error: no step {s} in this run ({} steps traced)",
                                     trees.len()
@@ -692,11 +796,18 @@ fn main() -> ExitCode {
                                 return ExitCode::FAILURE;
                             }
                         }
+                        if json {
+                            println!("{}", trees_json(&selected, &op_names));
+                            return ExitCode::SUCCESS;
+                        }
+                        for tree in &selected {
+                            print!("{}", mitos::core::render_tree(tree, &op_names));
+                        }
                         println!(
                             "{} step(s), {} span(s), {} orphan(s)",
                             trees.len(),
                             trees.iter().map(|t| t.spans.len()).sum::<usize>(),
-                            orphans,
+                            trees.iter().map(|t| t.orphans.len()).sum::<usize>(),
                         );
                         return ExitCode::SUCCESS;
                     }

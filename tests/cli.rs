@@ -473,3 +473,207 @@ fn flow_json_reconciles_with_data_messages() {
     assert_eq!(field("data_messages"), field("messages"), "{text}");
     assert!(field("messages") > 0, "{text}");
 }
+
+#[test]
+fn mem_requires_a_mitos_engine() {
+    let program = write_temp("prog18.mt", PROGRAM);
+    for engine in ["spark", "flink", "flink-jobs", "reference"] {
+        let output = mitos()
+            .args(["mem", program.to_str().unwrap(), "--engine", engine])
+            .output()
+            .unwrap();
+        assert_eq!(output.status.code(), Some(2), "{engine}: {output:?}");
+        let err = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            err.contains("`mitos mem` requires a Mitos engine"),
+            "{engine}: {err}"
+        );
+    }
+}
+
+#[test]
+fn mem_reports_residency_and_leak_freedom() {
+    let program = write_temp("prog19.mt", PROGRAM);
+    let data = write_temp(
+        "visits19.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let input = format!("visits={}", data.display());
+    for engine in ["mitos", "threads"] {
+        let output = mitos()
+            .args([
+                "mem",
+                program.to_str().unwrap(),
+                "--input",
+                &input,
+                "--engine",
+                engine,
+            ])
+            .env_remove("MITOS_MEM_OFF")
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{engine}: {output:?}");
+        let text = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            text.contains("state residency by class"),
+            "{engine}: {text}"
+        );
+        assert!(text.contains("awaiting-inputs"), "{engine}: {text}");
+        assert!(text.contains("per-machine"), "{engine}: {text}");
+        // The leak detector: a fault-free run retains nothing outside
+        // deliberate caches once the exit sweep has run.
+        assert!(text.contains("leak-free"), "{engine}: {text}");
+    }
+}
+
+#[test]
+fn mem_json_is_machine_readable_and_leak_free() {
+    let program = write_temp("prog20.mt", PROGRAM);
+    let data = write_temp(
+        "visits20.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .args([
+            "mem",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+            "--json",
+        ])
+        .env_remove("MITOS_MEM_OFF")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    mitos::core::obs::validate_json(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert!(text.contains("\"enabled\":true"), "{text}");
+    assert!(text.contains("\"leak_free\":true"), "{text}");
+    assert!(text.contains("\"classes\":["), "{text}");
+    assert!(text.contains("\"awaiting-inputs\""), "{text}");
+    assert!(text.contains("\"machines\":["), "{text}");
+}
+
+#[test]
+fn mem_writes_residency_heat_dot() {
+    let program = write_temp("prog21.mt", PROGRAM);
+    let data = write_temp(
+        "visits21.txt",
+        &(0..30).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let dot_path = std::env::temp_dir().join("mitos-cli-tests/mem21.dot");
+    let output = mitos()
+        .args([
+            "mem",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+            "--dot",
+            dot_path.to_str().unwrap(),
+        ])
+        .env_remove("MITOS_MEM_OFF")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph mitos {"), "{dot}");
+    assert!(dot.contains("peak="), "residency labels present: {dot}");
+}
+
+#[test]
+fn mem_kill_switch_disables_accounting() {
+    let program = write_temp("prog22.mt", PROGRAM);
+    let data = write_temp(
+        "visits22.txt",
+        &(0..10).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let output = mitos()
+        .args([
+            "mem",
+            program.to_str().unwrap(),
+            "--input",
+            &format!("visits={}", data.display()),
+        ])
+        .env("MITOS_MEM_OFF", "1")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("memory accounting disabled"), "{text}");
+}
+
+#[test]
+fn both_kill_switches_compose_cleanly() {
+    // MITOS_FLOW_OFF and MITOS_MEM_OFF together must leave `explain`
+    // well-formed and the machine-readable report valid, with both
+    // accounting blocks present but marked disabled.
+    let program = write_temp("prog23.mt", PROGRAM);
+    let data = write_temp(
+        "visits23.txt",
+        &(0..20).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let input = format!("visits={}", data.display());
+    let text_report = mitos()
+        .args(["explain", program.to_str().unwrap(), "--input", &input])
+        .env("MITOS_FLOW_OFF", "1")
+        .env("MITOS_MEM_OFF", "1")
+        .output()
+        .unwrap();
+    assert!(text_report.status.success(), "{text_report:?}");
+    let text = String::from_utf8_lossy(&text_report.stdout);
+    assert!(text.contains("operator"), "{text}");
+    // Disabled registries keep the explain output byte-stable: no
+    // accounting rows, no disabled banners, just the operator table.
+    assert!(!text.contains("edges (data plane)"), "{text}");
+    assert!(!text.contains("state residency"), "{text}");
+
+    let json_report = mitos()
+        .args([
+            "explain",
+            program.to_str().unwrap(),
+            "--input",
+            &input,
+            "--json",
+        ])
+        .env("MITOS_FLOW_OFF", "1")
+        .env("MITOS_MEM_OFF", "1")
+        .output()
+        .unwrap();
+    assert!(json_report.status.success(), "{json_report:?}");
+    let json = String::from_utf8_lossy(&json_report.stdout);
+    mitos::core::obs::validate_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+    assert!(json.contains("\"flow\":{\"enabled\":false"), "{json}");
+    assert!(json.contains("\"mem\":{\"enabled\":false"), "{json}");
+}
+
+#[test]
+fn trace_tree_json_is_valid_and_deterministic() {
+    let program = write_temp("prog24.mt", PROGRAM);
+    let data = write_temp(
+        "visits24.txt",
+        &(0..20).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let input = format!("visits={}", data.display());
+    let run = || {
+        let output = mitos()
+            .args([
+                "trace-tree",
+                program.to_str().unwrap(),
+                "--input",
+                &input,
+                "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{output:?}");
+        String::from_utf8_lossy(&output.stdout).to_string()
+    };
+    let first = run();
+    mitos::core::obs::validate_json(&first).unwrap_or_else(|e| panic!("{e}\n{first}"));
+    assert!(first.contains("\"steps\":["), "{first}");
+    assert!(first.contains("\"kind\":\"exec\""), "{first}");
+    assert!(first.contains("\"step_count\":"), "{first}");
+    // Span ids and virtual timestamps are deterministic under the
+    // simulator, so the whole document is bit-stable across runs.
+    assert_eq!(first, run(), "trace-tree --json must be deterministic");
+}

@@ -560,6 +560,37 @@ proptest! {
                     );
                 }
             }
+
+            // The leak detector under chaos: at quiescence the relay's
+            // retransmit buffers have fully acked and the dedup tables
+            // have compacted to their watermarks, on both drivers — so
+            // every transient class drains to zero and only the deliberate
+            // hoist cache may stay resident. Fault-free runs must report
+            // leak-free outright.
+            for (run, outcome) in [("fault-free", &clean), ("faulted", &faulted)] {
+                let mem = outcome.mem().expect("Mitos engines account residency");
+                if !mem.enabled {
+                    continue; // MITOS_MEM_OFF in the environment
+                }
+                for class in [
+                    mitos::core::MemClass::RelayBuf,
+                    mitos::core::MemClass::DedupTable,
+                    mitos::core::MemClass::AwaitingInputs,
+                    mitos::core::MemClass::AwaitingBarrier,
+                ] {
+                    let c = mem.class_total(class);
+                    prop_assert_eq!(
+                        (c.live, c.bytes), (0, 0),
+                        "{} {} run: {} retained at quiescence under {}:\n{}",
+                        engine, run, class.label(), plan.summary(), src
+                    );
+                }
+                prop_assert!(
+                    mem.leak_free(),
+                    "{engine} {run} run not leak-free under {}: {:?}\n{src}",
+                    plan.summary(), mem.retained_lines()
+                );
+            }
         }
     }
 }
