@@ -23,7 +23,7 @@ use mitos_fs::InMemoryFs;
 use mitos_ir::nir::{FuncIr, Op, Terminator};
 use mitos_ir::{kernel, BlockId, VarId};
 use mitos_lang::expr::{eval, Expr};
-use mitos_lang::Value;
+use mitos_lang::{Batch, Value};
 use mitos_sim::{ActorId, Sim, SimConfig, SimCtx, SimReport, World};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -955,20 +955,26 @@ impl Executor {
             }
             StageOp::Map { expr } => {
                 ctx.charge(cost.eval_cost(expr.node_count(), inputs[0].len()));
-                Some(kernel::map(expr, &[], &inputs[0]).map_err(|e| RuntimeError::new(e.message))?)
+                Some(
+                    kernel::map(expr, &[], &Batch::from_slice(&inputs[0]))
+                        .map_err(|e| RuntimeError::new(e.message))?
+                        .into_values(),
+                )
             }
             StageOp::FlatMap { expr } => {
                 ctx.charge(cost.eval_cost(expr.node_count(), inputs[0].len()));
                 Some(
-                    kernel::flat_map(expr, &[], &inputs[0])
-                        .map_err(|e| RuntimeError::new(e.message))?,
+                    kernel::flat_map(expr, &[], &Batch::from_slice(&inputs[0]))
+                        .map_err(|e| RuntimeError::new(e.message))?
+                        .into_values(),
                 )
             }
             StageOp::Filter { expr } => {
                 ctx.charge(cost.eval_cost(expr.node_count(), inputs[0].len()));
                 Some(
-                    kernel::filter(expr, &[], &inputs[0])
-                        .map_err(|e| RuntimeError::new(e.message))?,
+                    kernel::filter(expr, &[], &Batch::from_slice(&inputs[0]))
+                        .map_err(|e| RuntimeError::new(e.message))?
+                        .into_values(),
                 )
             }
             StageOp::Union => {

@@ -29,7 +29,15 @@ fn main() {
     };
     let func = mitos_ir::compile_str(&visit_count_program(days, true)).unwrap();
     let baselines = [System::Spark, System::FlinkSeparateJobs];
-    let mitos_cfg = EngineConfig::new().with_cost(visit_cost());
+    // Larger network batches than the 1024-element default: with the
+    // columnar wire encoding the per-message framing is what batching
+    // amortizes, so the data-heavy sweep ships 4096 elements per
+    // `Msg::Data`. `BENCH_fig6.prebatch.json` preserves the pre-batching
+    // baseline (estimated bytes, 1024-element messages) that `check.sh`
+    // gates the improvement against.
+    let mitos_cfg = EngineConfig::new()
+        .with_cost(visit_cost())
+        .with_batch_elems(4096);
 
     println!("\n=== Figure 6: input-size sweep (Visit Count + pageTypes) ===");
     println!("{days} days, {machines} machines\n");

@@ -87,6 +87,10 @@ fn main() {
             ("naiad_step_ms", naiad.into()),
             ("tf_step_ms", tf.into()),
             ("mitos_peak_resident_bytes", peak_resident.into()),
+            // Wire volume of the whole loop: the control plane's batches
+            // are tiny, so this tracks per-message framing, not payload —
+            // the overhead the columnar encoding shrinks.
+            ("mitos_wire_bytes", mitos_result.flow.bytes_on_wire().into()),
         ]);
         max_spark = max_spark.max(spark / mitos);
     }

@@ -7,7 +7,7 @@ use mitos_core::graph::stable_hash;
 use mitos_core::{ExecutionPath, LogicalGraph, PathRules};
 use mitos_ir::kernel;
 use mitos_lang::expr::{BinOp, Expr};
-use mitos_lang::Value;
+use mitos_lang::{Batch, Value};
 use std::hint::black_box;
 
 fn bench_path_queries(c: &mut Criterion) {
@@ -77,7 +77,7 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| black_box(kernel::join(&pairs, &pairs).len()))
     });
     let double = Expr::bin(BinOp::Mul, Expr::Param(0), Expr::lit(2i64));
-    let ints: Vec<Value> = (0..2048).map(Value::I64).collect();
+    let ints: Batch = (0..2048).map(Value::I64).collect();
     c.bench_function("kernel/map_2048", |b| {
         b.iter(|| black_box(kernel::map(&double, &[], &ints).unwrap()))
     });

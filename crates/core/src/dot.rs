@@ -3,9 +3,10 @@
 //! black, condition nodes colored, conditional edges dashed and colored
 //! like their deciding condition node, wrapped scalars thin-bordered.
 //!
-//! When a run's metrics are supplied ([`to_dot_with_metrics`]), node
-//! labels carry observed bag/element counts and conditional edges carry
-//! their send/drop tallies — a visual form of the explain report.
+//! Runtime annotations are composed through one options struct,
+//! [`DotOverlay`]: observed metrics counts, critical-path highlighting,
+//! data-plane flow heat, and state-residency heat each activate when the
+//! corresponding field is set, and freely combine.
 
 use crate::graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};
 use crate::obs::{CriticalPath, FlowReport, MemReport, MetricsRegistry};
@@ -16,54 +17,40 @@ use std::fmt::Write as _;
 /// Colors assigned to condition nodes (cycled).
 const CONDITION_COLORS: [&str; 4] = ["blue", "brown", "darkgreen", "purple"];
 
-/// Renders the dataflow as a DOT digraph.
-pub fn to_dot(graph: &LogicalGraph) -> String {
-    to_dot_with_metrics(graph, None)
+/// Optional runtime overlays for [`to_dot`]. `DotOverlay::default()`
+/// renders the plain structural graph; set any combination of fields to
+/// annotate it. Replaces the former `to_dot_with_metrics` /
+/// `to_dot_annotated` / `to_dot_with_flow` / `to_dot_with_mem` family.
+#[derive(Clone, Copy, Default)]
+pub struct DotOverlay<'a> {
+    /// Observed runtime counts (from [`crate::obs::ObsReport::metrics`]):
+    /// per-node `bags`/`emitted`/`hoists`, per-conditional-edge
+    /// `sent`/`drop`.
+    pub metrics: Option<&'a MetricsRegistry>,
+    /// Critical-path highlighting ([`crate::obs::critical_path`]):
+    /// operators and logical edges on the traced run's critical path
+    /// render bold red with their exclusive time contribution.
+    pub critical: Option<&'a CriticalPath>,
+    /// Data-plane heat from a run's [`FlowReport`]: edge width and color
+    /// scale with observed serialized bytes (hottest edges bold red),
+    /// labels carry bytes/elements.
+    pub flow: Option<&'a FlowReport>,
+    /// State-residency heat from a run's [`MemReport`]: node border width
+    /// and color scale with each operator's peak resident bytes (hungriest
+    /// operators bold red), labels carry the peak.
+    pub mem: Option<&'a MemReport>,
 }
 
-/// Renders the dataflow as a DOT digraph, overlaying observed runtime
-/// counts when `metrics` (from [`crate::obs::ObsReport::metrics`]) is
-/// given: per-node `bags`/`emitted`/`hoists`, per-conditional-edge
-/// `sent`/`drop`.
-pub fn to_dot_with_metrics(graph: &LogicalGraph, metrics: Option<&MetricsRegistry>) -> String {
-    to_dot_annotated(graph, metrics, None)
-}
-
-/// [`to_dot_with_metrics`] plus critical-path highlighting: operators and
-/// logical edges on a traced run's critical path
-/// ([`crate::obs::critical_path`]) render bold red with their exclusive
-/// time contribution, so the bottleneck chain is visible at a glance.
-pub fn to_dot_annotated(
-    graph: &LogicalGraph,
-    metrics: Option<&MetricsRegistry>,
-    critical: Option<&CriticalPath>,
-) -> String {
-    to_dot_full(graph, metrics, critical, None, None)
-}
-
-/// [`to_dot`] plus a data-plane heat overlay from a run's
-/// [`FlowReport`]: edge width and color scale with the observed
-/// serialized bytes (the hottest edges render bold red) and labels carry
-/// bytes/elements, so skewed or chatty edges stand out at a glance.
-pub fn to_dot_with_flow(graph: &LogicalGraph, flow: &FlowReport) -> String {
-    to_dot_full(graph, None, None, Some(flow), None)
-}
-
-/// [`to_dot`] plus a state-residency heat overlay from a run's
-/// [`MemReport`]: node border width and color scale with each operator's
-/// peak resident bytes (the most memory-hungry operators render bold red)
-/// and labels carry the peak, so retention hotspots stand out at a glance.
-pub fn to_dot_with_mem(graph: &LogicalGraph, mem: &MemReport) -> String {
-    to_dot_full(graph, None, None, None, Some(mem))
-}
-
-fn to_dot_full(
-    graph: &LogicalGraph,
-    metrics: Option<&MetricsRegistry>,
-    critical: Option<&CriticalPath>,
-    flow: Option<&FlowReport>,
-    mem: Option<&MemReport>,
-) -> String {
+/// Renders the dataflow as a DOT digraph, annotated with whichever
+/// overlays are set in `overlay` (pass `&DotOverlay::default()` for the
+/// plain structural graph).
+pub fn to_dot(graph: &LogicalGraph, overlay: &DotOverlay) -> String {
+    let DotOverlay {
+        metrics,
+        critical,
+        flow,
+        mem,
+    } = *overlay;
     let crit_ops: BTreeMap<u32, u64> = critical
         .map(|c| c.op_contrib.iter().copied().collect())
         .unwrap_or_default();
@@ -254,7 +241,10 @@ mod tests {
     use crate::graph::LogicalGraph;
 
     fn dot_of(src: &str) -> String {
-        to_dot(&LogicalGraph::build(&mitos_ir::compile_str(src).unwrap()).unwrap())
+        to_dot(
+            &LogicalGraph::build(&mitos_ir::compile_str(src).unwrap()).unwrap(),
+            &DotOverlay::default(),
+        )
     }
 
     #[test]
@@ -285,7 +275,7 @@ mod tests {
     fn node_count_matches_graph() {
         let src = "a = bag(1); b = a.map(x => x); output(b, \"b\");";
         let graph = LogicalGraph::build(&mitos_ir::compile_str(src).unwrap()).unwrap();
-        let dot = to_dot(&graph);
+        let dot = to_dot(&graph, &DotOverlay::default());
         let rendered = dot.matches("[label=\"").count();
         // One label per node plus edge labels; at least every node renders.
         assert!(rendered >= graph.nodes.len(), "{dot}");
@@ -313,7 +303,13 @@ mod tests {
         let fs = InMemoryFs::new();
         let r = crate::engine::run_sim(&func, &fs, cfg, SimConfig::with_machines(2)).unwrap();
         let obs = r.obs.expect("metrics collected");
-        let dot = to_dot_with_metrics(&graph, Some(&obs.metrics));
+        let dot = to_dot(
+            &graph,
+            &DotOverlay {
+                metrics: Some(&obs.metrics),
+                ..DotOverlay::default()
+            },
+        );
         assert!(dot.contains("bags="), "node overlay: {dot}");
         assert!(dot.contains("emitted="), "node overlay: {dot}");
         assert!(
@@ -346,7 +342,13 @@ mod tests {
         if !r.flow.enabled {
             return; // MITOS_FLOW_OFF in the environment
         }
-        let dot = to_dot_with_flow(&graph, &r.flow);
+        let dot = to_dot(
+            &graph,
+            &DotOverlay {
+                flow: Some(&r.flow),
+                ..DotOverlay::default()
+            },
+        );
         assert!(dot.contains("elems"), "flow labels present: {dot}");
         assert!(dot.contains("penwidth=5.0"), "hottest edge bold: {dot}");
         assert!(dot.contains("color=red"), "hottest edge red: {dot}");
@@ -376,7 +378,13 @@ mod tests {
         if !r.mem.enabled {
             return; // MITOS_MEM_OFF in the environment
         }
-        let dot = to_dot_with_mem(&graph, &r.mem);
+        let dot = to_dot(
+            &graph,
+            &DotOverlay {
+                mem: Some(&r.mem),
+                ..DotOverlay::default()
+            },
+        );
         assert!(dot.contains("peak="), "mem labels present: {dot}");
         assert!(dot.contains("penwidth=5.0"), "hungriest node bold: {dot}");
         assert!(dot.contains("color=red"), "hungriest node red: {dot}");
@@ -407,7 +415,14 @@ mod tests {
         let obs = r.obs.expect("trace collected");
         let critical = critical_path(&obs, r.sim.end_time);
         assert!(!critical.steps.is_empty(), "critical path found");
-        let dot = to_dot_annotated(&graph, Some(&obs.metrics), Some(&critical));
+        let dot = to_dot(
+            &graph,
+            &DotOverlay {
+                metrics: Some(&obs.metrics),
+                critical: Some(&critical),
+                ..DotOverlay::default()
+            },
+        );
         assert!(dot.contains("crit="), "critical overlay present: {dot}");
         assert!(dot.contains("color=red"), "highlight present: {dot}");
     }

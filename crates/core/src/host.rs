@@ -12,11 +12,11 @@ use crate::graph::{EdgeId, NodeKind, OpId};
 use crate::obs::mem::{elems_bytes, MemClass};
 use crate::obs::{EventKind, InputRule, ObsBuf};
 use crate::path::{ExecutionPath, SendDecision};
-use crate::rt::{batch_bytes, EngineShared, Msg, Net, RuntimeError, OUTPUT_PREFIX};
-use mitos_ir::kernel::join_row;
+use crate::rt::{batch_wire_bytes, EngineShared, Msg, Net, RuntimeError, OUTPUT_PREFIX};
+use mitos_ir::kernel::{self, join_row};
 use mitos_ir::BlockId;
 use mitos_lang::expr::eval;
-use mitos_lang::Value;
+use mitos_lang::{Batch, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -82,7 +82,17 @@ enum Kept {
 enum EdgeSend {
     /// Decided (or immediate): elements flow as produced; counts per
     /// destination instance accumulate for the end-of-bag punctuation.
-    Streaming { counts: Vec<u32>, done_sent: bool },
+    /// Produced elements coalesce in `pending` (per destination) until a
+    /// full `cost.batch_elems` chunk is ready or the bag finalizes, so one
+    /// network message carries one full batch regardless of how finely the
+    /// producer's input happened to be chunked. Pending elements are not
+    /// charged to the residency registry: they are in flight to the wire
+    /// within the same step, exactly like the per-emit sends they replace.
+    Streaming {
+        counts: Vec<u32>,
+        pending: Vec<Vec<Value>>,
+        done_sent: bool,
+    },
     /// Waiting for the path to prove the consumer will run (5.2.4).
     /// `opened_ns` (recorded only when observability is on) feeds the
     /// open→decision latency histogram.
@@ -267,12 +277,14 @@ impl Host {
         self.progress(path, out)
     }
 
-    /// Data arrived on an input edge.
+    /// Data arrived on an input edge. Residency accounting stays on the
+    /// in-memory [`Batch::estimated_bytes`] estimate (identical to the row
+    /// buffer's [`elems_bytes`]); only wire accounting uses encoded sizes.
     pub fn on_data(
         &mut self,
         edge: EdgeId,
         bag_len: u32,
-        elems: Vec<Value>,
+        batch: Batch,
         path: &ExecutionPath,
         out: &mut HostOut,
     ) -> Result<(), RuntimeError> {
@@ -283,11 +295,11 @@ impl Host {
             self.machine,
             self.op,
             is_new as u64,
-            elems.len() as u64,
-            elems_bytes(&elems),
+            batch.len() as u64,
+            batch.estimated_bytes(),
         );
         let buf = self.inputs[input].bufs.entry(bag_len).or_default();
-        buf.elems.extend(elems);
+        buf.elems.extend(batch.into_values());
         self.poke(path, out)
     }
 
@@ -777,6 +789,7 @@ impl Host {
                 let dst_n = self.shared.graph.instances(dst, self.shared.machines);
                 edges.push(EdgeSend::Streaming {
                     counts: vec![0; dst_n as usize],
+                    pending: vec![Vec::new(); dst_n as usize],
                     done_sent: false,
                 });
             } else {
@@ -1016,7 +1029,9 @@ impl Host {
                 // Read-headed chain: the parked disk elements run through
                 // every stage in one pass, now that all gates are in.
                 if let Some(elems) = self.current.as_mut().expect("active").read_elems.take() {
-                    let outv = self.fused_transform(elems, out)?;
+                    let outv = self
+                        .fused_transform(Batch::from_values(elems), out)?
+                        .into_values();
                     self.emit_all(outv, out)?;
                 }
             }
@@ -1025,15 +1040,18 @@ impl Host {
         Ok(())
     }
 
-    /// Runs a batch of elements through every stage of a fused chain in one
-    /// pass. The per-element traversal base is charged once for the whole
-    /// chain (that is fusion's compute win); each stage then pays only for
-    /// its own lambda.
+    /// Runs a batch through every stage of a fused chain in one pass,
+    /// batch-in/batch-out: each element-wise stage is the shared columnar
+    /// kernel ([`kernel::map`] / [`kernel::flat_map`] / [`kernel::filter`]),
+    /// so monomorphic runs stream through without per-element enum
+    /// dispatch. The per-element traversal base is charged once for the
+    /// whole chain (that is fusion's compute win); each stage then pays
+    /// only for its own lambda.
     fn fused_transform(
         &mut self,
-        mut elems: Vec<Value>,
+        mut batch: Batch,
         out: &mut HostOut,
-    ) -> Result<Vec<Value>, RuntimeError> {
+    ) -> Result<Batch, RuntimeError> {
         let NodeKind::Fused { stages } = self.kind.clone() else {
             return Err(RuntimeError::new(
                 "fused_transform on non-fused".to_string(),
@@ -1041,69 +1059,34 @@ impl Host {
         };
         let cost = self.shared.config.cost;
         let captured = self.current.as_ref().expect("active").captured.clone();
-        out.net.charge(cost.elem_cost(elems.len()));
+        out.net.charge(cost.elem_cost(batch.len()));
         let mut cap_off = 0usize;
         for stage in stages.iter() {
             let caps = &captured[cap_off..cap_off + stage.captured];
             cap_off += stage.captured;
-            if elems.is_empty() {
+            if batch.is_empty() {
                 continue;
             }
             match &stage.kind {
-                // The source stage: its elements are already in `elems`.
+                // The source stage: its elements are already in `batch`.
                 NodeKind::ReadFile => {}
                 NodeKind::Map { expr } => {
                     out.net
-                        .charge(cost.fused_expr_cost(expr.node_count(), elems.len()));
-                    let mut params = Vec::with_capacity(1 + caps.len());
-                    params.push(Value::Unit);
-                    params.extend(caps.iter().cloned());
-                    for v in elems.iter_mut() {
-                        params[0] = std::mem::replace(v, Value::Unit);
-                        *v = eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?;
-                    }
+                        .charge(cost.fused_expr_cost(expr.node_count(), batch.len()));
+                    batch = kernel::map(expr, caps, &batch)
+                        .map_err(|e| RuntimeError::new(e.message))?;
                 }
                 NodeKind::FlatMap { expr } => {
                     out.net
-                        .charge(cost.fused_expr_cost(expr.node_count(), elems.len()));
-                    let mut params = Vec::with_capacity(1 + caps.len());
-                    params.push(Value::Unit);
-                    params.extend(caps.iter().cloned());
-                    let mut outv = Vec::new();
-                    for v in elems {
-                        params[0] = v;
-                        let r = eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?;
-                        match r.as_list() {
-                            Some(list) => outv.extend_from_slice(list),
-                            None => {
-                                return Err(RuntimeError::new(format!(
-                                    "flatMap lambda must return a list, got {r:?}"
-                                )))
-                            }
-                        }
-                    }
-                    elems = outv;
+                        .charge(cost.fused_expr_cost(expr.node_count(), batch.len()));
+                    batch = kernel::flat_map(expr, caps, &batch)
+                        .map_err(|e| RuntimeError::new(e.message))?;
                 }
                 NodeKind::Filter { expr } => {
                     out.net
-                        .charge(cost.fused_expr_cost(expr.node_count(), elems.len()));
-                    let mut params = Vec::with_capacity(1 + caps.len());
-                    params.push(Value::Unit);
-                    params.extend(caps.iter().cloned());
-                    let mut outv = Vec::with_capacity(elems.len());
-                    for v in elems {
-                        params[0] = v.clone();
-                        match eval(expr, &params).map_err(|e| RuntimeError::new(e.message))? {
-                            Value::Bool(true) => outv.push(v),
-                            Value::Bool(false) => {}
-                            other => {
-                                return Err(RuntimeError::new(format!(
-                                    "filter predicate returned non-bool {other:?}"
-                                )))
-                            }
-                        }
-                    }
-                    elems = outv;
+                        .charge(cost.fused_expr_cost(expr.node_count(), batch.len()));
+                    batch = kernel::filter(expr, caps, &batch)
+                        .map_err(|e| RuntimeError::new(e.message))?;
                 }
                 NodeKind::Alias | NodeKind::Phi => {}
                 other => {
@@ -1114,7 +1097,7 @@ impl Host {
                 }
             }
         }
-        Ok(elems)
+        Ok(batch)
     }
 
     /// Processes all unconsumed elements of a stream input.
@@ -1149,60 +1132,29 @@ impl Host {
         let cost = self.shared.config.cost;
         let captured = self.current.as_ref().expect("active").captured.clone();
         match &kind {
+            // The element-wise transforms run through the shared columnar
+            // kernels: one layout dispatch per run instead of one enum
+            // inspection per element.
             NodeKind::Map { expr } => {
                 out.net
                     .charge(cost.eval_cost(expr.node_count(), elems.len()));
-                let mut params = Vec::with_capacity(1 + captured.len());
-                params.push(Value::Unit);
-                params.extend(captured);
-                let mut outv = Vec::with_capacity(elems.len());
-                for v in elems {
-                    params[0] = v;
-                    outv.push(eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?);
-                }
-                self.emit_all(outv, out)?;
+                let outv = kernel::map(expr, &captured, &Batch::from_values(elems))
+                    .map_err(|e| RuntimeError::new(e.message))?;
+                self.emit_all(outv.into_values(), out)?;
             }
             NodeKind::FlatMap { expr } => {
                 out.net
                     .charge(cost.eval_cost(expr.node_count(), elems.len()));
-                let mut params = Vec::with_capacity(1 + captured.len());
-                params.push(Value::Unit);
-                params.extend(captured);
-                let mut outv = Vec::new();
-                for v in elems {
-                    params[0] = v;
-                    let r = eval(expr, &params).map_err(|e| RuntimeError::new(e.message))?;
-                    match r.as_list() {
-                        Some(list) => outv.extend_from_slice(list),
-                        None => {
-                            return Err(RuntimeError::new(format!(
-                                "flatMap lambda must return a list, got {r:?}"
-                            )))
-                        }
-                    }
-                }
-                self.emit_all(outv, out)?;
+                let outv = kernel::flat_map(expr, &captured, &Batch::from_values(elems))
+                    .map_err(|e| RuntimeError::new(e.message))?;
+                self.emit_all(outv.into_values(), out)?;
             }
             NodeKind::Filter { expr } => {
                 out.net
                     .charge(cost.eval_cost(expr.node_count(), elems.len()));
-                let mut params = Vec::with_capacity(1 + captured.len());
-                params.push(Value::Unit);
-                params.extend(captured);
-                let mut outv = Vec::new();
-                for v in elems {
-                    params[0] = v.clone();
-                    match eval(expr, &params).map_err(|e| RuntimeError::new(e.message))? {
-                        Value::Bool(true) => outv.push(v),
-                        Value::Bool(false) => {}
-                        other => {
-                            return Err(RuntimeError::new(format!(
-                                "filter predicate returned non-bool {other:?}"
-                            )))
-                        }
-                    }
-                }
-                self.emit_all(outv, out)?;
+                let outv = kernel::filter(expr, &captured, &Batch::from_values(elems))
+                    .map_err(|e| RuntimeError::new(e.message))?;
+                self.emit_all(outv.into_values(), out)?;
             }
             NodeKind::Join => {
                 debug_assert_eq!(input, 1, "probe side streams");
@@ -1250,8 +1202,8 @@ impl Host {
             // A map-headed fused chain streams its data input through every
             // stage in one pass.
             NodeKind::Fused { .. } => {
-                let outv = self.fused_transform(elems, out)?;
-                self.emit_all(outv, out)?;
+                let outv = self.fused_transform(Batch::from_values(elems), out)?;
+                self.emit_all(outv.into_values(), out)?;
             }
             NodeKind::ReduceByKey { expr } | NodeKind::ReduceByKeyLocal { expr } => {
                 out.net
@@ -1559,16 +1511,16 @@ impl Host {
                 }
                 Action::Ship => {
                     let routed = self.route_elems(edge, &elems);
-                    if let EdgeSend::Streaming { counts, .. } =
-                        &mut self.outbags.get_mut(&bag_len).expect("outbag").edges[ei]
+                    if let EdgeSend::Streaming {
+                        counts, pending, ..
+                    } = &mut self.outbags.get_mut(&bag_len).expect("outbag").edges[ei]
                     {
-                        for (d, vs) in &routed {
-                            counts[*d as usize] += vs.len() as u32;
+                        for (d, vs) in routed {
+                            counts[d as usize] += vs.len() as u32;
+                            pending[d as usize].extend(vs);
                         }
                     }
-                    for (d, vs) in routed {
-                        self.send_batches(edge, d, bag_len, vs, out);
-                    }
+                    self.flush_pending(bag_len, ei, out);
                 }
             }
         }
@@ -1593,6 +1545,11 @@ impl Host {
         routed
     }
 
+    /// Chunks routed elements into columnar [`Batch`]es of at most
+    /// `cost.batch_elems` elements and ships each as one [`Msg::Data`],
+    /// charging the batch's **actual encoded wire size** (or the legacy
+    /// estimate under the `MITOS_BATCH_OFF` kill switch — see
+    /// [`batch_wire_bytes`]) to the network and the flow registry.
     fn send_batches(
         &self,
         edge: EdgeId,
@@ -1603,19 +1560,20 @@ impl Host {
     ) {
         let dst = self.shared.graph.edges[edge as usize].dst;
         let machine = self.shared.graph.placement(dst, dst_inst);
-        let batch = self.shared.config.cost.batch_elems.max(1);
-        for chunk in elems.chunks(batch) {
-            let bytes = self.shared.config.cost.wire_bytes(batch_bytes(chunk));
+        let max_elems = self.shared.config.cost.batch_elems.max(1);
+        for chunk in elems.chunks(max_elems) {
+            let batch = Batch::from_slice(chunk);
+            let bytes = self.shared.config.cost.wire_bytes(batch_wire_bytes(&batch));
             self.shared
                 .flow
-                .msg_out(edge, self.machine, machine, chunk.len() as u64, bytes);
+                .msg_out(edge, self.machine, machine, batch.len() as u64, bytes);
             out.net.send(
                 machine,
                 Msg::Data {
                     edge,
                     dst_inst,
                     bag_len,
-                    elems: chunk.to_vec(),
+                    batch,
                 },
                 bytes,
             );
@@ -1713,6 +1671,7 @@ impl Host {
                         let dst_n = self.shared.graph.instances(dst, self.shared.machines);
                         outbag.edges[ei] = EdgeSend::Streaming {
                             counts: vec![0; dst_n as usize],
+                            pending: vec![Vec::new(); dst_n as usize],
                             done_sent: false,
                         };
                         self.shared.mem.credit(
@@ -1735,16 +1694,16 @@ impl Host {
             out.net
                 .charge(self.shared.config.cost.ser_cost(buffered.len()));
             let routed = self.route_elems(edge, &buffered);
-            if let EdgeSend::Streaming { counts, .. } =
-                &mut self.outbags.get_mut(&bag_len).expect("outbag").edges[ei]
+            if let EdgeSend::Streaming {
+                counts, pending, ..
+            } = &mut self.outbags.get_mut(&bag_len).expect("outbag").edges[ei]
             {
-                for (d, vs) in &routed {
-                    counts[*d as usize] += vs.len() as u32;
+                for (d, vs) in routed {
+                    counts[d as usize] += vs.len() as u32;
+                    pending[d as usize].extend(vs);
                 }
             }
-            for (d, vs) in routed {
-                self.send_batches(edge, d, bag_len, vs, out);
-            }
+            self.flush_pending(bag_len, ei, out);
         }
         if resolved_any {
             let lens: Vec<u32> = self
@@ -1761,13 +1720,36 @@ impl Host {
         Ok(())
     }
 
+    /// Drains every full `cost.batch_elems` chunk of a streaming edge's
+    /// per-destination pending output and ships each as one batch message;
+    /// the sub-batch remainder stays pending until the bag finalizes.
+    fn flush_pending(&mut self, bag_len: u32, ei: usize, out: &mut HostOut) {
+        let max_elems = self.shared.config.cost.batch_elems.max(1);
+        let edge = self.out_edge_ids[ei];
+        let mut ship: Vec<(u16, Vec<Value>)> = Vec::new();
+        if let Some(outbag) = self.outbags.get_mut(&bag_len) {
+            if let EdgeSend::Streaming { pending, .. } = &mut outbag.edges[ei] {
+                for (d, buf) in pending.iter_mut().enumerate() {
+                    while buf.len() >= max_elems {
+                        let rest = buf.split_off(max_elems);
+                        ship.push((d as u16, std::mem::replace(buf, rest)));
+                    }
+                }
+            }
+        }
+        for (d, vs) in ship {
+            self.send_batches(edge, d, bag_len, vs, out);
+        }
+    }
+
     /// Sends end-of-bag punctuation on every decided edge of a finalized
-    /// bag that hasn't sent it yet.
+    /// bag that hasn't sent it yet, flushing the edge's sub-batch pending
+    /// remainder first so the punctuation counts are already on the wire.
     fn emit_done_where_possible(&mut self, bag_len: u32, out: &mut HostOut) {
         let n_edges = self.out_edge_ids.len();
         for ei in 0..n_edges {
             let edge = self.out_edge_ids[ei];
-            let counts: Vec<u32> = {
+            let (counts, leftover): (Vec<u32>, Vec<Vec<Value>>) = {
                 let Some(outbag) = self.outbags.get_mut(&bag_len) else {
                     return;
                 };
@@ -1775,13 +1757,22 @@ impl Host {
                     return;
                 }
                 match &mut outbag.edges[ei] {
-                    EdgeSend::Streaming { counts, done_sent } if !*done_sent => {
+                    EdgeSend::Streaming {
+                        counts,
+                        pending,
+                        done_sent,
+                    } if !*done_sent => {
                         *done_sent = true;
-                        counts.clone()
+                        (counts.clone(), std::mem::take(pending))
                     }
                     _ => continue,
                 }
             };
+            for (d, vs) in leftover.into_iter().enumerate() {
+                if !vs.is_empty() {
+                    self.send_batches(edge, d as u16, bag_len, vs, out);
+                }
+            }
             if out.obs.enabled() {
                 out.obs.record(
                     out.net,

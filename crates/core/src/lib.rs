@@ -32,7 +32,7 @@ pub mod thread_driver;
 pub mod worker;
 
 pub use cost::CostModel;
-pub use dot::{to_dot, to_dot_annotated, to_dot_with_flow, to_dot_with_mem, to_dot_with_metrics};
+pub use dot::{to_dot, DotOverlay};
 pub use engine::{extract_outputs, run_sim, run_sim_live, run_source_sim, EngineResult};
 pub use fuse::{fuse_graph, planned_graph};
 pub use graph::{LogicalGraph, NodeKind, OpId, Parallelism, Partitioning};

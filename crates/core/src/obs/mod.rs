@@ -17,7 +17,7 @@
 //!
 //! Exporters: [`chrome::chrome_trace`] (Chrome `chrome://tracing` /
 //! Perfetto JSON), [`explain::explain_report`] (per-operator text table),
-//! and the count overlay in [`crate::dot::to_dot_with_metrics`].
+//! and the count overlay in [`crate::dot::to_dot`] via [`crate::dot::DotOverlay::metrics`].
 
 pub mod chrome;
 pub mod critical;

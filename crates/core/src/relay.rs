@@ -173,7 +173,7 @@ impl Relay {
             flow.inflight_inc(edge, self.machine);
         }
         let elems = match &msg {
-            Msg::Data { elems, .. } => elems.len() as u64,
+            Msg::Data { batch, .. } => batch.len() as u64,
             _ => 0,
         };
         mem.charge(
@@ -259,7 +259,7 @@ impl Relay {
                 flow.inflight_dec(edge, self.machine);
             }
             let elems = match &pending.msg {
-                Msg::Data { elems, .. } => elems.len() as u64,
+                Msg::Data { batch, .. } => batch.len() as u64,
                 _ => 0,
             };
             mem.credit(
@@ -521,7 +521,7 @@ mod tests {
             edge: 2,
             dst_inst: 0,
             bag_len: 1,
-            elems: Vec::new(),
+            batch: mitos_lang::Batch::new(),
         };
         relay.send_via(&mut net, 1, data, 40, &reg, &mreg);
         if mreg.enabled() {

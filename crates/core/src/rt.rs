@@ -8,7 +8,7 @@ use crate::obs::ObsLevel;
 use crate::path::PathRules;
 use mitos_fs::InMemoryFs;
 use mitos_ir::BlockId;
-use mitos_lang::Value;
+use mitos_lang::{Batch, Value};
 use std::fmt;
 use std::sync::Arc;
 
@@ -115,6 +115,15 @@ impl EngineConfig {
     /// Sets the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Sets the maximum elements per data-plane batch, clamped to at
+    /// least one, without replacing the rest of the cost model — the
+    /// tuning knob callers previously reached into
+    /// `config.cost.batch_elems` for.
+    pub fn with_batch_elems(mut self, elems: usize) -> Self {
+        self.cost.batch_elems = elems.max(1);
         self
     }
 
@@ -234,7 +243,10 @@ pub enum Msg {
         /// derived from protocol coordinates, never a clock.
         ctx: crate::obs::span::SpanCtx,
     },
-    /// A batch of bag elements on a physical edge.
+    /// A batch of bag elements on a physical edge, carried in the typed
+    /// columnar [`Batch`] container (see [`mitos_lang::batch`]); the wire
+    /// cost charged for this message is the batch's actual length-delimited
+    /// encoded size, not a per-element estimate.
     Data {
         /// Logical edge.
         edge: EdgeId,
@@ -242,8 +254,8 @@ pub enum Msg {
         dst_inst: u16,
         /// Bag identifier length (the producer is implied by the edge).
         bag_len: u32,
-        /// The elements.
-        elems: Vec<Value>,
+        /// The elements, in columnar runs.
+        batch: Batch,
     },
     /// End-of-bag punctuation from one sender instance, with the number of
     /// elements that sender shipped on this physical edge for this bag.
@@ -366,9 +378,24 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
-/// Estimated wire size of a batch of values.
+/// Legacy estimated wire size of a batch of values: a fixed 16-byte header
+/// plus per-element [`Value::estimated_bytes`]. Retained as the byte
+/// accounting used when the columnar encoding is disabled via the
+/// `MITOS_BATCH_OFF` kill switch (see [`mitos_lang::batch::batch_off`]);
+/// normal runs charge [`Batch::encoded_len`] instead.
 pub fn batch_bytes(elems: &[Value]) -> u64 {
     16 + elems.iter().map(Value::estimated_bytes).sum::<u64>()
+}
+
+/// Wire size charged for a data batch: the actual length-delimited encoded
+/// size, or the legacy [`batch_bytes`] estimate when `MITOS_BATCH_OFF` is
+/// set (so A/B runs can isolate the encoding's effect).
+pub fn batch_wire_bytes(batch: &Batch) -> u64 {
+    if mitos_lang::batch::batch_off() {
+        16 + batch.estimated_bytes()
+    } else {
+        batch.encoded_len() as u64
+    }
 }
 
 /// The file-name prefix under which `output(value, tag)` sinks collect

@@ -178,13 +178,13 @@ impl Worker {
         // `data_messages`, so the per-edge message totals reconcile with it
         // exactly — retransmissions and duplicates included.
         match &msg {
-            Msg::Data { edge, elems, .. } => {
+            Msg::Data { edge, batch, .. } => {
                 self.shared
                     .telemetry
-                    .elements_in(self.machine, elems.len() as u64);
+                    .elements_in(self.machine, batch.len() as u64);
                 self.shared
                     .flow
-                    .msg_in(*edge, self.machine, elems.len() as u64);
+                    .msg_in(*edge, self.machine, batch.len() as u64);
                 self.data_messages += 1;
             }
             Msg::BagDone { edge, .. } => {
@@ -298,7 +298,7 @@ impl Worker {
                 edge,
                 dst_inst,
                 bag_len,
-                elems,
+                batch,
             } => {
                 let dst = self.shared.graph.edges[edge as usize].dst;
                 debug_assert_eq!(self.shared.graph.placement(dst, dst_inst), self.machine);
@@ -311,7 +311,7 @@ impl Worker {
                     computed: &mut computed,
                     obs: &mut self.obs,
                 };
-                self.hosts[hi].on_data(edge, bag_len, elems, &self.path, &mut out)?;
+                self.hosts[hi].on_data(edge, bag_len, batch, &self.path, &mut out)?;
             }
             Msg::BagDone {
                 edge,

@@ -11,7 +11,7 @@ use crate::kernel;
 use crate::nir::{BlockId, FuncIr, Op, Terminator, VarId};
 use mitos_fs::InMemoryFs;
 use mitos_lang::expr::eval;
-use mitos_lang::Value;
+use mitos_lang::{Batch, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -207,7 +207,7 @@ fn eval_stmt(
             expr,
         } => {
             let caps = get_captured(func, env, captured)?;
-            kernel::map(expr, &caps, get_bag(func, env, *input)?)?
+            kernel::map(expr, &caps, &Batch::from_slice(get_bag(func, env, *input)?))?.into_values()
         }
         Op::FlatMap {
             input,
@@ -215,7 +215,8 @@ fn eval_stmt(
             expr,
         } => {
             let caps = get_captured(func, env, captured)?;
-            kernel::flat_map(expr, &caps, get_bag(func, env, *input)?)?
+            kernel::flat_map(expr, &caps, &Batch::from_slice(get_bag(func, env, *input)?))?
+                .into_values()
         }
         Op::Filter {
             input,
@@ -223,7 +224,8 @@ fn eval_stmt(
             expr,
         } => {
             let caps = get_captured(func, env, captured)?;
-            kernel::filter(expr, &caps, get_bag(func, env, *input)?)?
+            kernel::filter(expr, &caps, &Batch::from_slice(get_bag(func, env, *input)?))?
+                .into_values()
         }
         Op::Join { left, right } => {
             kernel::join(get_bag(func, env, *left)?, get_bag(func, env, *right)?)

@@ -4,9 +4,17 @@
 //! sequential interpreter uses them directly; the Spark-like baseline engine
 //! executes stage fragments with them; the Mitos runtime's incremental
 //! operators are property-tested against them.
+//!
+//! The element-wise transforms ([`map`], [`flat_map`], [`filter`]) are
+//! **batch-in/batch-out**: they take a typed columnar [`Batch`] and return
+//! one, dispatching on the storage layout once per run (via
+//! [`Batch::try_for_each`]) so monomorphic columns stream through without
+//! per-element enum inspection of the input. The keyed/aggregating kernels
+//! keep their slice signatures — their cost is dominated by hashing, not
+//! container shape.
 
 use mitos_lang::expr::{eval, Expr};
-use mitos_lang::Value;
+use mitos_lang::{Batch, Value};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -41,64 +49,66 @@ impl From<mitos_lang::EvalError> for KernelError {
     }
 }
 
-/// `map`: applies `expr($0 = element, $1.. = captured)` to each element.
-pub fn map(expr: &Expr, captured: &[Value], input: &[Value]) -> Result<Vec<Value>, KernelError> {
+/// `map`: applies `expr($0 = element, $1.. = captured)` to each element of
+/// the batch, re-columnarizing the results as it goes.
+pub fn map(expr: &Expr, captured: &[Value], input: &Batch) -> Result<Batch, KernelError> {
     let mut params = Vec::with_capacity(1 + captured.len());
     params.push(Value::Unit);
     params.extend_from_slice(captured);
-    input
-        .iter()
-        .map(|v| {
-            params[0] = v.clone();
-            eval(expr, &params).map_err(Into::into)
-        })
-        .collect()
-}
-
-/// `flatMap`: like [`map`], but each result must be a list, which is
-/// flattened into the output.
-pub fn flat_map(
-    expr: &Expr,
-    captured: &[Value],
-    input: &[Value],
-) -> Result<Vec<Value>, KernelError> {
-    let mut params = Vec::with_capacity(1 + captured.len());
-    params.push(Value::Unit);
-    params.extend_from_slice(captured);
-    let mut out = Vec::new();
-    for v in input {
-        params[0] = v.clone();
-        let result = eval(expr, &params)?;
-        match result.as_list() {
-            Some(elems) => out.extend_from_slice(elems),
-            None => {
-                return Err(KernelError::new(format!(
-                    "flatMap lambda must return a list, got {result:?}"
-                )))
-            }
-        }
-    }
+    let mut out = Batch::new();
+    input.try_for_each(|v| {
+        params[0] = v;
+        out.push(eval(expr, &params)?);
+        Ok::<(), KernelError>(())
+    })?;
     Ok(out)
 }
 
-/// `filter`: keeps elements whose predicate evaluates to `true`.
-pub fn filter(expr: &Expr, captured: &[Value], input: &[Value]) -> Result<Vec<Value>, KernelError> {
+/// `flatMap`: like [`map`], but each result must be a list, which is
+/// flattened into the output batch.
+pub fn flat_map(expr: &Expr, captured: &[Value], input: &Batch) -> Result<Batch, KernelError> {
     let mut params = Vec::with_capacity(1 + captured.len());
     params.push(Value::Unit);
     params.extend_from_slice(captured);
-    let mut out = Vec::new();
-    for v in input {
+    let mut out = Batch::new();
+    input.try_for_each(|v| {
+        params[0] = v;
+        let result = eval(expr, &params)?;
+        match result.as_list() {
+            Some(elems) => {
+                for e in elems {
+                    out.push(e.clone());
+                }
+                Ok(())
+            }
+            None => Err(KernelError::new(format!(
+                "flatMap lambda must return a list, got {result:?}"
+            ))),
+        }
+    })?;
+    Ok(out)
+}
+
+/// `filter`: keeps elements whose predicate evaluates to `true`, so
+/// surviving runs stay columnar.
+pub fn filter(expr: &Expr, captured: &[Value], input: &Batch) -> Result<Batch, KernelError> {
+    let mut params = Vec::with_capacity(1 + captured.len());
+    params.push(Value::Unit);
+    params.extend_from_slice(captured);
+    let mut out = Batch::new();
+    input.try_for_each(|v| {
         params[0] = v.clone();
         match eval(expr, &params)? {
-            Value::Bool(true) => out.push(v.clone()),
-            Value::Bool(false) => {}
-            other => {
-                return Err(KernelError::new(format!(
-                    "filter predicate must return bool, got {other:?}"
-                )))
+            Value::Bool(true) => {
+                out.push(v);
+                Ok(())
             }
+            Value::Bool(false) => Ok(()),
+            other => Err(KernelError::new(format!(
+                "filter predicate must return bool, got {other:?}"
+            ))),
         }
-    }
+    })?;
     Ok(out)
 }
 
@@ -260,30 +270,37 @@ mod tests {
         Value::tuple([Value::I64(k), Value::I64(v)])
     }
 
+    fn batch(range: std::ops::Range<i64>) -> Batch {
+        range.map(Value::I64).collect()
+    }
+
     #[test]
     fn map_applies_lambda_with_captures() {
         let expr = Expr::bin(BinOp::Mul, Expr::Param(0), Expr::Param(1));
-        let out = map(&expr, &[Value::I64(3)], &ints(1..4)).unwrap();
-        assert_eq!(out, vec![Value::I64(3), Value::I64(6), Value::I64(9)]);
+        let out = map(&expr, &[Value::I64(3)], &batch(1..4)).unwrap();
+        assert_eq!(
+            out.into_values(),
+            vec![Value::I64(3), Value::I64(6), Value::I64(9)]
+        );
     }
 
     #[test]
     fn filter_rejects_non_bool() {
         let expr = Expr::Param(0);
-        assert!(filter(&expr, &[], &ints(0..3)).is_err());
+        assert!(filter(&expr, &[], &batch(0..3)).is_err());
         let pred = Expr::bin(BinOp::Gt, Expr::Param(0), Expr::lit(1i64));
-        assert_eq!(filter(&pred, &[], &ints(0..4)).unwrap(), ints(2..4));
+        assert_eq!(filter(&pred, &[], &batch(0..4)).unwrap(), batch(2..4));
     }
 
     #[test]
     fn flat_map_flattens_lists() {
         let expr = Expr::List(vec![Expr::Param(0), Expr::Param(0)]);
-        let out = flat_map(&expr, &[], &ints(1..3)).unwrap();
+        let out = flat_map(&expr, &[], &batch(1..3)).unwrap();
         assert_eq!(
-            out,
+            out.into_values(),
             vec![Value::I64(1), Value::I64(1), Value::I64(2), Value::I64(2)]
         );
-        assert!(flat_map(&Expr::Param(0), &[], &ints(0..1)).is_err());
+        assert!(flat_map(&Expr::Param(0), &[], &batch(0..1)).is_err());
     }
 
     #[test]

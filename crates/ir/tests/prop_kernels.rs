@@ -3,7 +3,7 @@
 
 use mitos_ir::kernel;
 use mitos_lang::expr::{BinOp, Expr};
-use mitos_lang::{canonicalize, Value};
+use mitos_lang::{canonicalize, Batch, Value};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -99,13 +99,18 @@ proptest! {
                 Expr::lit(2i64),
             ),
         ]);
-        prop_assert_eq!(kernel::map(&double, &[], &input).unwrap().len(), input.len());
+        prop_assert_eq!(
+            kernel::map(&double, &[], &Batch::from_slice(&input)).unwrap().len(),
+            input.len()
+        );
         let pred = Expr::bin(
             BinOp::Gt,
             Expr::Index(Box::new(Expr::Param(0)), 1),
             Expr::lit(c),
         );
-        let kept = kernel::filter(&pred, &[], &input).unwrap();
+        let kept = kernel::filter(&pred, &[], &Batch::from_slice(&input))
+            .unwrap()
+            .into_values();
         prop_assert!(kept.len() <= input.len());
         // Filter + complementary filter partition the input.
         let npred = Expr::bin(
@@ -113,7 +118,9 @@ proptest! {
             Expr::Index(Box::new(Expr::Param(0)), 1),
             Expr::lit(c),
         );
-        let dropped = kernel::filter(&npred, &[], &input).unwrap();
+        let dropped = kernel::filter(&npred, &[], &Batch::from_slice(&input))
+            .unwrap()
+            .into_values();
         let mut both = kept;
         both.extend(dropped);
         prop_assert_eq!(canonicalize(both), canonicalize(input));

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod batch;
 pub mod builder;
 pub mod diag;
 pub mod expr;
@@ -22,6 +23,7 @@ pub mod parser;
 pub mod value;
 
 pub use ast::{Lambda, Program, Stmt, SurfExpr};
+pub use batch::{Batch, DecodeError};
 pub use builder::ProgramBuilder;
 pub use diag::{Diagnostic, Span};
 pub use expr::{eval, BinOp, EvalError, Expr, Func, UnOp};

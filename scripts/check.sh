@@ -318,6 +318,42 @@ awk -v on="$on_ms" -v off="$off_ms" 'BEGIN {
 }
 rm -f "$mem_mt" /tmp/mem_on.err /tmp/mem_off.err
 
+# Columnar batch data plane: the re-baselined fig6 must improve on the
+# preserved pre-batching snapshot on every sweep row — less wire volume
+# (the columnar encoding replaces the estimated-bytes accounting), fewer
+# data messages (sender-side coalescing into full batches), and a faster
+# virtual wall-clock.
+fig6_new="bench_out/baseline/BENCH_fig6.json"
+fig6_pre="bench_out/baseline/BENCH_fig6.prebatch.json"
+fig6_metric() { grep -o "\"$2\":[0-9.]*" "$1" | cut -d: -f2 | tr '\n' ' '; }
+for m in bytes_on_wire data_messages mitos_ms; do
+    awk -v pre="$(fig6_metric "$fig6_pre" "$m")" \
+        -v new="$(fig6_metric "$fig6_new" "$m")" 'BEGIN {
+        n = split(pre, p, " ")
+        if (n == 0 || split(new, q, " ") != n) exit 1
+        for (i = 1; i <= n; i++) if (q[i] + 0 >= p[i] + 0) exit 1
+        exit 0
+    }' || {
+        echo "check.sh: fig6 $m did not improve on the pre-batching baseline" >&2
+        exit 1
+    }
+done
+
+# Batch-encoding kill switch A/B: MITOS_BATCH_OFF=1 reverts to
+# row-oriented containers and the legacy estimated wire accounting; the
+# computed outputs must be bit-identical on both drivers (only the byte
+# accounting, and therefore simulated network time, may differ).
+for eng in mitos threads; do
+    batch_on="$(./target/release/mitos run examples/nested_loops.mt \
+        --machines 3 --engine "$eng")"
+    batch_off="$(MITOS_BATCH_OFF=1 ./target/release/mitos run examples/nested_loops.mt \
+        --machines 3 --engine "$eng")"
+    [ "$batch_on" = "$batch_off" ] || {
+        echo "check.sh: MITOS_BATCH_OFF changed outputs on engine $eng" >&2
+        exit 1
+    }
+done
+
 # Bench trajectory: when fresh bench reports exist (scripts/bench.sh),
 # compare them against the committed baseline with config-digest
 # mismatches escalated to hard failures (--strict); skipped when no

@@ -439,6 +439,16 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// Sets the maximum elements per data-plane batch, clamped to at
+    /// least one, on the run's [`EngineConfig`] — the tuning knob for
+    /// trading per-message overhead against pipelining granularity,
+    /// without constructing a whole cost model. Results are identical at
+    /// every setting; only message counts, wire bytes, and timing shift.
+    pub fn batch_elems(mut self, elems: usize) -> Self {
+        self.config = self.config.with_batch_elems(elems);
+        self
+    }
+
     /// Runs the program. File effects land in `fs`.
     pub fn execute(self, fs: &InMemoryFs) -> Result<Outcome, Error> {
         let Run {

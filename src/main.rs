@@ -36,7 +36,9 @@ fn usage() -> ! {
          #   in which case an unrecoverable stall exits 2 naming the faults\n  \
          # --metrics-out: per-step control-plane phase latency histograms\n          \
          #   (broadcast/assembly/execute/send-resolve) in Prometheus text format\n  \
-         mitos explain <program> [run options] [--json]   # per-operator runtime report\n  \
+         mitos explain <program> [run options] [--json] [--dot out.dot]\n          \
+         # per-operator runtime report (Mitos engines only;\n          \
+         #   --dot writes a metrics-count overlay)\n  \
          mitos flow <program> [run options] [--json] [--dot out.dot]\n          \
          # per-edge data-plane flow report: top edges by bytes/elements,\n          \
          #   wire totals, per-machine skew, observed selectivity, backpressure\n          \
@@ -45,9 +47,9 @@ fn usage() -> ! {
          # per-machine state-residency report: live bags/elements/bytes by\n          \
          #   retention class, high-water marks, leak attribution\n          \
          #   (Mitos engines only; --dot writes a node heat overlay)\n  \
-         mitos profile <program> [run options] [--profile-json out.json] [--dot out.dot]\n          \
+         mitos profile <program> [run options] [--json] [--profile-json out.json] [--dot out.dot]\n          \
          # per-iteration attribution + critical path (Mitos engines only)\n  \
-         mitos trace-tree <program> [run options] [--step N] [--json]\n          \
+         mitos trace-tree <program> [run options] [--step N] [--json] [--dot out.dot]\n          \
          # per-step causal span tree: decision broadcast -> receipt -> input\n          \
          #   assembly -> execute -> send-resolve (Mitos engines only)\n  \
          mitos ssa <program>\n  \
@@ -252,6 +254,44 @@ fn trees_json(trees: &[mitos::core::StepTree], op_names: &[String]) -> String {
     out
 }
 
+/// Machine-readable (`--json`) and Graphviz (`--dot out.dot`) output
+/// options shared by every report subcommand (`explain`, `flow`, `mem`,
+/// `profile`, `trace-tree`): one parser, so the flags spell and behave
+/// identically everywhere.
+#[derive(Default)]
+struct ReportOpts {
+    /// Print the report as deterministic JSON on stdout.
+    json: bool,
+    /// Write the subcommand's DOT overlay to this path.
+    dot: Option<String>,
+}
+
+impl ReportOpts {
+    /// Consumes `args[*i]` — `--json`, or `--dot` plus its path operand
+    /// (advancing `*i` past it) — exiting with usage on a missing operand.
+    fn consume(&mut self, args: &[String], i: &mut usize) {
+        match args[*i].as_str() {
+            "--json" => self.json = true,
+            "--dot" => {
+                *i += 1;
+                self.dot = Some(args.get(*i).unwrap_or_else(|| usage()).clone());
+            }
+            _ => usage(),
+        }
+    }
+}
+
+/// Writes a report subcommand's DOT overlay to `path`; `what` names the
+/// overlay in the confirmation line on stderr.
+fn write_dot(path: &str, dot: String, what: &str) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::write(path, dot) {
+        eprintln!("error: cannot write DOT {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    eprintln!("wrote {what} DOT {path}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
@@ -290,7 +330,10 @@ fn main() -> ExitCode {
             let cfg = EngineConfig::new().with_fusion(!no_fuse);
             match mitos::core::planned_graph(&func, &cfg) {
                 Ok(graph) => {
-                    print!("{}", mitos::core::to_dot(&graph));
+                    print!(
+                        "{}",
+                        mitos::core::to_dot(&graph, &mitos::core::DotOverlay::default())
+                    );
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -322,6 +365,7 @@ fn main() -> ExitCode {
             let mem_cmd = command == "mem";
             let profile_cmd = command == "profile";
             let tracetree_cmd = command == "trace-tree";
+            let report_cmd = explain_cmd || flow_cmd || mem_cmd || profile_cmd || tracetree_cmd;
             let mut machines: u16 = 4;
             let mut engine = Engine::Mitos;
             let mut inputs: Vec<(String, String)> = Vec::new();
@@ -331,8 +375,7 @@ fn main() -> ExitCode {
             let mut metrics_out: Option<String> = None;
             let mut step_filter: Option<u32> = None;
             let mut profile_json: Option<String> = None;
-            let mut dot_path: Option<String> = None;
-            let mut json = false;
+            let mut report = ReportOpts::default();
             let mut combiners = false;
             let mut no_fuse = false;
             let mut progress = false;
@@ -405,16 +448,13 @@ fn main() -> ExitCode {
                         i += 1;
                         profile_json = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
-                    // The DOT overlay renders what the subcommand computed:
-                    // the critical path under `profile`, edge heat under
-                    // `flow`, node residency heat under `mem`.
-                    "--dot" if profile_cmd || flow_cmd || mem_cmd => {
-                        i += 1;
-                        dot_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
-                    }
-                    // Machine-readable reports exist for the report
-                    // subcommands only.
-                    "--json" if explain_cmd || flow_cmd || mem_cmd || tracetree_cmd => json = true,
+                    // Shared report options: every report subcommand takes
+                    // --json (deterministic JSON on stdout) and --dot (that
+                    // subcommand's overlay: observed counts under
+                    // explain/trace-tree, edge heat under flow, node
+                    // residency heat under mem, the critical path under
+                    // profile).
+                    "--json" | "--dot" if report_cmd => report.consume(&args, &mut i),
                     "--combiners" => combiners = true,
                     "--no-fuse" => no_fuse = true,
                     "--progress" => progress = true,
@@ -518,16 +558,14 @@ fn main() -> ExitCode {
                     | Engine::MitosThreads
             );
             let live_requested = progress || watch || deadline_ms.is_some();
-            if (flow_cmd
-                || mem_cmd
-                || profile_cmd
-                || tracetree_cmd
-                || trace_path.is_some()
-                || metrics_out.is_some()
-                || live_requested)
+            // Every report subcommand reads Mitos-only instrumentation, so
+            // they share one engine gate with one exit code.
+            if (report_cmd || trace_path.is_some() || metrics_out.is_some() || live_requested)
                 && !obs_capable
             {
-                let what = if flow_cmd {
+                let what = if explain_cmd {
+                    "`mitos explain`"
+                } else if flow_cmd {
                     "`mitos flow`"
                 } else if mem_cmd {
                     "`mitos mem`"
@@ -662,7 +700,7 @@ fn main() -> ExitCode {
                         let mem_rows = outcome.mem().map(|m| m.explain_rows()).unwrap_or_default();
                         // The subcommand's report is the product: stdout.
                         // As a flag on `run` it is diagnostics: stderr.
-                        if explain_cmd && json {
+                        if explain_cmd && report.json {
                             println!(
                                 "{}",
                                 explain_json(&outcome, engine, machines, &func, &engine_cfg)
@@ -671,6 +709,27 @@ fn main() -> ExitCode {
                             print!("{}{}{}", outcome.explain(), flow_rows, mem_rows);
                         } else {
                             eprint!("{}{}{}", outcome.explain(), flow_rows, mem_rows);
+                        }
+                        if explain_cmd {
+                            if let Some(path) = &report.dot {
+                                let graph = match mitos::core::planned_graph(&func, &engine_cfg) {
+                                    Ok(g) => g,
+                                    Err(e) => {
+                                        eprintln!("error: {e}");
+                                        return ExitCode::FAILURE;
+                                    }
+                                };
+                                let dot = mitos::core::to_dot(
+                                    &graph,
+                                    &mitos::core::DotOverlay {
+                                        metrics: outcome.obs.as_ref().map(|o| &o.metrics),
+                                        ..Default::default()
+                                    },
+                                );
+                                if let Err(code) = write_dot(path, dot, "metrics overlay") {
+                                    return code;
+                                }
+                            }
                         }
                     }
                     if flow_cmd {
@@ -684,18 +743,22 @@ fn main() -> ExitCode {
                                 return ExitCode::FAILURE;
                             }
                         };
-                        if json {
+                        if report.json {
                             println!("{}", flow.to_json(&graph));
                         } else {
                             print!("{}", flow.render(&graph));
                         }
-                        if let Some(path) = &dot_path {
-                            let dot = mitos::core::to_dot_with_flow(&graph, flow);
-                            if let Err(e) = std::fs::write(path, dot) {
-                                eprintln!("error: cannot write DOT {path}: {e}");
-                                return ExitCode::FAILURE;
+                        if let Some(path) = &report.dot {
+                            let dot = mitos::core::to_dot(
+                                &graph,
+                                &mitos::core::DotOverlay {
+                                    flow: Some(flow),
+                                    ..Default::default()
+                                },
+                            );
+                            if let Err(code) = write_dot(path, dot, "flow heat-overlay") {
+                                return code;
                             }
-                            eprintln!("wrote flow heat-overlay DOT {path}");
                         }
                         return ExitCode::SUCCESS;
                     }
@@ -710,18 +773,22 @@ fn main() -> ExitCode {
                                 return ExitCode::FAILURE;
                             }
                         };
-                        if json {
+                        if report.json {
                             println!("{}", mem.to_json(&graph));
                         } else {
                             print!("{}", mem.render(&graph));
                         }
-                        if let Some(path) = &dot_path {
-                            let dot = mitos::core::to_dot_with_mem(&graph, mem);
-                            if let Err(e) = std::fs::write(path, dot) {
-                                eprintln!("error: cannot write DOT {path}: {e}");
-                                return ExitCode::FAILURE;
+                        if let Some(path) = &report.dot {
+                            let dot = mitos::core::to_dot(
+                                &graph,
+                                &mitos::core::DotOverlay {
+                                    mem: Some(mem),
+                                    ..Default::default()
+                                },
+                            );
+                            if let Err(code) = write_dot(path, dot, "mem residency") {
+                                return code;
                             }
-                            eprintln!("wrote mem residency DOT {path}");
                         }
                         return ExitCode::SUCCESS;
                     }
@@ -796,7 +863,29 @@ fn main() -> ExitCode {
                                 return ExitCode::FAILURE;
                             }
                         }
-                        if json {
+                        if let Some(path) = &report.dot {
+                            // The span trees have no graph rendering of
+                            // their own; the overlay carries the run's
+                            // observed counts on the plan that ran.
+                            let graph = match mitos::core::planned_graph(&func, &engine_cfg) {
+                                Ok(g) => g,
+                                Err(e) => {
+                                    eprintln!("error: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                            };
+                            let dot = mitos::core::to_dot(
+                                &graph,
+                                &mitos::core::DotOverlay {
+                                    metrics: outcome.obs.as_ref().map(|o| &o.metrics),
+                                    ..Default::default()
+                                },
+                            );
+                            if let Err(code) = write_dot(path, dot, "metrics overlay") {
+                                return code;
+                            }
+                        }
+                        if report.json {
                             println!("{}", trees_json(&selected, &op_names));
                             return ExitCode::SUCCESS;
                         }
@@ -816,7 +905,11 @@ fn main() -> ExitCode {
                             eprintln!("error: run produced no trace to profile");
                             return ExitCode::FAILURE;
                         };
-                        print!("{}", profile.render(&outcome.op_stats));
+                        if report.json {
+                            println!("{}", profile.to_json(&outcome.op_stats));
+                        } else {
+                            print!("{}", profile.render(&outcome.op_stats));
+                        }
                         if let Some(path) = &profile_json {
                             if let Err(e) = std::fs::write(path, profile.to_json(&outcome.op_stats))
                             {
@@ -825,7 +918,7 @@ fn main() -> ExitCode {
                             }
                             eprintln!("wrote profile JSON {path}");
                         }
-                        if let Some(path) = &dot_path {
+                        if let Some(path) = &report.dot {
                             // Annotate the plan that ran, so the overlay's
                             // operator ids match the metrics registry.
                             let graph = match mitos::core::planned_graph(&func, &engine_cfg) {
@@ -835,16 +928,17 @@ fn main() -> ExitCode {
                                     return ExitCode::FAILURE;
                                 }
                             };
-                            let dot = mitos::core::to_dot_annotated(
+                            let dot = mitos::core::to_dot(
                                 &graph,
-                                outcome.obs.as_ref().map(|o| &o.metrics),
-                                Some(&profile.critical),
+                                &mitos::core::DotOverlay {
+                                    metrics: outcome.obs.as_ref().map(|o| &o.metrics),
+                                    critical: Some(&profile.critical),
+                                    ..Default::default()
+                                },
                             );
-                            if let Err(e) = std::fs::write(path, dot) {
-                                eprintln!("error: cannot write DOT {path}: {e}");
-                                return ExitCode::FAILURE;
+                            if let Err(code) = write_dot(path, dot, "critical-path") {
+                                return code;
                             }
-                            eprintln!("wrote critical-path DOT {path}");
                         }
                         return ExitCode::SUCCESS;
                     }

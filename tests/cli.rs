@@ -677,3 +677,55 @@ fn trace_tree_json_is_valid_and_deterministic() {
     // simulator, so the whole document is bit-stable across runs.
     assert_eq!(first, run(), "trace-tree --json must be deterministic");
 }
+
+#[test]
+fn report_flags_are_uniform_across_subcommands() {
+    let program = write_temp("prog25.mt", PROGRAM);
+    let data = write_temp(
+        "visits25.txt",
+        &(0..20).map(|i| format!("{i}\n")).collect::<String>(),
+    );
+    let input = format!("visits={}", data.display());
+    // Every report subcommand refuses non-Mitos engines the same way:
+    // exit code 2 and a "`mitos <cmd>` requires a Mitos engine" message.
+    for cmd in ["explain", "flow", "mem", "profile", "trace-tree"] {
+        let output = mitos()
+            .args([cmd, program.to_str().unwrap(), "--engine", "spark"])
+            .output()
+            .unwrap();
+        assert_eq!(output.status.code(), Some(2), "{cmd}: {output:?}");
+        let err = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            err.contains(&format!("`mitos {cmd}` requires a Mitos engine")),
+            "{cmd}: {err}"
+        );
+    }
+    // And every one of them accepts --json (machine-readable stdout) and
+    // --dot (a DOT file next to the human-readable report).
+    for cmd in ["explain", "flow", "mem", "profile", "trace-tree"] {
+        let dot_path = std::env::temp_dir().join(format!("mitos-cli-tests/report25-{cmd}.dot"));
+        let _ = std::fs::remove_file(&dot_path);
+        let output = mitos()
+            .args([
+                cmd,
+                program.to_str().unwrap(),
+                "--input",
+                &input,
+                "--json",
+                "--dot",
+                dot_path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{cmd}: {output:?}");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let json_at = stdout
+            .find('{')
+            .unwrap_or_else(|| panic!("{cmd}: {stdout}"));
+        mitos::core::obs::validate_json(stdout[json_at..].trim())
+            .unwrap_or_else(|e| panic!("{cmd}: {e}\n{stdout}"));
+        let dot = std::fs::read_to_string(&dot_path)
+            .unwrap_or_else(|e| panic!("{cmd}: missing dot: {e}"));
+        assert!(dot.starts_with("digraph"), "{cmd}: {dot}");
+    }
+}

@@ -382,6 +382,46 @@ proptest! {
             .unwrap_or_else(|e| panic!("{e}\n{src}"));
         prop_assert_eq!(program, reparsed);
     }
+
+    /// The batch size is a pure performance knob: one element per message
+    /// (degenerate, no batching) and a batch larger than any bag in the
+    /// run produce identical outputs and the identical control-flow path
+    /// on both Mitos drivers, under adversarial network jitter. Message
+    /// counts and wire bytes legitimately differ; results never do.
+    #[test]
+    fn batch_size_never_changes_results(
+        program in arb_program(),
+        machines in 1u16..5,
+        seed in 0u64..1000,
+    ) {
+        let src = program.to_string();
+        let func = mitos::ir::compile(&program)
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        for engine in [Engine::Mitos, Engine::MitosThreads] {
+            let run_with_batch = |elems: usize| {
+                let fs = InMemoryFs::new();
+                let mut cluster = SimConfig::with_machines(machines);
+                cluster.seed = seed;
+                cluster.jitter_pct = 35;
+                Run::new(&func)
+                    .engine(engine)
+                    .cluster(cluster)
+                    .batch_elems(elems)
+                    .execute(&fs)
+                    .unwrap_or_else(|e| panic!("{engine} (batch_elems={elems}): {e}\n{src}"))
+            };
+            let unbatched = run_with_batch(1);
+            let batched = run_with_batch(1 << 20);
+            prop_assert_eq!(
+                &batched.outputs, &unbatched.outputs,
+                "{} outputs diverged across batch sizes on:\n{}", engine, src
+            );
+            prop_assert_eq!(
+                &batched.path, &unbatched.path,
+                "{} path diverged across batch sizes on:\n{}", engine, src
+            );
+        }
+    }
 }
 
 /// A random seeded [`FaultPlan`]: moderate per-message drop, duplication
