@@ -294,6 +294,12 @@ pub struct EdgeRules {
     /// no longer be reached without the producer's block recurring — the
     /// producer may discard the pending bag.
     pub drop_mask: Vec<bool>,
+    /// True when the producer's block lies in no loop: such a block occurs
+    /// at most once in any execution path, so its occurrence position is a
+    /// run constant (the path is append-only). The template cache uses
+    /// this to record loop-invariant selections absolutely
+    /// ([`crate::template::SelSlot::Absolute`]).
+    pub once: bool,
 }
 
 /// All static rule data derived from a logical graph.
@@ -308,6 +314,7 @@ impl PathRules {
     pub fn build(graph: &LogicalGraph) -> PathRules {
         let succs = graph.func.successors();
         let n_blocks = graph.func.block_count();
+        let nest = LoopNest::build(&graph.func);
         let edges = graph
             .edges
             .iter()
@@ -329,6 +336,12 @@ impl PathRules {
                     dst_stmt: dst.stmt_idx,
                     immediate,
                     drop_mask,
+                    once: nest
+                        .loop_of_block
+                        .get(src.block as usize)
+                        .copied()
+                        .flatten()
+                        .is_none(),
                 }
             })
             .collect();

@@ -425,6 +425,9 @@ pub fn run_threads_live(
     let op_stats = crate::engine::collect_op_stats(&shared.graph, &workers, machines);
     let path = workers[0].path().blocks().to_vec();
     let hoist_hits = workers.iter().map(Worker::hoist_hits).sum();
+    let template_hits = workers.iter().map(Worker::template_hits).sum();
+    let template_misses = workers.iter().map(Worker::template_misses).sum();
+    let template_invalidations = workers.iter().map(Worker::template_invalidations).sum();
     let decisions = workers.iter().map(|w| w.decisions_broadcast).sum();
     let data_messages = workers.iter().map(|w| w.data_messages).sum();
     let level = shared.config.obs;
@@ -448,6 +451,9 @@ pub fn run_threads_live(
         path,
         sim,
         hoist_hits,
+        template_hits,
+        template_misses,
+        template_invalidations,
         decisions,
         data_messages,
         op_stats,

@@ -274,6 +274,91 @@ fn fault_reordered_decisions_preserve_selection_and_discard() {
     );
 }
 
+/// The execution-template cache under chaos: with templates explicitly
+/// enabled, a dropped/duplicated/reordered run must produce outputs, an
+/// execution path, and causal span-tree *shapes* bit-identical to the
+/// fault-free run's — replayed control-plane decisions emit the same
+/// observability spans as recomputed ones, and any template invalidation
+/// triggered by fault-perturbed hoisting falls back to the slow path
+/// without leaving a trace-visible seam.
+#[test]
+fn fault_chaos_with_templates_preserves_results_and_tree_shapes() {
+    // Scale the nested loops up so the execution path outgrows the template
+    // suffix window and cyclic suffixes actually repeat — the 3x2 original
+    // is all warmup, every lookup a (full-path) miss.
+    let src = NESTED_COND_SRC
+        .replace("i < 3", "i < 7")
+        .replace("j < 2", "j < 3");
+    let func = mitos_ir::compile_str(&src).unwrap();
+    let run_traced = |plan: FaultPlan, templates: bool| {
+        let fs = InMemoryFs::new();
+        run_sim(
+            &func,
+            &fs,
+            EngineConfig::new()
+                .with_templates(templates)
+                .with_obs(mitos_core::ObsLevel::Trace)
+                .with_faults(plan),
+            SimConfig::with_machines(3),
+        )
+        .unwrap()
+    };
+    let clean = run_traced(FaultPlan::default(), true);
+    assert!(
+        clean.template_hits > 0,
+        "the nested loop must exercise template replay: {:?}",
+        (clean.template_hits, clean.template_misses)
+    );
+    let plan = FaultPlan::new()
+        .with_drop(0.15)
+        .with_duplicate(0.3)
+        .with_reorder(0.4)
+        .with_reorder_delay_ns(600_000)
+        .with_seed(41);
+    let faulted = run_traced(plan.clone(), true);
+    assert!(
+        faulted.sim.faults_dropped > 0 || faulted.sim.faults_duplicated > 0,
+        "the plan must actually inject faults: {:?}",
+        faulted.sim
+    );
+    assert_eq!(faulted.outputs, clean.outputs, "outputs under chaos");
+    assert_eq!(faulted.path, clean.path, "execution path under chaos");
+
+    let clean_trees = mitos_core::obs::build_step_trees(clean.obs.as_ref().unwrap());
+    let faulted_trees = mitos_core::obs::build_step_trees(faulted.obs.as_ref().unwrap());
+    assert_eq!(faulted_trees.len(), clean_trees.len(), "step-tree count");
+    for (ct, ft) in clean_trees.iter().zip(&faulted_trees) {
+        assert!(ct.orphans.is_empty(), "clean step {} orphans", ct.step);
+        assert!(ft.orphans.is_empty(), "faulted step {} orphans", ft.step);
+        assert_eq!(ft.shape(), ct.shape(), "tree shape at step {}", ft.step);
+    }
+
+    // And the faulted templates-on run must match a faulted templates-off
+    // run exactly — the cache is invisible even mid-recovery.
+    let off = run_traced(plan, false);
+    assert_eq!(
+        (
+            off.template_hits,
+            off.template_misses,
+            off.template_invalidations
+        ),
+        (0, 0, 0),
+        "templates-off run must not touch the cache"
+    );
+    assert_eq!(faulted.outputs, off.outputs, "on/off outputs under chaos");
+    assert_eq!(faulted.path, off.path, "on/off path under chaos");
+    let off_trees = mitos_core::obs::build_step_trees(off.obs.as_ref().unwrap());
+    assert_eq!(off_trees.len(), faulted_trees.len());
+    for (ot, ft) in off_trees.iter().zip(&faulted_trees) {
+        assert_eq!(
+            ft.shape(),
+            ot.shape(),
+            "on/off tree shape at step {}",
+            ft.step
+        );
+    }
+}
+
 /// The same invariants on the thread driver, with drops added so the
 /// at-least-once relay has to retransmit: results must still equal the
 /// fault-free run's.

@@ -9,7 +9,24 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo build --release --offline --workspace
-cargo test -q --offline --workspace
+test_out="$(cargo test -q --offline --workspace 2>&1)" || {
+    echo "$test_out"
+    exit 1
+}
+echo "$test_out"
+# Skipped tests fail loudly: the workspace carries exactly two deliberate
+# #[ignore]s (the paper-scale visit_count_365_days stress test and the
+# baselines shape probe). Anything beyond that is a silently-disabled
+# test hiding in the suite.
+ignored_total="$(echo "$test_out" |
+    sed -n 's/.*test result: ok\. [0-9]* passed; [0-9]* failed; \([0-9]*\) ignored.*/\1/p' |
+    awk '{ s += $1 } END { print s + 0 }')"
+if [ "$ignored_total" -ne 2 ]; then
+    echo "check.sh: expected exactly 2 deliberately ignored tests" \
+        "(visit_count_365_days, probe_visit_count), found $ignored_total —" \
+        "run 'cargo test --workspace -- --list --ignored' and account for the rest" >&2
+    exit 1
+fi
 cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline --workspace
 
@@ -353,6 +370,73 @@ for eng in mitos threads; do
         exit 1
     }
 done
+
+# Execution-template cache: on a steady-state loop (long enough that the
+# path outgrows the suffix window and warmup misses stop dominating) the
+# cache must (a) leave results bit-identical — stdout equal with the
+# cache on, off via MITOS_TEMPLATES_OFF, and off via --no-templates —
+# (b) finish in strictly less virtual time than the slow path (a replay
+# charges one flat validation cost instead of per-block backward scans),
+# and (c) sustain a steady-state hit rate above 0.9.
+tmpl_mt="$(mktemp --suffix=.mt)"
+printf 's = 0;\nfor i = 1 to 200 {\n  b = bag((1, i));\n  s = s + b.count();\n}\noutput(s, "s");\n' > "$tmpl_mt"
+tmpl_on_out="$(./target/release/mitos run "$tmpl_mt" --machines 5 2>/tmp/tmpl_on.err)"
+tmpl_env_out="$(MITOS_TEMPLATES_OFF=1 ./target/release/mitos run "$tmpl_mt" --machines 5 2>/tmp/tmpl_off.err)"
+tmpl_flag_out="$(./target/release/mitos run "$tmpl_mt" --machines 5 --no-templates 2>/dev/null)"
+[ "$tmpl_on_out" = "$tmpl_env_out" ] && [ "$tmpl_on_out" = "$tmpl_flag_out" ] || {
+    echo "check.sh: template cache changed run output" >&2
+    exit 1
+}
+vms_on="$(sed -n 's/.* machines, \([0-9.]*\) virtual ms.*/\1/p' /tmp/tmpl_on.err)"
+vms_off="$(sed -n 's/.* machines, \([0-9.]*\) virtual ms.*/\1/p' /tmp/tmpl_off.err)"
+awk -v on="$vms_on" -v off="$vms_off" 'BEGIN {
+    if (on == "" || off == "") exit 1
+    exit (on + 0 < off + 0) ? 0 : 1
+}' || {
+    echo "check.sh: templates must cut steady-state virtual time (on=${vms_on}ms off=${vms_off}ms)" >&2
+    exit 1
+}
+tmpl_json="$(./target/release/mitos explain "$tmpl_mt" --machines 5 --json)"
+tmpl_rate="$(echo "$tmpl_json" | sed -n 's/.*"template_hit_rate":\([0-9.]*\).*/\1/p')"
+awk -v r="$tmpl_rate" 'BEGIN { if (r == "") exit 1; exit (r + 0 > 0.9) ? 0 : 1 }' || {
+    echo "check.sh: steady-state template hit rate ${tmpl_rate:-?} not > 0.9" >&2
+    exit 1
+}
+# Wall-clock envelope on the thread driver, mirroring the telemetry A/Bs:
+# the cache's bookkeeping must never cost more than the usual 2% + 2ms.
+tmpl_median() {
+    for _ in 1 2 3 4 5; do
+        env "$@" ./target/release/mitos run "$tmpl_mt" \
+            --machines 3 --engine threads 2>&1 >/dev/null |
+            sed -n 's/.* machines, \([0-9.]*\) measured ms.*/\1/p'
+    done | sort -n | sed -n 3p
+}
+on_ms="$(tmpl_median MITOS_CHECK=1)"
+off_ms="$(tmpl_median MITOS_TEMPLATES_OFF=1)"
+awk -v on="$on_ms" -v off="$off_ms" 'BEGIN {
+    if (on == "" || off == "") exit 1
+    exit (on <= off * 1.02 + 2.0) ? 0 : 1
+}' || {
+    echo "check.sh: template cache wall overhead on threads: ${on_ms}ms vs ${off_ms}ms (limit 2% + 2ms)" >&2
+    exit 1
+}
+rm -f "$tmpl_mt" /tmp/tmpl_on.err /tmp/tmpl_off.err
+
+# fig7 ablation gate: the committed baseline must show templates-on
+# beating templates-off per step, at a steady-state hit rate above 0.9.
+fig7_base="bench_out/baseline/BENCH_fig7.json"
+fig7_field() { grep -o "\"$1\":[0-9.]*" "$fig7_base" | head -1 | cut -d: -f2; }
+awk -v on="$(fig7_field templates_on_step_ms)" \
+    -v off="$(fig7_field templates_off_step_ms)" \
+    -v rate="$(fig7_field template_hit_rate)" 'BEGIN {
+    if (on == "" || off == "" || rate == "") exit 1
+    if (on + 0 >= off + 0) exit 1
+    if (rate + 0 <= 0.9) exit 1
+    exit 0
+}' || {
+    echo "check.sh: fig7 baseline template ablation gate failed (on=$(fig7_field templates_on_step_ms) off=$(fig7_field templates_off_step_ms) rate=$(fig7_field template_hit_rate))" >&2
+    exit 1
+}
 
 # Bench trajectory: when fresh bench reports exist (scripts/bench.sh),
 # compare them against the committed baseline with config-digest
